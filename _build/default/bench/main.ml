@@ -1,0 +1,331 @@
+(* Benchmark harness: one Bechamel test per paper table/figure, plus
+   ablation benches for the design choices DESIGN.md calls out.
+
+   Each test measures the computational core that regenerates the
+   corresponding experiment, at a reduced trace length (BENCH_ICOUNT
+   dynamic instructions per workload) so the whole harness completes in
+   minutes.  The experiment *results* themselves are produced by
+   bin/repro_experiments.ml; this file answers "what does each step
+   cost?" — including the paper's own cost claim (measuring 8 key
+   characteristics is ~3x cheaper than measuring all 47).
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+module E = Mica_core.Experiments
+module Select = Mica_select
+module Stats = Mica_stats
+module W = Mica_workloads
+
+let bench_icount = 20_000
+
+let config =
+  {
+    Mica_core.Pipeline.default_config with
+    Mica_core.Pipeline.icount = bench_icount;
+    cache_dir = Some "results/cache";
+    progress = false;
+  }
+
+(* Shared context: characterized once (cached on disk across runs). *)
+let ctx = lazy (E.Context.load ~config ())
+
+let ga_small =
+  {
+    Select.Genetic.default_config with
+    Select.Genetic.population = 16;
+    max_generations = 25;
+    stall_generations = 10;
+  }
+
+let sample_workload = lazy (W.Registry.find_exn "SPEC2000/bzip2/graphic")
+
+(* ---------------- per-table/figure tests ---------------- *)
+
+let t_table1 =
+  Test.make ~name:"table1_registry" (Staged.stage (fun () -> Sys.opaque_identity (E.render_table1 ())))
+
+let t_table2 =
+  Test.make ~name:"table2_characteristics"
+    (Staged.stage (fun () -> Sys.opaque_identity (E.render_table2 ())))
+
+(* the core measurement everything relies on: one workload, one trace,
+   all 47 characteristics *)
+let t_characterize =
+  Test.make ~name:"characterize_one_workload"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         Sys.opaque_identity
+           (Mica_analysis.Analyzer.analyze w.W.Workload.model ~icount:bench_icount)))
+
+let t_counters =
+  Test.make ~name:"hpc_counters_one_workload"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         Sys.opaque_identity (Mica_uarch.Hw_counters.measure w.W.Workload.model ~icount:bench_icount)))
+
+let t_fig1 =
+  Test.make ~name:"fig1_distances"
+    (Staged.stage (fun () ->
+         let c = Lazy.force ctx in
+         let mica = Mica_core.Space.of_dataset c.E.Context.mica in
+         let hpc = Mica_core.Space.of_dataset c.E.Context.hpc in
+         Sys.opaque_identity
+           (Mica_core.Classify.correlation ~hpc_distances:hpc.Mica_core.Space.distances
+              ~mica_distances:mica.Mica_core.Space.distances)))
+
+let t_table3 =
+  Test.make ~name:"table3_classify"
+    (Staged.stage (fun () -> Sys.opaque_identity (E.table3 (Lazy.force ctx))))
+
+let t_fig2 =
+  Test.make ~name:"fig2_case_study_hpc"
+    (Staged.stage (fun () -> Sys.opaque_identity (E.fig2 (Lazy.force ctx))))
+
+let t_fig3 =
+  Test.make ~name:"fig3_case_study_mica"
+    (Staged.stage (fun () -> Sys.opaque_identity (E.fig3 (Lazy.force ctx))))
+
+let t_fig4 =
+  Test.make ~name:"fig4_roc"
+    (Staged.stage (fun () ->
+         let c = Lazy.force ctx in
+         let all = Array.init Mica_analysis.Characteristics.count Fun.id in
+         let hpc = Mica_core.Space.of_dataset c.E.Context.hpc in
+         Sys.opaque_identity
+           (Stats.Roc.of_spaces ~ref_distances:hpc.Mica_core.Space.distances
+              ~test_distances:(Select.Fitness.distances_for c.E.Context.fitness all)
+              ~frac:0.2)))
+
+let t_fig5_ce =
+  Test.make ~name:"fig5_ce_sweep"
+    (Staged.stage (fun () -> Sys.opaque_identity (E.run_ce (Lazy.force ctx))))
+
+let t_table4_ga =
+  Test.make ~name:"table4_ga_select"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (E.run_ga ~config:ga_small (Lazy.force ctx))))
+
+let t_fig6 =
+  Test.make ~name:"fig6_cluster_bic"
+    (Staged.stage (fun () ->
+         let c = Lazy.force ctx in
+         (* reduced K range keeps a single run sub-second *)
+         let reduced = Mica_core.Dataset.select_features c.E.Context.mica [| 0; 9; 15; 20; 26; 31; 37; 43 |] in
+         Sys.opaque_identity (Mica_core.Clustering.cluster ~k_max:20 reduced)))
+
+(* ---------------- cost-model / ablation tests ---------------- *)
+
+(* the paper's headline cost claim: measuring the key subset vs all 47 *)
+let t_cost_full =
+  Test.make ~name:"cost_all_47_characteristics"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         let a = Mica_analysis.Analyzer.create () in
+         Sys.opaque_identity
+           (Mica_trace.Generator.run w.W.Workload.model ~icount:bench_icount
+              ~sink:(Mica_analysis.Analyzer.sink a))))
+
+let t_cost_reduced =
+  Test.make ~name:"cost_key_subset_only"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         (* a paper-like key subset: loads, operands, dep<=8, strides,
+            D-pages, ILP-256 -> mix + regtraffic + strides + ws + one ILP window *)
+         let mix = Mica_analysis.Mix.create () in
+         let ilp = Mica_analysis.Ilp.create ~windows:[| 256 |] () in
+         let reg = Mica_analysis.Regtraffic.create () in
+         let ws = Mica_analysis.Working_set.create () in
+         let strides = Mica_analysis.Strides.create () in
+         let sink =
+           Mica_trace.Sink.fanout
+             [
+               Mica_analysis.Mix.sink mix;
+               Mica_analysis.Ilp.sink ilp;
+               Mica_analysis.Regtraffic.sink reg;
+               Mica_analysis.Working_set.sink ws;
+               Mica_analysis.Strides.sink strides;
+             ]
+         in
+         Sys.opaque_identity
+           (Mica_trace.Generator.run w.W.Workload.model ~icount:bench_icount ~sink)))
+
+(* ablation: single fused trace pass vs one pass per analyzer family *)
+let t_ablation_fused =
+  Test.make ~name:"ablation_single_pass_fanout"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         let a = Mica_analysis.Analyzer.create () in
+         let h = Mica_uarch.Hw_counters.create () in
+         let sink =
+           Mica_trace.Sink.fanout
+             [ Mica_analysis.Analyzer.sink a; Mica_uarch.Hw_counters.sink h ]
+         in
+         Sys.opaque_identity
+           (Mica_trace.Generator.run w.W.Workload.model ~icount:bench_icount ~sink)))
+
+let t_ablation_multipass =
+  Test.make ~name:"ablation_pass_per_family"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         let run sink =
+           ignore
+             (Mica_trace.Generator.run w.W.Workload.model ~icount:bench_icount ~sink : int)
+         in
+         run (Mica_analysis.Mix.sink (Mica_analysis.Mix.create ()));
+         run (Mica_analysis.Ilp.sink (Mica_analysis.Ilp.create ()));
+         run (Mica_analysis.Regtraffic.sink (Mica_analysis.Regtraffic.create ()));
+         run (Mica_analysis.Working_set.sink (Mica_analysis.Working_set.create ()));
+         run (Mica_analysis.Strides.sink (Mica_analysis.Strides.create ()));
+         run (Mica_analysis.Ppm.sink (Mica_analysis.Ppm.create ()));
+         let h = Mica_uarch.Hw_counters.create () in
+         run (Mica_uarch.Hw_counters.sink h);
+         Sys.opaque_identity h))
+
+(* ablation: trace generation alone (the floor under every measurement) *)
+let t_generation_only =
+  Test.make ~name:"ablation_trace_generation_only"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         let sink = Mica_trace.Sink.make ~name:"null" (fun _ -> ()) in
+         Sys.opaque_identity
+           (Mica_trace.Generator.run w.W.Workload.model ~icount:bench_icount ~sink)))
+
+(* ablation: GA seed sensitivity (determinism and robustness of Table IV) *)
+let t_ga_seed =
+  Test.make ~name:"ablation_ga_alternate_seed"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (E.run_ga ~config:ga_small ~seed:0xFEEDL (Lazy.force ctx))))
+
+(* PCA baseline (the prior-work method the paper improves on) *)
+let t_pca_baseline =
+  Test.make ~name:"baseline_pca_fit_transform"
+    (Staged.stage (fun () ->
+         let c = Lazy.force ctx in
+         let pca = Stats.Pca.fit c.E.Context.mica.Mica_core.Dataset.data in
+         Sys.opaque_identity (Stats.Pca.transform pca ~dims:8 c.E.Context.mica.Mica_core.Dataset.data)))
+
+(* extension benches: hierarchical clustering, phase analysis, spec
+   parsing, suite coverage *)
+
+let t_linkage =
+  Test.make ~name:"ext_linkage_dendrogram"
+    (Staged.stage (fun () ->
+         let c = Lazy.force ctx in
+         let reduced =
+           Mica_core.Dataset.select_features c.E.Context.mica [| 0; 9; 15; 20; 26; 31; 37; 43 |]
+         in
+         Sys.opaque_identity (Mica_core.Dendrogram.build reduced)))
+
+let t_phases =
+  Test.make ~name:"ext_phase_analysis"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         Sys.opaque_identity
+           (Mica_core.Phases.analyze ~interval:2_000 w.W.Workload.model ~icount:bench_icount)))
+
+let t_spec_parse =
+  Test.make ~name:"ext_spec_parse"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (W.Spec_file.parse W.Spec_file.example)))
+
+let t_coverage =
+  Test.make ~name:"ext_suite_coverage"
+    (Staged.stage (fun () ->
+         let c = Lazy.force ctx in
+         Sys.opaque_identity
+           (Mica_core.Coverage.suite_coverage c ~selected:[| 0; 9; 20; 26; 43 |])))
+
+let t_machines =
+  Test.make ~name:"ext_machine_fanout_4"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         Sys.opaque_identity
+           (Mica_uarch.Machine.measure_all Mica_uarch.Machine.presets w.W.Workload.model
+              ~icount:bench_icount)))
+
+let t_reuse =
+  Test.make ~name:"ext_reuse_distances"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         let r = Mica_analysis.Reuse.create () in
+         let (_ : int) =
+           Mica_trace.Generator.run w.W.Workload.model ~icount:bench_icount
+             ~sink:(Mica_analysis.Reuse.sink r)
+         in
+         Sys.opaque_identity (Mica_analysis.Reuse.mean_log2 r)))
+
+let t_simpoint =
+  Test.make ~name:"ext_simpoint_validate"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         Sys.opaque_identity (Mica_core.Simpoint.validate ~interval:2_000 w ~icount:bench_icount)))
+
+let t_bootstrap =
+  Test.make ~name:"ext_bootstrap_correlation"
+    (Staged.stage (fun () ->
+         let c = Lazy.force ctx in
+         let na = c.E.Context.mica_space.Mica_core.Space.normalized in
+         let nb = c.E.Context.hpc_space.Mica_core.Space.normalized in
+         let rng = Mica_util.Rng.create ~seed:0xB007L in
+         Sys.opaque_identity
+           (Stats.Bootstrap.interval ~replicates:20 ~rng ~n:(Array.length na)
+              (Stats.Bootstrap.pair_distance_statistic ~normalized_a:na ~normalized_b:nb
+                 Stats.Correlation.pearson))))
+
+let t_extended =
+  Test.make ~name:"ext_extended_characterize"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sample_workload in
+         Sys.opaque_identity
+           (Mica_analysis.Extended.analyze w.W.Workload.model ~icount:bench_icount)))
+
+let tests =
+  [
+    t_table1; t_table2; t_characterize; t_counters; t_fig1; t_table3; t_fig2; t_fig3; t_fig4;
+    t_fig5_ce; t_table4_ga; t_fig6; t_cost_full; t_cost_reduced; t_ablation_fused;
+    t_ablation_multipass; t_generation_only; t_ga_seed; t_pca_baseline; t_linkage; t_phases;
+    t_spec_parse; t_coverage; t_machines; t_reuse; t_simpoint; t_bootstrap; t_extended;
+  ]
+
+(* ---------------- driver ---------------- *)
+
+let run_test test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  results
+
+let () =
+  (* force the context outside timing so the first test is not charged *)
+  Printf.printf "preparing context (%d workloads, %d instrs each; cached across runs)...\n%!"
+    W.Registry.count bench_icount;
+  ignore (Lazy.force ctx);
+  Printf.printf "%-36s %16s %10s\n" "benchmark" "time/run" "r^2";
+  print_endline (String.make 64 '-');
+  List.iter
+    (fun test ->
+      let results = run_test test in
+      Hashtbl.iter
+        (fun name ols ->
+          let estimate =
+            match Analyze.OLS.estimates ols with Some [ e ] -> e | Some _ | None -> nan
+          in
+          let r2 = Option.value (Analyze.OLS.r_square ols) ~default:nan in
+          let pretty =
+            if estimate > 1e9 then Printf.sprintf "%8.3f  s" (estimate /. 1e9)
+            else if estimate > 1e6 then Printf.sprintf "%8.3f ms" (estimate /. 1e6)
+            else if estimate > 1e3 then Printf.sprintf "%8.3f us" (estimate /. 1e3)
+            else Printf.sprintf "%8.0f ns" estimate
+          in
+          Printf.printf "%-36s %16s %10.4f\n%!" name pretty r2)
+        results)
+    tests

@@ -1,0 +1,1 @@
+bin/repro_experiments.ml: Array Filename Fun Lazy List Logs Logs_fmt Mica_core Mica_select Mica_stats Mica_util Mica_workloads Option Printf String Sys

@@ -1,0 +1,605 @@
+(* mica: command-line interface to the MICA workload-characterization
+   library.
+
+   Subcommands:
+     list          enumerate the 122 benchmark models
+     characterize  print the 47-characteristic MICA vector of a workload
+     counters      print the 7 hardware-counter metrics of a workload
+     compare       Figures 2/3-style comparison of two workloads
+     distance      pairwise distance between two workloads in both spaces
+     classify      Table III quadrant fractions
+     select-ga     run the genetic algorithm feature selection
+     select-ce     run correlation elimination
+     cluster       Figure 6-style clustering on key characteristics
+     kiviat        kiviat plot of one workload over selected characteristics *)
+
+open Cmdliner
+
+module E = Mica_core.Experiments
+module Select = Mica_select
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
+
+(* ---------------- common options ---------------- *)
+
+let icount =
+  let doc = "Dynamic instructions to generate per workload trace." in
+  Arg.(value & opt int 200_000 & info [ "icount"; "n" ] ~docv:"N" ~doc)
+
+let no_cache =
+  let doc = "Do not read or write the characterization cache." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let verbose =
+  let doc = "Verbose logging." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let config_of icount no_cache verbose =
+  setup_logs verbose;
+  {
+    Mica_core.Pipeline.default_config with
+    icount;
+    cache_dir = (if no_cache then None else Mica_core.Pipeline.default_config.cache_dir);
+    progress = true;
+  }
+
+let config_term = Term.(const config_of $ icount $ no_cache $ verbose)
+
+let workload_arg p =
+  let doc = "Workload identifier, e.g. 'SPEC2000/bzip2/graphic' or 'blast'." in
+  Arg.(required & pos p (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let resolve name =
+  match Mica_workloads.Registry.find name with
+  | Some w -> w
+  | None -> (
+    match Mica_workloads.Registry.matching name with
+    | [ w ] -> w
+    | [] ->
+      Printf.eprintf "error: no workload matches %S (try 'mica list')\n" name;
+      exit 2
+    | many ->
+      Printf.eprintf "error: %S is ambiguous; candidates:\n" name;
+      List.iter (fun w -> Printf.eprintf "  %s\n" (Mica_workloads.Workload.id w)) many;
+      exit 2)
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let suite_filter =
+    let doc = "Only list this suite." in
+    Arg.(value & opt (some string) None & info [ "suite" ] ~docv:"SUITE" ~doc)
+  in
+  let run suite =
+    let workloads =
+      match suite with
+      | None -> Mica_workloads.Registry.all
+      | Some s -> (
+        match Mica_workloads.Suite.of_name s with
+        | Some suite -> Mica_workloads.Registry.by_suite suite
+        | None ->
+          Printf.eprintf "error: unknown suite %S\n" s;
+          exit 2)
+    in
+    List.iter
+      (fun (w : Mica_workloads.Workload.t) ->
+        Printf.printf "%-55s %10dM instrs\n" (Mica_workloads.Workload.id w)
+          w.Mica_workloads.Workload.icount_millions)
+      workloads;
+    Printf.printf "%d workloads\n" (List.length workloads)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark models (Table I).")
+    Term.(const run $ suite_filter)
+
+(* ---------------- characterize ---------------- *)
+
+let characterize_cmd =
+  let run config name =
+    let w = resolve name in
+    let mica, _ = Mica_core.Pipeline.characterize config w in
+    Printf.printf "MICA characteristics of %s (%d instructions):\n"
+      (Mica_workloads.Workload.id w) config.Mica_core.Pipeline.icount;
+    Array.iteri
+      (fun i v ->
+        Printf.printf "%2d  %-12s %14.6f  %s\n" (i + 1)
+          Mica_analysis.Characteristics.short_names.(i)
+          v
+          Mica_analysis.Characteristics.names.(i))
+      mica
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Measure the 47 microarchitecture-independent characteristics of a workload.")
+    Term.(const run $ config_term $ workload_arg 0)
+
+(* ---------------- counters ---------------- *)
+
+let counters_cmd =
+  let run config name =
+    let w = resolve name in
+    let _, hpc = Mica_core.Pipeline.characterize config w in
+    Printf.printf "hardware performance counters of %s (%d instructions):\n"
+      (Mica_workloads.Workload.id w) config.Mica_core.Pipeline.icount;
+    Array.iteri
+      (fun i v ->
+        Printf.printf "  %-10s %10.6f  %s\n"
+          Mica_uarch.Hw_counters.short_names.(i)
+          v
+          Mica_uarch.Hw_counters.names.(i))
+      hpc
+  in
+  Cmd.v
+    (Cmd.info "counters"
+       ~doc:"Measure the hardware-performance-counter metrics of a workload.")
+    Term.(const run $ config_term $ workload_arg 0)
+
+(* ---------------- compare ---------------- *)
+
+let compare_cmd =
+  let space =
+    let doc = "Which characteristics to compare: 'mica' (Fig. 3) or 'hpc' (Fig. 2)." in
+    Arg.(value & opt (enum [ ("mica", `Mica); ("hpc", `Hpc) ]) `Mica & info [ "space" ] ~doc)
+  in
+  let run config a b space =
+    let wa = resolve a and wb = resolve b in
+    let ctx = E.Context.load ~config () in
+    let ida = Mica_workloads.Workload.id wa and idb = Mica_workloads.Workload.id wb in
+    let cmp =
+      match space with
+      | `Mica -> E.fig3 ~a:ida ~b:idb ctx
+      | `Hpc -> E.fig2 ~a:ida ~b:idb ctx
+    in
+    print_string (Mica_core.Case_study.render cmp)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare two workloads characteristic by characteristic.")
+    Term.(const run $ config_term $ workload_arg 0 $ workload_arg 1 $ space)
+
+(* ---------------- distance ---------------- *)
+
+let distance_cmd =
+  let run config a b =
+    let wa = resolve a and wb = resolve b in
+    let ctx = E.Context.load ~config () in
+    let ida = Mica_workloads.Workload.id wa and idb = Mica_workloads.Workload.id wb in
+    let dm = Mica_core.Space.distance_by_name ctx.E.Context.mica_space ida idb in
+    let dh = Mica_core.Space.distance_by_name ctx.E.Context.hpc_space ida idb in
+    Printf.printf "%s vs %s\n" ida idb;
+    Printf.printf "  MICA-space distance: %8.4f  (max over all pairs: %.4f)\n" dm
+      (Mica_core.Space.max_distance ctx.E.Context.mica_space);
+    Printf.printf "  HPC-space distance:  %8.4f  (max over all pairs: %.4f)\n" dh
+      (Mica_core.Space.max_distance ctx.E.Context.hpc_space)
+  in
+  Cmd.v
+    (Cmd.info "distance"
+       ~doc:"Distance between two workloads in the MICA and counter spaces.")
+    Term.(const run $ config_term $ workload_arg 0 $ workload_arg 1)
+
+(* ---------------- classify ---------------- *)
+
+let classify_cmd =
+  let frac =
+    let doc = "Threshold as a fraction of the maximum distance." in
+    Arg.(value & opt float 0.2 & info [ "threshold" ] ~docv:"FRAC" ~doc)
+  in
+  let run config frac =
+    let ctx = E.Context.load ~config () in
+    let counts = E.table3 ~frac ctx in
+    print_string (E.render_table3 counts)
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify all benchmark tuples (Table III).")
+    Term.(const run $ config_term $ frac)
+
+(* ---------------- select-ga ---------------- *)
+
+let select_ga_cmd =
+  let seed =
+    let doc = "Random seed for the genetic algorithm." in
+    Arg.(value & opt int64 0x6A5EEDL & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let generations =
+    let doc = "Maximum generations." in
+    Arg.(
+      value
+      & opt int Select.Genetic.default_config.Select.Genetic.max_generations
+      & info [ "generations" ] ~docv:"G" ~doc)
+  in
+  let run config seed generations =
+    let ctx = E.Context.load ~config () in
+    let ga_config =
+      { Select.Genetic.default_config with Select.Genetic.max_generations = generations }
+    in
+    let ga = E.run_ga ~config:ga_config ~seed ctx in
+    print_string (E.render_table4 ga)
+  in
+  Cmd.v
+    (Cmd.info "select-ga"
+       ~doc:"Select key characteristics with the genetic algorithm (Table IV).")
+    Term.(const run $ config_term $ seed $ generations)
+
+(* ---------------- select-ce ---------------- *)
+
+let select_ce_cmd =
+  let keep =
+    let doc = "Print the subset retained at this size." in
+    Arg.(value & opt int 8 & info [ "keep" ] ~docv:"K" ~doc)
+  in
+  let run config keep =
+    let ctx = E.Context.load ~config () in
+    let steps = E.run_ce ctx in
+    List.iter
+      (fun (s : Select.Correlation_elimination.step) ->
+        Printf.printf "remove %-12s (avg |r| %.3f) -> %2d left, rho %.3f\n"
+          Mica_analysis.Characteristics.short_names.(s.Select.Correlation_elimination.removed)
+          s.Select.Correlation_elimination.avg_abs_corr
+          (Array.length s.Select.Correlation_elimination.remaining)
+          s.Select.Correlation_elimination.rho)
+      steps;
+    match Select.Correlation_elimination.subset_of_size steps keep with
+    | subset ->
+      Printf.printf "\nretained at %d:\n" keep;
+      Array.iter (fun c -> Printf.printf "  %s\n" Mica_analysis.Characteristics.names.(c)) subset
+    | exception Not_found -> ()
+  in
+  Cmd.v
+    (Cmd.info "select-ce" ~doc:"Reduce characteristics by correlation elimination.")
+    Term.(const run $ config_term $ keep)
+
+(* ---------------- cluster ---------------- *)
+
+let cluster_cmd =
+  let k_max =
+    let doc = "Maximum K for the BIC sweep." in
+    Arg.(value & opt int 70 & info [ "k-max" ] ~docv:"K" ~doc)
+  in
+  let all_chars =
+    let doc = "Cluster on all 47 characteristics instead of the GA-selected key ones." in
+    Arg.(value & flag & info [ "all-characteristics" ] ~doc)
+  in
+  let run config k_max all_chars =
+    let ctx = E.Context.load ~config () in
+    let selected =
+      if all_chars then Array.init Mica_analysis.Characteristics.count Fun.id
+      else (E.run_ga ctx).Select.Genetic.selected
+    in
+    let f = E.fig6 ~k_max ctx ~selected in
+    print_string (E.render_fig6 f)
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc:"Cluster all workloads on key characteristics (Figure 6).")
+    Term.(const run $ config_term $ k_max $ all_chars)
+
+(* ---------------- kiviat ---------------- *)
+
+let kiviat_cmd =
+  let run config name =
+    let w = resolve name in
+    let ctx = E.Context.load ~config () in
+    let ga = E.run_ga ctx in
+    let reduced =
+      Mica_core.Dataset.select_features ctx.E.Context.mica ga.Select.Genetic.selected
+    in
+    let unit = Mica_stats.Normalize.unit_range reduced.Mica_core.Dataset.data in
+    match Mica_core.Dataset.row_index reduced (Mica_workloads.Workload.id w) with
+    | None ->
+      Printf.eprintf "error: workload missing from dataset\n";
+      exit 1
+    | Some i ->
+      Printf.printf "%s over the key characteristics (unit-scaled):\n"
+        (Mica_workloads.Workload.id w);
+      print_string
+        (Mica_core.Kiviat.text ~axes:reduced.Mica_core.Dataset.features ~values:unit.(i))
+  in
+  Cmd.v
+    (Cmd.info "kiviat" ~doc:"Kiviat view of one workload over the key characteristics.")
+    Term.(const run $ config_term $ workload_arg 0)
+
+(* ---------------- place ---------------- *)
+
+let place_cmd =
+  let spec_file =
+    let doc = "Workload spec file (see Mica_workloads.Spec_file for the format)." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc)
+  in
+  let example =
+    let doc = "Print an example spec file and exit." in
+    Arg.(value & flag & info [ "example" ] ~doc)
+  in
+  let run config spec_file example =
+    if example then print_string Mica_workloads.Spec_file.example
+    else
+      let spec_file =
+        match spec_file with
+        | Some f -> f
+        | None ->
+          Printf.eprintf "error: SPEC argument required (or use --example)\n";
+          exit 2
+      in
+      match Mica_workloads.Spec_file.load spec_file with
+      | Error msg ->
+        Printf.eprintf "error: %s: %s\n" spec_file msg;
+        exit 2
+      | Ok program ->
+        Printf.printf "characterizing %s (%d instructions)...\n%!" program.Mica_trace.Program.name
+          config.Mica_core.Pipeline.icount;
+        let vector =
+          Mica_analysis.Analyzer.analyze program ~icount:config.Mica_core.Pipeline.icount
+        in
+        let ctx = E.Context.load ~config () in
+        let space = ctx.E.Context.mica_space in
+        let distances = Mica_core.Space.distances_from space vector in
+        let order = Array.init (Array.length distances) Fun.id in
+        Array.sort (fun a b -> compare distances.(a) distances.(b)) order;
+        Printf.printf "nearest benchmarks in the inherent-behaviour space:\n";
+        for rank = 0 to min 9 (Array.length order - 1) do
+          let i = order.(rank) in
+          Printf.printf "  %2d. %-45s %8.3f\n" (rank + 1)
+            ctx.E.Context.mica.Mica_core.Dataset.names.(i)
+            distances.(i)
+        done;
+        let max_d = Mica_core.Space.max_distance space in
+        Printf.printf "(20%% similarity threshold: %.3f)\n" (0.2 *. max_d)
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:"Characterize a custom workload spec and place it among the 122 benchmarks.")
+    Term.(const run $ config_term $ spec_file $ example)
+
+(* ---------------- dendrogram ---------------- *)
+
+let dendrogram_cmd =
+  let cut =
+    let doc = "Also print the clusters obtained by cutting into K groups." in
+    Arg.(value & opt (some int) None & info [ "cut" ] ~docv:"K" ~doc)
+  in
+  let all_chars =
+    let doc = "Use all 47 characteristics instead of the GA-selected key ones." in
+    Arg.(value & flag & info [ "all-characteristics" ] ~doc)
+  in
+  let run config cut all_chars =
+    let ctx = E.Context.load ~config () in
+    let dataset =
+      if all_chars then ctx.E.Context.mica
+      else
+        Mica_core.Dataset.select_features ctx.E.Context.mica
+          (E.run_ga ctx).Select.Genetic.selected
+    in
+    let d = Mica_core.Dendrogram.build dataset in
+    print_string (Mica_core.Dendrogram.render ~max_depth:7 d);
+    match cut with
+    | None -> ()
+    | Some k ->
+      Printf.printf "\ncut into %d clusters:\n" k;
+      List.iter
+        (fun (c, members) ->
+          Printf.printf "cluster %d (%d):\n" (c + 1) (Array.length members);
+          Array.iter (fun m -> Printf.printf "  %s\n" m) members)
+        (Mica_core.Dendrogram.clusters_at d ~k)
+  in
+  Cmd.v
+    (Cmd.info "dendrogram"
+       ~doc:"Hierarchical clustering view of benchmark similarity (prior-work style).")
+    Term.(const run $ config_term $ cut $ all_chars)
+
+(* ---------------- phases ---------------- *)
+
+let phases_cmd =
+  let interval =
+    let doc = "Instructions per phase-analysis interval." in
+    Arg.(value & opt int 10_000 & info [ "interval" ] ~docv:"N" ~doc)
+  in
+  let run config name interval =
+    let w = resolve name in
+    let t =
+      Mica_core.Phases.analyze ~interval w.Mica_workloads.Workload.model
+        ~icount:config.Mica_core.Pipeline.icount
+    in
+    Printf.printf "phase analysis of %s:\n%s" (Mica_workloads.Workload.id w)
+      (Mica_core.Phases.render t)
+  in
+  Cmd.v
+    (Cmd.info "phases"
+       ~doc:"SimPoint-style phase classification of one workload's execution.")
+    Term.(const run $ config_term $ workload_arg 0 $ interval)
+
+(* ---------------- pca ---------------- *)
+
+let pca_cmd =
+  let run config =
+    let ctx = E.Context.load ~config () in
+    let ga = E.run_ga ctx in
+    print_string (Mica_core.Pca_comparison.render (Mica_core.Pca_comparison.run ctx ~ga))
+  in
+  Cmd.v
+    (Cmd.info "pca" ~doc:"Compare the PCA prior-work baseline against the GA selection.")
+    Term.(const run $ config_term)
+
+(* ---------------- subset ---------------- *)
+
+let subset_cmd =
+  let k =
+    let doc = "Size of the reduced benchmark suite." in
+    Arg.(value & opt int 15 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let run config k =
+    let ctx = E.Context.load ~config () in
+    let ga = E.run_ga ctx in
+    let reduced =
+      Mica_core.Dataset.select_features ctx.E.Context.mica ga.Select.Genetic.selected
+    in
+    let space = Mica_core.Space.of_dataset reduced in
+    let t = Mica_core.Subsetting.k_center space ~k in
+    print_string (Mica_core.Subsetting.render space t)
+  in
+  Cmd.v
+    (Cmd.info "subset" ~doc:"Pick a reduced benchmark suite that covers the workload space.")
+    Term.(const run $ config_term $ k)
+
+(* ---------------- predict ---------------- *)
+
+let predict_cmd =
+  let k =
+    let doc = "Number of nearest neighbours." in
+    Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let run config k =
+    let ctx = E.Context.load ~config () in
+    print_string (Mica_core.Prediction.render (Mica_core.Prediction.evaluate_counters ~k ctx))
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Leave-one-out machine-metric prediction from inherent similarity.")
+    Term.(const run $ config_term $ k)
+
+(* ---------------- dump-trace / characterize-trace ---------------- *)
+
+let format_arg =
+  let doc = "Trace format: 'text' or 'binary'." in
+  Arg.(value & opt (enum [ ("text", `Text); ("binary", `Binary) ]) `Text & info [ "format" ] ~doc)
+
+let dump_trace_cmd =
+  let output =
+    let doc = "Output file." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run config name output format =
+    let w = resolve name in
+    let icount = config.Mica_core.Pipeline.icount in
+    let n =
+      match format with
+      | `Text -> Mica_trace.Trace_io.write_text ~path:output w.Mica_workloads.Workload.model ~icount
+      | `Binary ->
+        Mica_trace.Trace_io.write_binary ~path:output w.Mica_workloads.Workload.model ~icount
+    in
+    Printf.printf "wrote %d instructions of %s to %s\n" n (Mica_workloads.Workload.id w) output
+  in
+  Cmd.v
+    (Cmd.info "dump-trace" ~doc:"Record a workload's dynamic instruction trace to a file.")
+    Term.(const run $ config_term $ workload_arg 0 $ output $ format_arg)
+
+let characterize_trace_cmd =
+  let input =
+    let doc = "Trace file recorded with dump-trace." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let run input format =
+    let analyzer = Mica_analysis.Analyzer.create () in
+    let sink = Mica_analysis.Analyzer.sink analyzer in
+    let n =
+      match format with
+      | `Text -> Mica_trace.Trace_io.replay_text ~path:input ~sink
+      | `Binary -> Mica_trace.Trace_io.replay_binary ~path:input ~sink
+    in
+    Printf.printf "MICA characteristics from %s (%d recorded instructions):\n" input n;
+    Array.iteri
+      (fun i v ->
+        Printf.printf "%2d  %-12s %14.6f\n" (i + 1)
+          Mica_analysis.Characteristics.short_names.(i)
+          v)
+      (Mica_analysis.Analyzer.vector analyzer)
+  in
+  Cmd.v
+    (Cmd.info "characterize-trace"
+       ~doc:"Measure the 47 characteristics from a recorded trace file.")
+    Term.(const run $ input $ format_arg)
+
+(* ---------------- machines / locality / simpoint ---------------- *)
+
+let machines_cmd =
+  let run config =
+    let ctx = E.Context.load ~config () in
+    print_string (Mica_core.Machines.render (Mica_core.Machines.run ctx))
+  in
+  Cmd.v
+    (Cmd.info "machines"
+       ~doc:"Test whether counter-based similarity transfers across machine models.")
+    Term.(const run $ config_term)
+
+let locality_cmd =
+  let run config =
+    let ctx = E.Context.load ~config () in
+    print_string (Mica_core.Locality.render (Mica_core.Locality.run ctx))
+  in
+  Cmd.v
+    (Cmd.info "locality" ~doc:"Temporal-locality (reuse distance) comparison across suites.")
+    Term.(const run $ config_term)
+
+let simpoint_cmd =
+  let interval =
+    let doc = "Instructions per interval." in
+    Arg.(value & opt int 10_000 & info [ "interval" ] ~docv:"N" ~doc)
+  in
+  let run config name interval =
+    let w = resolve name in
+    let t = Mica_core.Simpoint.validate ~interval w ~icount:config.Mica_core.Pipeline.icount in
+    print_string (Mica_core.Simpoint.render [ (Mica_workloads.Workload.id w, t) ])
+  in
+  Cmd.v
+    (Cmd.info "simpoint"
+       ~doc:"Validate SimPoint-style sampled simulation on one workload.")
+    Term.(const run $ config_term $ workload_arg 0 $ interval)
+
+(* ---------------- export ---------------- *)
+
+let export_cmd =
+  let out_dir =
+    let doc = "Directory for the exported CSV datasets." in
+    Arg.(value & opt string "results" & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let run config out_dir =
+    let ctx = E.Context.load ~config () in
+    let rec mkdir_p dir =
+      if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+        mkdir_p (Filename.dirname dir);
+        try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+      end
+    in
+    mkdir_p out_dir;
+    let mica_path = Filename.concat out_dir "mica_dataset.csv" in
+    let hpc_path = Filename.concat out_dir "hpc_dataset.csv" in
+    Mica_core.Dataset.to_csv ctx.E.Context.mica mica_path;
+    Mica_core.Dataset.to_csv ctx.E.Context.hpc hpc_path;
+    Printf.printf "wrote %s (%dx%d) and %s (%dx%d)\n" mica_path
+      (Mica_core.Dataset.rows ctx.E.Context.mica)
+      (Mica_core.Dataset.cols ctx.E.Context.mica)
+      hpc_path
+      (Mica_core.Dataset.rows ctx.E.Context.hpc)
+      (Mica_core.Dataset.cols ctx.E.Context.hpc)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export the MICA and counter datasets as CSV.")
+    Term.(const run $ config_term $ out_dir)
+
+let main =
+  let doc = "microarchitecture-independent workload characterization (MICA)" in
+  Cmd.group
+    (Cmd.info "mica" ~version:"1.0.0" ~doc)
+    [
+      list_cmd;
+      characterize_cmd;
+      counters_cmd;
+      compare_cmd;
+      distance_cmd;
+      classify_cmd;
+      select_ga_cmd;
+      select_ce_cmd;
+      cluster_cmd;
+      kiviat_cmd;
+      place_cmd;
+      dendrogram_cmd;
+      phases_cmd;
+      pca_cmd;
+      subset_cmd;
+      predict_cmd;
+      dump_trace_cmd;
+      characterize_trace_cmd;
+      machines_cmd;
+      locality_cmd;
+      simpoint_cmd;
+      export_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

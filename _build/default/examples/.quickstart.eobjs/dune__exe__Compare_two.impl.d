@@ -1,0 +1,1 @@
+examples/compare_two.ml: Array Mica_core Mica_workloads Printf Sys

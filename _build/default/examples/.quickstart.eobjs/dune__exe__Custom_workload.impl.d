@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Array Fun Mica_analysis Mica_core Mica_trace Printf

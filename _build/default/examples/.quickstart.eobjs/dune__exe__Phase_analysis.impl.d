@@ -1,0 +1,1 @@
+examples/phase_analysis.ml: Array Mica_core Mica_workloads Printf Sys

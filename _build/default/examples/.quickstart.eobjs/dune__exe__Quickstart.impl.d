@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Mica_analysis Mica_core Mica_uarch Mica_workloads Printf

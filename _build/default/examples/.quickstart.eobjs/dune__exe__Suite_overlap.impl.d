@@ -1,0 +1,1 @@
+examples/suite_overlap.ml: Array List Mica_analysis Mica_core Mica_select Mica_workloads Printf String Sys

@@ -1,0 +1,1 @@
+examples/suite_overlap.mli:

@@ -1,0 +1,31 @@
+(* SimPoint-style phase analysis of a workload (related work the paper
+   builds on: Sherwood et al., Lau et al.).
+
+   Collects basic-block vectors per interval, clusters intervals with
+   k-means + BIC, and prints the phase timeline, per-phase weights and
+   representative intervals — the information SimPoint uses to pick
+   simulation points.
+
+     dune exec examples/phase_analysis.exe [WORKLOAD]   (default: gcc/166) *)
+
+let () =
+  let name = if Array.length Sys.argv >= 2 then Sys.argv.(1) else "gcc/166" in
+  let w =
+    match Mica_workloads.Registry.find name with
+    | Some w -> w
+    | None -> (
+      match Mica_workloads.Registry.matching name with
+      | [ w ] -> w
+      | _ ->
+        Printf.eprintf "unknown or ambiguous workload %S\n" name;
+        exit 2)
+  in
+  let icount = 400_000 and interval = 10_000 in
+  Printf.printf "phase analysis of %s (%d instructions, %d-instruction intervals)\n\n"
+    (Mica_workloads.Workload.id w) icount interval;
+  let t = Mica_core.Phases.analyze ~interval w.Mica_workloads.Workload.model ~icount in
+  print_string (Mica_core.Phases.render t);
+  print_endline
+    "\nintervals sharing a letter execute similar code (similar basic-block vectors);\n\
+     simulating only each phase's representative interval, weighted by phase size,\n\
+     approximates whole-program behaviour at a fraction of the cost."

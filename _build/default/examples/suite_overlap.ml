@@ -1,0 +1,77 @@
+(* Does an emerging benchmark suite add anything beyond SPEC CPU2000?
+
+   This is the paper's motivating question (section VI).  For every
+   benchmark of the chosen suite we find its nearest SPEC CPU2000
+   benchmark in the key-characteristic space; benchmarks whose nearest
+   SPEC neighbour is far away represent genuinely new behaviour that SPEC
+   does not cover.
+
+     dune exec examples/suite_overlap.exe [SUITE]    (default: BioInfoMark) *)
+
+module E = Mica_core.Experiments
+module W = Mica_workloads
+
+let () =
+  let suite =
+    if Array.length Sys.argv >= 2 then
+      match W.Suite.of_name Sys.argv.(1) with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "unknown suite %s\n" Sys.argv.(1);
+        exit 2
+    else W.Suite.BioInfoMark
+  in
+  Printf.printf "loading the 122-benchmark space (cached after the first run)...\n%!";
+  let ctx = E.Context.load () in
+  Printf.printf "selecting key characteristics with the genetic algorithm...\n%!";
+  let ga = E.run_ga ctx in
+  let selected = ga.Mica_select.Genetic.selected in
+  Printf.printf "key characteristics: %s\n\n"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map (fun c -> Mica_analysis.Characteristics.short_names.(c)) selected)));
+
+  (* distances in the reduced space *)
+  let reduced = Mica_core.Dataset.select_features ctx.E.Context.mica selected in
+  let space = Mica_core.Space.of_dataset reduced in
+  let name i = reduced.Mica_core.Dataset.names.(i) in
+  let is_spec i =
+    String.length (name i) >= 8 && String.sub (name i) 0 8 = "SPEC2000"
+  in
+  let n = Mica_core.Space.n space in
+  let suite_prefix = W.Suite.name suite ^ "/" in
+  let in_suite i =
+    String.length (name i) >= String.length suite_prefix
+    && String.sub (name i) 0 (String.length suite_prefix) = suite_prefix
+  in
+  let max_d = Mica_core.Space.max_distance space in
+
+  Printf.printf "%-45s %-35s %9s\n" (W.Suite.name suite ^ " benchmark") "nearest SPEC CPU2000"
+    "distance";
+  print_endline (String.make 95 '-');
+  let rows = ref [] in
+  for i = 0 to n - 1 do
+    if in_suite i then begin
+      let best = ref (-1) and best_d = ref infinity in
+      for j = 0 to n - 1 do
+        if is_spec j then begin
+          let d = Mica_core.Space.distance space i j in
+          if d < !best_d then begin
+            best_d := d;
+            best := j
+          end
+        end
+      done;
+      rows := (name i, name !best, !best_d) :: !rows
+    end
+  done;
+  let rows = List.sort (fun (_, _, a) (_, _, b) -> compare b a) !rows in
+  List.iter
+    (fun (bench, spec, d) ->
+      let marker = if d > 0.2 *. max_d then "  <- new behaviour" else "" in
+      Printf.printf "%-45s %-35s %9.3f%s\n" bench spec d marker)
+    rows;
+  Printf.printf
+    "\n(distances above %.3f — 20%% of the maximum pair distance — mark benchmarks whose\n\
+     behaviour SPEC CPU2000 does not cover)\n"
+    (0.2 *. max_d)

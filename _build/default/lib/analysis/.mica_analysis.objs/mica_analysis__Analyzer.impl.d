@@ -1,0 +1,1 @@
+lib/analysis/analyzer.ml: Array Characteristics Ilp Mica_trace Mix Ppm Regtraffic Strides Working_set

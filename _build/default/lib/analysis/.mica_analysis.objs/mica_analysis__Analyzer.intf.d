@@ -1,0 +1,1 @@
+lib/analysis/analyzer.mli: Mica_trace Mix Regtraffic Strides Working_set

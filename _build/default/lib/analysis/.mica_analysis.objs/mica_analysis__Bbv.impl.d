@@ -1,0 +1,1 @@
+lib/analysis/bbv.ml: Array Hashtbl List Mica_isa Mica_trace Mica_util Option

@@ -1,0 +1,1 @@
+lib/analysis/bbv.mli: Mica_trace

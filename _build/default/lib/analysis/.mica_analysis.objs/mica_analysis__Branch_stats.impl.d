@@ -1,0 +1,1 @@
+lib/analysis/branch_stats.ml: Hashtbl Mica_isa Mica_trace

@@ -1,0 +1,1 @@
+lib/analysis/branch_stats.mli: Mica_trace

@@ -1,0 +1,1 @@
+lib/analysis/characteristics.ml: Array Format

@@ -1,0 +1,1 @@
+lib/analysis/characteristics.mli: Format

@@ -1,0 +1,1 @@
+lib/analysis/extended.ml: Analyzer Array Branch_stats Characteristics Mica_trace Printf Reuse

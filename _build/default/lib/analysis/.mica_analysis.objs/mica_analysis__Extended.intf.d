@@ -1,0 +1,1 @@
+lib/analysis/extended.mli: Mica_trace

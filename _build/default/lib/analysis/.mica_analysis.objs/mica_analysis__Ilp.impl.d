@@ -1,0 +1,1 @@
+lib/analysis/ilp.ml: Array Mica_isa Mica_trace

@@ -1,0 +1,1 @@
+lib/analysis/ilp.mli: Mica_trace

@@ -1,0 +1,1 @@
+lib/analysis/mix.ml: Mica_isa Mica_trace

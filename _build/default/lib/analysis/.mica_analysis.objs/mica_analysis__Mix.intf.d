@@ -1,0 +1,1 @@
+lib/analysis/mix.mli: Mica_trace

@@ -1,0 +1,1 @@
+lib/analysis/ppm.ml: Array Bool Hashtbl List Mica_isa Mica_trace

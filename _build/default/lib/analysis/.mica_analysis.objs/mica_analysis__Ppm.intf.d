@@ -1,0 +1,1 @@
+lib/analysis/ppm.mli: Mica_trace

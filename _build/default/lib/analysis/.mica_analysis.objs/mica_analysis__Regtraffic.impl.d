@@ -1,0 +1,1 @@
+lib/analysis/regtraffic.ml: Array Mica_isa Mica_trace

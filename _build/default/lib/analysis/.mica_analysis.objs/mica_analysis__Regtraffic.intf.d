@@ -1,0 +1,1 @@
+lib/analysis/regtraffic.mli: Mica_trace

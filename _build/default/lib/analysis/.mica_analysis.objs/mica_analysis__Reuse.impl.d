@@ -1,0 +1,1 @@
+lib/analysis/reuse.ml: Array Hashtbl Mica_isa Mica_trace Option

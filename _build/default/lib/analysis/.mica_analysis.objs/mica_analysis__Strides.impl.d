@@ -1,0 +1,1 @@
+lib/analysis/strides.ml: Array Hashtbl Mica_isa Mica_trace

@@ -1,0 +1,1 @@
+lib/analysis/strides.mli: Mica_trace

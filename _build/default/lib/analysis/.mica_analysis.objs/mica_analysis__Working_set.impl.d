@@ -1,0 +1,1 @@
+lib/analysis/working_set.ml: Hashtbl Mica_isa Mica_trace

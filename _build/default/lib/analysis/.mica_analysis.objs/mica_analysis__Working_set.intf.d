@@ -1,0 +1,1 @@
+lib/analysis/working_set.mli: Mica_trace

@@ -1,0 +1,59 @@
+type t = {
+  mix : Mix.t;
+  ilp : Ilp.t;
+  regtraffic : Regtraffic.t;
+  working_set : Working_set.t;
+  strides : Strides.t;
+  ppm : Ppm.t;
+}
+
+let create ?(ppm_order = 8) ?ilp_windows () =
+  {
+    mix = Mix.create ();
+    ilp = Ilp.create ?windows:ilp_windows ();
+    regtraffic = Regtraffic.create ();
+    working_set = Working_set.create ();
+    strides = Strides.create ();
+    ppm = Ppm.create ~order:ppm_order ();
+  }
+
+let sink t =
+  Mica_trace.Sink.fanout
+    [
+      Mix.sink t.mix;
+      Ilp.sink t.ilp;
+      Regtraffic.sink t.regtraffic;
+      Working_set.sink t.working_set;
+      Strides.sink t.strides;
+      Ppm.sink t.ppm;
+    ]
+
+let mix t = Mix.result t.mix
+let ilp_ipc t = Ilp.ipc t.ilp
+let regtraffic t = Regtraffic.result t.regtraffic
+let working_set t = Working_set.result t.working_set
+let strides t = Strides.result t.strides
+let ppm_miss_rates t = Ppm.to_vector t.ppm
+let instructions t = Ilp.instructions t.ilp
+
+let vector t =
+  let v =
+    Array.concat
+      [
+        Mix.to_vector (mix t);
+        ilp_ipc t;
+        Regtraffic.to_vector (regtraffic t);
+        Working_set.to_vector (working_set t);
+        Strides.to_vector (strides t);
+        ppm_miss_rates t;
+      ]
+  in
+  assert (Array.length v = Characteristics.count);
+  v
+
+let analyze_full ?ppm_order program ~icount =
+  let t = create ?ppm_order () in
+  let (_ : int) = Mica_trace.Generator.run program ~icount ~sink:(sink t) in
+  t
+
+let analyze ?ppm_order program ~icount = vector (analyze_full ?ppm_order program ~icount)

@@ -1,0 +1,62 @@
+module Opcode = Mica_isa.Opcode
+module Instr = Mica_isa.Instr
+
+type per_branch = { mutable execs : int; mutable taken : int; mutable last : bool; mutable transitions : int }
+
+type t = {
+  table : (int, per_branch) Hashtbl.t;
+  mutable branches : int;
+  mutable taken_total : int;
+  mutable transitions_total : int;
+  mutable with_history : int;  (** executions that had a previous outcome *)
+}
+
+type result = {
+  conditional_branches : int;
+  static_branches : int;
+  taken_rate : float;
+  transition_rate : float;
+  biased_static_fraction : float;
+}
+
+let create () =
+  { table = Hashtbl.create 512; branches = 0; taken_total = 0; transitions_total = 0; with_history = 0 }
+
+let sink t =
+  Mica_trace.Sink.make ~name:"branch_stats" (fun (ins : Instr.t) ->
+      if Opcode.is_cond_branch ins.op then begin
+        t.branches <- t.branches + 1;
+        if ins.taken then t.taken_total <- t.taken_total + 1;
+        match Hashtbl.find_opt t.table ins.pc with
+        | None ->
+          Hashtbl.add t.table ins.pc
+            { execs = 1; taken = (if ins.taken then 1 else 0); last = ins.taken; transitions = 0 }
+        | Some b ->
+          b.execs <- b.execs + 1;
+          if ins.taken then b.taken <- b.taken + 1;
+          t.with_history <- t.with_history + 1;
+          if b.last <> ins.taken then begin
+            b.transitions <- b.transitions + 1;
+            t.transitions_total <- t.transitions_total + 1
+          end;
+          b.last <- ins.taken
+      end)
+
+let result t =
+  let static = Hashtbl.length t.table in
+  let biased =
+    Hashtbl.fold
+      (fun _ b acc ->
+        let rate = float_of_int b.taken /. float_of_int (max 1 b.execs) in
+        if rate >= 0.9 || rate <= 0.1 then acc + 1 else acc)
+      t.table 0
+  in
+  {
+    conditional_branches = t.branches;
+    static_branches = static;
+    taken_rate = float_of_int t.taken_total /. float_of_int (max 1 t.branches);
+    transition_rate = float_of_int t.transitions_total /. float_of_int (max 1 t.with_history);
+    biased_static_fraction = float_of_int biased /. float_of_int (max 1 static);
+  }
+
+let to_vector r = [| r.taken_rate; r.transition_rate; r.biased_static_fraction |]

@@ -1,0 +1,28 @@
+(** Supplementary branch statistics.
+
+    Alongside the PPM predictability characteristics, the released MICA
+    tool reports simple microarchitecture-independent branch statistics;
+    this module provides the common ones:
+
+    - taken rate: fraction of conditional branches taken;
+    - transition rate: fraction of executions where a branch's outcome
+      differs from its own previous outcome (Haungs et al.) — 0 for
+      constant branches, 1 for alternating ones, ~0.5 for random ones;
+    - the fraction of static branches that are strongly biased (taken or
+      not-taken at least 90% of the time). *)
+
+type t
+
+type result = {
+  conditional_branches : int;
+  static_branches : int;  (** distinct conditional-branch pcs *)
+  taken_rate : float;
+  transition_rate : float;
+  biased_static_fraction : float;  (** static branches >= 90% one-sided *)
+}
+
+val create : unit -> t
+val sink : t -> Mica_trace.Sink.t
+val result : t -> result
+val to_vector : result -> float array
+(** [taken_rate; transition_rate; biased_static_fraction]. *)

@@ -1,0 +1,63 @@
+let reuse_cutoffs = [| 16; 256; 4096; 65536 |]
+
+let extension_table =
+  Array.append
+    [|
+      ("branch taken rate", "br_taken");
+      ("branch transition rate", "br_trans");
+      ("fraction of strongly biased static branches", "br_biased");
+      ("mean log2 data reuse distance", "reuse_mean");
+      ("cold-miss fraction of data accesses", "reuse_cold");
+    |]
+    (Array.map
+       (fun c ->
+         ( Printf.sprintf "prob. data reuse distance <= %d blocks" c,
+           Printf.sprintf "reuse<=%d" c ))
+       reuse_cutoffs)
+
+let count = Characteristics.count + Array.length extension_table
+
+let names =
+  Array.append Characteristics.names (Array.map fst extension_table)
+
+let short_names =
+  Array.append Characteristics.short_names (Array.map snd extension_table)
+
+let is_extension i = i >= Characteristics.count
+
+type t = { base : Analyzer.t; branches : Branch_stats.t; reuse : Reuse.t }
+
+let create ?ppm_order () =
+  {
+    base = Analyzer.create ?ppm_order ();
+    branches = Branch_stats.create ();
+    reuse = Reuse.create ();
+  }
+
+let sink t =
+  Mica_trace.Sink.fanout
+    [ Analyzer.sink t.base; Branch_stats.sink t.branches; Reuse.sink t.reuse ]
+
+let vector t =
+  let br = Branch_stats.result t.branches in
+  let accesses = Reuse.accesses t.reuse in
+  let cold =
+    if accesses = 0 then 0.0
+    else float_of_int (Reuse.cold_misses t.reuse) /. float_of_int accesses
+  in
+  let v =
+    Array.concat
+      [
+        Analyzer.vector t.base;
+        Branch_stats.to_vector br;
+        [| Reuse.mean_log2 t.reuse; cold |];
+        Reuse.cdf t.reuse reuse_cutoffs;
+      ]
+  in
+  assert (Array.length v = count);
+  v
+
+let analyze ?ppm_order program ~icount =
+  let t = create ?ppm_order () in
+  let (_ : int) = Mica_trace.Generator.run program ~icount ~sink:(sink t) in
+  vector t

@@ -1,0 +1,29 @@
+(** The extended characteristic set.
+
+    The released MICA tool grew beyond the paper's 47 characteristics;
+    this module implements that direction: the canonical 47 plus
+    supplementary branch statistics ({!Branch_stats}) and temporal-locality
+    measures ({!Reuse}) — 56 characteristics total.  Feature selection run
+    over the extended set (see the [extended] experiment) shows whether
+    the new measures carry non-redundant information. *)
+
+val count : int
+(** 56. *)
+
+val names : string array
+val short_names : string array
+(** The first 47 entries match {!Characteristics}; the remainder are the
+    extension characteristics. *)
+
+val is_extension : int -> bool
+(** True for indices 47 and above. *)
+
+type t
+
+val create : ?ppm_order:int -> unit -> t
+val sink : t -> Mica_trace.Sink.t
+
+val vector : t -> float array
+(** All 56 characteristics; the first 47 in Table II order. *)
+
+val analyze : ?ppm_order:int -> Mica_trace.Program.t -> icount:int -> float array

@@ -1,0 +1,62 @@
+module Reg = Mica_isa.Reg
+module Instr = Mica_isa.Instr
+
+(* One dependence-limited window simulator.  [completions] is a ring holding
+   the completion cycle of the last [window] instructions; an instruction
+   cannot issue before the one [window] slots earlier completed. *)
+type window_sim = {
+  window : int;
+  reg_ready : int array;  (* cycle each register's current value is available *)
+  completions : int array;  (* ring of completion cycles *)
+  mutable head : int;
+  mutable filled : int;
+  mutable last_cycle : int;  (* max completion so far *)
+}
+
+type t = { sims : window_sim array; mutable count : int }
+
+let default_windows = [| 32; 64; 128; 256 |]
+
+let make_sim window =
+  assert (window > 0);
+  {
+    window;
+    reg_ready = Array.make Reg.count 0;
+    completions = Array.make window 0;
+    head = 0;
+    filled = 0;
+    last_cycle = 0;
+  }
+
+let create ?(windows = default_windows) () =
+  { sims = Array.map make_sim windows; count = 0 }
+
+let step sim (ins : Instr.t) =
+  let ready_src r = if Reg.carries_dependency r then sim.reg_ready.(r) else 0 in
+  let window_free =
+    if sim.filled < sim.window then 0 else sim.completions.(sim.head)
+  in
+  let issue =
+    let a = ready_src ins.src1 and b = ready_src ins.src2 in
+    let deps = if a > b then a else b in
+    if window_free > deps then window_free else deps
+  in
+  let completion = issue + 1 in
+  sim.completions.(sim.head) <- completion;
+  sim.head <- (sim.head + 1) mod sim.window;
+  if sim.filled < sim.window then sim.filled <- sim.filled + 1;
+  if Reg.carries_dependency ins.dst then sim.reg_ready.(ins.dst) <- completion;
+  if completion > sim.last_cycle then sim.last_cycle <- completion
+
+let sink t =
+  Mica_trace.Sink.make ~name:"ilp" (fun ins ->
+      t.count <- t.count + 1;
+      Array.iter (fun sim -> step sim ins) t.sims)
+
+let ipc t =
+  Array.map
+    (fun sim ->
+      if sim.last_cycle = 0 then 0.0 else float_of_int t.count /. float_of_int sim.last_cycle)
+    t.sims
+
+let instructions t = t.count

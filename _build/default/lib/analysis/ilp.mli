@@ -1,0 +1,24 @@
+(** Idealized instruction-level parallelism analyzer: characteristics 7-10.
+
+    Models the paper's idealized out-of-order processor: perfect caches,
+    perfect branch prediction, unlimited functional units and unit
+    execution latency — the only constraint is the instruction window.  An
+    instruction may issue once (i) its register sources are produced and
+    (ii) it fits in the window, i.e. the instruction [window] positions
+    earlier has completed.  The reported characteristic is the achieved IPC
+    for windows of 32, 64, 128 and 256 in-flight instructions. *)
+
+type t
+
+val default_windows : int array
+(** [[|32; 64; 128; 256|]], the paper's window sizes. *)
+
+val create : ?windows:int array -> unit -> t
+(** Windows must be positive and are simulated independently. *)
+
+val sink : t -> Mica_trace.Sink.t
+
+val ipc : t -> float array
+(** Achieved IPC per window, in the order given at creation. *)
+
+val instructions : t -> int

@@ -1,0 +1,51 @@
+module Opcode = Mica_isa.Opcode
+
+type result = {
+  total : int;
+  frac_load : float;
+  frac_store : float;
+  frac_control : float;
+  frac_arith : float;
+  frac_int_mul : float;
+  frac_fp : float;
+}
+
+type t = {
+  mutable n : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable controls : int;
+  mutable ariths : int;
+  mutable int_muls : int;
+  mutable fps : int;
+}
+
+let create () = { n = 0; loads = 0; stores = 0; controls = 0; ariths = 0; int_muls = 0; fps = 0 }
+
+let sink t =
+  Mica_trace.Sink.make ~name:"mix" (fun ins ->
+      t.n <- t.n + 1;
+      match ins.Mica_isa.Instr.op with
+      | Opcode.Load -> t.loads <- t.loads + 1
+      | Opcode.Store -> t.stores <- t.stores + 1
+      | Opcode.Branch | Opcode.Jump | Opcode.Call | Opcode.Return ->
+        t.controls <- t.controls + 1
+      | Opcode.Int_alu -> t.ariths <- t.ariths + 1
+      | Opcode.Int_mul -> t.int_muls <- t.int_muls + 1
+      | Opcode.Fp_add | Opcode.Fp_mul | Opcode.Fp_div -> t.fps <- t.fps + 1
+      | Opcode.Nop -> ())
+
+let result t =
+  let d = float_of_int (max 1 t.n) in
+  {
+    total = t.n;
+    frac_load = float_of_int t.loads /. d;
+    frac_store = float_of_int t.stores /. d;
+    frac_control = float_of_int t.controls /. d;
+    frac_arith = float_of_int t.ariths /. d;
+    frac_int_mul = float_of_int t.int_muls /. d;
+    frac_fp = float_of_int t.fps /. d;
+  }
+
+let to_vector r =
+  [| r.frac_load; r.frac_store; r.frac_control; r.frac_arith; r.frac_int_mul; r.frac_fp |]

@@ -1,0 +1,24 @@
+(** Instruction-mix analyzer: characteristics 1-6 of Table II.
+
+    Fractions of dynamic instructions that are loads, stores, control
+    transfers, (integer) arithmetic operations, integer multiplies and
+    floating-point operations. *)
+
+type t
+
+type result = {
+  total : int;
+  frac_load : float;
+  frac_store : float;
+  frac_control : float;
+  frac_arith : float;  (** integer ALU operations (excluding multiplies) *)
+  frac_int_mul : float;
+  frac_fp : float;
+}
+
+val create : unit -> t
+val sink : t -> Mica_trace.Sink.t
+val result : t -> result
+
+val to_vector : result -> float array
+(** The six fractions in Table II order. *)

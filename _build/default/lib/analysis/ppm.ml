@@ -1,0 +1,106 @@
+module Opcode = Mica_isa.Opcode
+module Instr = Mica_isa.Instr
+
+type variant = GAg | PAg | GAs | PAs
+
+let all_variants = [ GAg; PAg; GAs; PAs ]
+
+let variant_name = function GAg -> "GAg" | PAg -> "PAg" | GAs -> "GAs" | PAs -> "PAs"
+
+let uses_local_history = function PAg | PAs -> true | GAg | GAs -> false
+let uses_per_address_table = function GAs | PAs -> true | GAg | PAg -> false
+
+type counts = { mutable taken : int; mutable not_taken : int }
+
+type predictor = {
+  variant : variant;
+  order : int;
+  table : (int, counts) Hashtbl.t;
+  mutable misses : int;
+}
+
+type t = {
+  predictors : predictor array;
+  local_hist : (int, int) Hashtbl.t;  (* per-branch outcome history *)
+  mutable ghist : int;
+  order : int;
+  mutable branches : int;
+}
+
+let create ?(order = 8) ?(variants = all_variants) () =
+  assert (order >= 0 && order <= 16);
+  {
+    predictors =
+      Array.of_list
+        (List.map
+           (fun variant -> { variant; order; table = Hashtbl.create 4096; misses = 0 })
+           variants);
+    local_hist = Hashtbl.create 512;
+    ghist = 0;
+    order;
+    branches = 0;
+  }
+
+(* Context key for a given order [k], history [h] and (optional) branch pc.
+   [k] disambiguates histories of different lengths; the pc component is 0
+   for shared-table variants. *)
+let key ~pc ~k ~h ~order = (((pc * 17) + k) lsl order) lor (h land ((1 lsl order) - 1))
+
+let history_bits h k = h land ((1 lsl k) - 1)
+
+let predict p ~pc ~hist =
+  let pc_part = if uses_per_address_table p.variant then pc else 0 in
+  let rec go k =
+    if k < 0 then true (* no context ever seen: default taken *)
+    else
+      let h = history_bits hist k in
+      match Hashtbl.find_opt p.table (key ~pc:pc_part ~k ~h ~order:p.order) with
+      | Some c when c.taken + c.not_taken > 0 -> c.taken >= c.not_taken
+      | Some _ | None -> go (k - 1)
+  in
+  go p.order
+
+let update p ~pc ~hist ~outcome =
+  let pc_part = if uses_per_address_table p.variant then pc else 0 in
+  for k = 0 to p.order do
+    let h = history_bits hist k in
+    let key = key ~pc:pc_part ~k ~h ~order:p.order in
+    let c =
+      match Hashtbl.find_opt p.table key with
+      | Some c -> c
+      | None ->
+        let c = { taken = 0; not_taken = 0 } in
+        Hashtbl.add p.table key c;
+        c
+    in
+    if outcome then c.taken <- c.taken + 1 else c.not_taken <- c.not_taken + 1
+  done
+
+let sink t =
+  Mica_trace.Sink.make ~name:"ppm" (fun (ins : Instr.t) ->
+      if Opcode.is_cond_branch ins.op then begin
+        t.branches <- t.branches + 1;
+        let pc = ins.pc and outcome = ins.taken in
+        let lhist = match Hashtbl.find_opt t.local_hist pc with Some h -> h | None -> 0 in
+        Array.iter
+          (fun p ->
+            let hist = if uses_local_history p.variant then lhist else t.ghist in
+            if predict p ~pc ~hist <> outcome then p.misses <- p.misses + 1;
+            update p ~pc ~hist ~outcome)
+          t.predictors;
+        let bit = Bool.to_int outcome in
+        Hashtbl.replace t.local_hist pc (((lhist lsl 1) lor bit) land 0xFFFF);
+        t.ghist <- ((t.ghist lsl 1) lor bit) land 0xFFFF
+      end)
+
+let miss_rate t variant =
+  if t.branches = 0 then 0.0
+  else
+    let p = Array.to_list t.predictors |> List.find (fun p -> p.variant = variant) in
+    float_of_int p.misses /. float_of_int t.branches
+
+let branches t = t.branches
+
+let to_vector t =
+  let present v = Array.exists (fun p -> p.variant = v) t.predictors in
+  Array.of_list (List.filter present all_variants |> List.map (miss_rate t))

@@ -1,0 +1,92 @@
+module Reg = Mica_isa.Reg
+module Instr = Mica_isa.Instr
+
+let dep_cutoffs = [| 1; 2; 4; 8; 16; 32; 64 |]
+
+type t = {
+  mutable instrs : int;
+  mutable operands : int;  (* total register source operands seen *)
+  last_write : int array;  (* dynamic index of last write per register, -1 if never *)
+  uses : int array;  (* reads of the current instance per register *)
+  mutable instances : int;  (* completed register instances *)
+  mutable total_uses : int;  (* reads accumulated over completed instances *)
+  dep_counts : int array;  (* histogram over cutoffs; last bucket = "> 64" *)
+  mutable dep_total : int;
+}
+
+type result = { avg_input_operands : float; avg_degree_of_use : float; dep_cdf : float array }
+
+let create () =
+  {
+    instrs = 0;
+    operands = 0;
+    last_write = Array.make Reg.count (-1);
+    uses = Array.make Reg.count 0;
+    instances = 0;
+    total_uses = 0;
+    dep_counts = Array.make (Array.length dep_cutoffs + 1) 0;
+    dep_total = 0;
+  }
+
+let bucket_of_distance d =
+  let n = Array.length dep_cutoffs in
+  let rec go i = if i >= n then n else if d <= dep_cutoffs.(i) then i else go (i + 1) in
+  go 0
+
+let read t r =
+  if not (Reg.is_none r) then begin
+    t.operands <- t.operands + 1;
+    if Reg.carries_dependency r then begin
+      t.uses.(r) <- t.uses.(r) + 1;
+      let lw = t.last_write.(r) in
+      if lw >= 0 then begin
+        let d = t.instrs - lw in
+        t.dep_counts.(bucket_of_distance d) <- t.dep_counts.(bucket_of_distance d) + 1;
+        t.dep_total <- t.dep_total + 1
+      end
+    end
+  end
+
+let write t r =
+  if Reg.carries_dependency r then begin
+    (* finalize the instance being overwritten *)
+    if t.last_write.(r) >= 0 then begin
+      t.instances <- t.instances + 1;
+      t.total_uses <- t.total_uses + t.uses.(r)
+    end;
+    t.uses.(r) <- 0;
+    t.last_write.(r) <- t.instrs
+  end
+
+let sink t =
+  Mica_trace.Sink.make ~name:"regtraffic" (fun (ins : Instr.t) ->
+      t.instrs <- t.instrs + 1;
+      read t ins.src1;
+      read t ins.src2;
+      write t ins.dst)
+
+let result t =
+  (* flush live instances *)
+  let instances = ref t.instances and total_uses = ref t.total_uses in
+  Array.iteri
+    (fun r lw ->
+      if lw >= 0 then begin
+        incr instances;
+        total_uses := !total_uses + t.uses.(r)
+      end)
+    t.last_write;
+  let cdf = Array.make (Array.length dep_cutoffs) 0.0 in
+  let denom = float_of_int (max 1 t.dep_total) in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      acc := !acc + t.dep_counts.(i);
+      cdf.(i) <- float_of_int !acc /. denom)
+    cdf;
+  {
+    avg_input_operands = float_of_int t.operands /. float_of_int (max 1 t.instrs);
+    avg_degree_of_use = float_of_int !total_uses /. float_of_int (max 1 !instances);
+    dep_cdf = cdf;
+  }
+
+let to_vector r = Array.append [| r.avg_input_operands; r.avg_degree_of_use |] r.dep_cdf

@@ -1,0 +1,34 @@
+(** Register-traffic analyzer: characteristics 11-19 (Franklin & Sohi style).
+
+    Measures: the average number of register input operands per
+    instruction; the average degree of use of a register instance (how many
+    times a produced value is read before being overwritten); and the
+    cumulative distribution of the register dependency distance — the
+    number of dynamic instructions between producing a register value and
+    consuming it — at cut-offs 1, 2, 4, 8, 16, 32 and 64.
+
+    The hardwired zero register carries no dependencies and is excluded
+    from degree-of-use and dependency-distance statistics, but a present
+    operand still counts towards the operand average. *)
+
+type t
+
+type result = {
+  avg_input_operands : float;
+  avg_degree_of_use : float;
+  dep_cdf : float array;
+      (** P(distance = 1), P(<= 2), P(<= 4), P(<= 8), P(<= 16), P(<= 32),
+          P(<= 64) over consumed register values *)
+}
+
+val create : unit -> t
+val sink : t -> Mica_trace.Sink.t
+
+val result : t -> result
+(** Finalizes pending register instances; call once after the trace. *)
+
+val to_vector : result -> float array
+(** The nine values in Table II order (rows 11-19). *)
+
+val dep_cutoffs : int array
+(** [[|1; 2; 4; 8; 16; 32; 64|]]. *)

@@ -1,0 +1,88 @@
+module Opcode = Mica_isa.Opcode
+module Instr = Mica_isa.Instr
+
+let cutoffs = [| 0; 8; 64; 512; 4096 |]
+
+(* Histogram over the cumulative cutoffs plus a "> 4096" bucket. *)
+type hist = { counts : int array; mutable total : int }
+
+let make_hist () = { counts = Array.make (Array.length cutoffs + 1) 0; total = 0 }
+
+let record hist stride =
+  let s = abs stride in
+  let n = Array.length cutoffs in
+  let rec bucket i = if i >= n then n else if s <= cutoffs.(i) then i else bucket (i + 1) in
+  let b = bucket 0 in
+  hist.counts.(b) <- hist.counts.(b) + 1;
+  hist.total <- hist.total + 1
+
+let cdf hist =
+  let denom = float_of_int (max 1 hist.total) in
+  let out = Array.make (Array.length cutoffs) 0.0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      acc := !acc + hist.counts.(i);
+      out.(i) <- float_of_int !acc /. denom)
+    out;
+  out
+
+type result = {
+  local_load : float array;
+  global_load : float array;
+  local_store : float array;
+  global_store : float array;
+}
+
+type t = {
+  ll_hist : hist;
+  gl_hist : hist;
+  ls_hist : hist;
+  gs_hist : hist;
+  last_by_pc : (int, int) Hashtbl.t;  (* static mem instruction -> last address *)
+  mutable last_load : int;  (* -1 if none yet *)
+  mutable last_store : int;
+}
+
+let create () =
+  {
+    ll_hist = make_hist ();
+    gl_hist = make_hist ();
+    ls_hist = make_hist ();
+    gs_hist = make_hist ();
+    last_by_pc = Hashtbl.create 1024;
+    last_load = -1;
+    last_store = -1;
+  }
+
+let sink t =
+  Mica_trace.Sink.make ~name:"strides" (fun (ins : Instr.t) ->
+      match ins.op with
+      | Opcode.Load ->
+        if t.last_load >= 0 then record t.gl_hist (ins.addr - t.last_load);
+        t.last_load <- ins.addr;
+        (match Hashtbl.find_opt t.last_by_pc ins.pc with
+        | Some prev -> record t.ll_hist (ins.addr - prev)
+        | None -> ());
+        Hashtbl.replace t.last_by_pc ins.pc ins.addr
+      | Opcode.Store ->
+        if t.last_store >= 0 then record t.gs_hist (ins.addr - t.last_store);
+        t.last_store <- ins.addr;
+        (match Hashtbl.find_opt t.last_by_pc ins.pc with
+        | Some prev -> record t.ls_hist (ins.addr - prev)
+        | None -> ());
+        Hashtbl.replace t.last_by_pc ins.pc ins.addr
+      | Opcode.Branch | Opcode.Jump | Opcode.Call | Opcode.Return | Opcode.Int_alu
+      | Opcode.Int_mul | Opcode.Fp_add | Opcode.Fp_mul | Opcode.Fp_div | Opcode.Nop ->
+        ())
+
+let result t =
+  {
+    local_load = cdf t.ll_hist;
+    global_load = cdf t.gl_hist;
+    local_store = cdf t.ls_hist;
+    global_store = cdf t.gs_hist;
+  }
+
+let to_vector (r : result) =
+  Array.concat [ r.local_load; r.global_load; r.local_store; r.global_store ]

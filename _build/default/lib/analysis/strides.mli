@@ -1,0 +1,29 @@
+(** Data-stream stride analyzer: characteristics 24-43 (Lau et al. style).
+
+    A {e global} stride is the absolute difference between the effective
+    addresses of temporally adjacent memory accesses of the same kind
+    (load-to-load or store-to-store).  A {e local} stride is the same
+    difference restricted to consecutive executions of a single static
+    memory instruction.  For each of the four streams (local load, global
+    load, local store, global store) we report the cumulative probability
+    that the stride is 0, or at most 8, 64, 512 and 4096 bytes. *)
+
+type t
+
+type result = {
+  local_load : float array;  (** P(=0), P(<=8), P(<=64), P(<=512), P(<=4096) *)
+  global_load : float array;
+  local_store : float array;
+  global_store : float array;
+}
+
+val create : unit -> t
+val sink : t -> Mica_trace.Sink.t
+val result : t -> result
+
+val to_vector : result -> float array
+(** Table II order (rows 24-43): local load, global load, local store,
+    global store — 20 values. *)
+
+val cutoffs : int array
+(** [[|0; 8; 64; 512; 4096|]]. *)

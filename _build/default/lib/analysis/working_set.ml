@@ -1,0 +1,46 @@
+module Opcode = Mica_isa.Opcode
+module Instr = Mica_isa.Instr
+
+type result = { data_blocks : int; data_pages : int; instr_blocks : int; instr_pages : int }
+
+type t = {
+  d_blocks : (int, unit) Hashtbl.t;
+  d_pages : (int, unit) Hashtbl.t;
+  i_blocks : (int, unit) Hashtbl.t;
+  i_pages : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    d_blocks = Hashtbl.create 4096;
+    d_pages = Hashtbl.create 256;
+    i_blocks = Hashtbl.create 1024;
+    i_pages = Hashtbl.create 64;
+  }
+
+let touch tbl key = if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key ()
+
+let sink t =
+  Mica_trace.Sink.make ~name:"working_set" (fun (ins : Instr.t) ->
+      touch t.i_blocks (ins.pc lsr 5);
+      touch t.i_pages (ins.pc lsr 12);
+      if Opcode.is_mem ins.op then begin
+        touch t.d_blocks (ins.addr lsr 5);
+        touch t.d_pages (ins.addr lsr 12)
+      end)
+
+let result t =
+  {
+    data_blocks = Hashtbl.length t.d_blocks;
+    data_pages = Hashtbl.length t.d_pages;
+    instr_blocks = Hashtbl.length t.i_blocks;
+    instr_pages = Hashtbl.length t.i_pages;
+  }
+
+let to_vector r =
+  [|
+    float_of_int r.data_blocks;
+    float_of_int r.data_pages;
+    float_of_int r.instr_blocks;
+    float_of_int r.instr_pages;
+  |]

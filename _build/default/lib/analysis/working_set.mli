@@ -1,0 +1,21 @@
+(** Working-set analyzer: characteristics 20-23.
+
+    Counts unique 32-byte blocks and unique 4KB pages touched by the data
+    stream (load/store effective addresses) and by the instruction stream
+    (instruction fetch addresses). *)
+
+type t
+
+type result = {
+  data_blocks : int;  (** unique 32B data blocks *)
+  data_pages : int;  (** unique 4KB data pages *)
+  instr_blocks : int;  (** unique 32B instruction blocks *)
+  instr_pages : int;  (** unique 4KB instruction pages *)
+}
+
+val create : unit -> t
+val sink : t -> Mica_trace.Sink.t
+val result : t -> result
+
+val to_vector : result -> float array
+(** Table II order (rows 20-23): D-blocks, D-pages, I-blocks, I-pages. *)

@@ -1,0 +1,1 @@
+lib/core/case_study.ml: Array Buffer Dataset Float Mica_stats Printf String

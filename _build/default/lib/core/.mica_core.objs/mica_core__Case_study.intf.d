@@ -1,0 +1,1 @@
+lib/core/case_study.mli: Dataset

@@ -1,0 +1,1 @@
+lib/core/clustering.ml: Array Dataset List Mica_stats Mica_util Option

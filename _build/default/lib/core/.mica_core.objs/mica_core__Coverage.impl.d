@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Buffer Dataset Experiments Float Fun Hashtbl List Mica_stats Mica_workloads Option Printf Space String

@@ -1,0 +1,1 @@
+lib/core/coverage.mli: Experiments Mica_workloads

@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Array List Mica_stats Mica_util Printf

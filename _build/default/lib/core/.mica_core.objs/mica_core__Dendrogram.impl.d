@@ -1,0 +1,1 @@
+lib/core/dendrogram.ml: Array Buffer Dataset List Mica_stats Printf

@@ -1,0 +1,1 @@
+lib/core/dendrogram.mli: Dataset Mica_stats

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Case_study Classify Clustering Dataset Kiviat Mica_select Mica_stats Mica_workloads Pipeline Space

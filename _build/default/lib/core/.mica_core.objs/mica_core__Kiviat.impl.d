@@ -1,0 +1,1 @@
+lib/core/kiviat.ml: Array Buffer Float Fun List Printf String

@@ -1,0 +1,1 @@
+lib/core/locality.ml: Array Buffer Experiments List Mica_analysis Mica_stats Mica_trace Mica_workloads Pipeline Printf

@@ -1,0 +1,1 @@
+lib/core/locality.mli: Experiments Mica_workloads

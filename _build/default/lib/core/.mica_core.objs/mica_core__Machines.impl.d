@@ -1,0 +1,1 @@
+lib/core/machines.ml: Array Buffer Classify Dataset Experiments List Mica_stats Mica_uarch Mica_workloads Pipeline Printf Space

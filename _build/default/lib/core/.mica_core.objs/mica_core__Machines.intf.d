@@ -1,0 +1,1 @@
+lib/core/machines.mli: Classify Dataset Experiments Mica_uarch Space

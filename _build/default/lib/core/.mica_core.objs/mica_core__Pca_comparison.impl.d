@@ -1,0 +1,1 @@
+lib/core/pca_comparison.ml: Array Buffer Dataset Experiments Float List Mica_analysis Mica_select Mica_stats Printf Space

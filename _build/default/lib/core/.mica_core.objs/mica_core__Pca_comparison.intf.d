@@ -1,0 +1,1 @@
+lib/core/pca_comparison.mli: Experiments Mica_select

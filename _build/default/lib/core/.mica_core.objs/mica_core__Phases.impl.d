@@ -1,0 +1,1 @@
+lib/core/phases.ml: Array Buffer Char Float Mica_analysis Mica_stats Mica_trace Mica_util Printf String

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Atomic Dataset Domain Filename Hashtbl List Logs Mica_analysis Mica_trace Mica_uarch Mica_workloads Option Printf Sys

@@ -1,0 +1,1 @@
+lib/core/prediction.ml: Array Buffer Dataset Experiments Float Fun List Mica_stats Printf Space

@@ -1,0 +1,1 @@
+lib/core/prediction.mli: Experiments Space

@@ -1,0 +1,1 @@
+lib/core/simpoint.ml: Array Buffer Float List Mica_stats Mica_trace Mica_uarch Mica_workloads Phases Printf

@@ -1,0 +1,1 @@
+lib/core/simpoint.mli: Mica_workloads Phases

@@ -1,0 +1,1 @@
+lib/core/space.ml: Array Dataset Fun List Mica_stats Printf

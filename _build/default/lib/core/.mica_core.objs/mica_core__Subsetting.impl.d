@@ -1,0 +1,1 @@
+lib/core/subsetting.ml: Array Buffer Dataset Float Fun List Mica_stats Printf Space String

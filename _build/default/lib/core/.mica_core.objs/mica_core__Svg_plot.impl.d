@@ -1,0 +1,1 @@
+lib/core/svg_plot.ml: Array Buffer Float Fun List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/svg_plot.mli:

@@ -1,0 +1,49 @@
+type comparison = {
+  features : string array;
+  a_name : string;
+  b_name : string;
+  a : float array;
+  b : float array;
+}
+
+let compare_in ds ~a ~b =
+  let scaled = Mica_stats.Normalize.max_scale ds.Dataset.data in
+  let idx name =
+    match Dataset.row_index ds name with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Case_study.compare_in: unknown %S" name)
+  in
+  let ia = idx a and ib = idx b in
+  { features = ds.Dataset.features; a_name = a; b_name = b; a = scaled.(ia); b = scaled.(ib) }
+
+let hpc_with_mix ~hpc ~mica =
+  if hpc.Dataset.names <> mica.Dataset.names then
+    invalid_arg "Case_study.hpc_with_mix: datasets cover different workloads";
+  let mix_count = 6 in
+  let features =
+    Array.append hpc.Dataset.features (Array.sub mica.Dataset.features 0 mix_count)
+  in
+  let data =
+    Array.mapi
+      (fun i hrow -> Array.append hrow (Array.sub mica.Dataset.data.(i) 0 mix_count))
+      hpc.Dataset.data
+  in
+  Dataset.create ~names:hpc.Dataset.names ~features data
+
+let bar v =
+  let width = 24 in
+  let v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v in
+  let filled = int_of_float (Float.round (v *. float_of_int width)) in
+  String.concat "" [ String.make filled '#'; String.make (width - filled) ' ' ]
+
+let render c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %-26s %-26s\n" "" c.a_name c.b_name);
+  Array.iteri
+    (fun i f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s |%s| |%s| %6.3f vs %6.3f\n" f (bar c.a.(i)) (bar c.b.(i))
+           c.a.(i) c.b.(i)))
+    c.features;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Per-benchmark-pair characteristic comparisons (Figures 2 and 3): the
+    paper's bzip2-versus-blast case study, generalized to any pair.
+
+    Values are normalized per characteristic by the maximum observed over
+    all benchmarks in the dataset, exactly as in the paper's figures. *)
+
+type comparison = {
+  features : string array;
+  a_name : string;
+  b_name : string;
+  a : float array;  (** max-normalized values for benchmark [a] *)
+  b : float array;
+}
+
+val compare_in : Dataset.t -> a:string -> b:string -> comparison
+(** Compare two rows of any dataset.  Raises [Invalid_argument] on unknown
+    names. *)
+
+val hpc_with_mix : hpc:Dataset.t -> mica:Dataset.t -> Dataset.t
+(** The paper's Figure 2 view: the hardware counter metrics with the
+    instruction-mix characteristics appended ("we use the instruction mix
+    here as part of the hardware performance counter characterization"). *)
+
+val render : comparison -> string
+(** Side-by-side text bars. *)

@@ -1,0 +1,41 @@
+module Stats = Mica_stats
+
+type counts = { true_pos : int; true_neg : int; false_pos : int; false_neg : int; total : int }
+
+type fractions = {
+  f_true_pos : float;
+  f_true_neg : float;
+  f_false_pos : float;
+  f_false_neg : float;
+}
+
+let classify ~hpc_distances ~mica_distances ?(frac = 0.2) () =
+  let n = Array.length hpc_distances in
+  if n <> Array.length mica_distances then invalid_arg "Classify.classify: length mismatch";
+  if n = 0 then invalid_arg "Classify.classify: empty distance vectors";
+  let _, hpc_max = Stats.Descriptive.min_max hpc_distances in
+  let _, mica_max = Stats.Descriptive.min_max mica_distances in
+  let hpc_thr = frac *. hpc_max and mica_thr = frac *. mica_max in
+  let tp = ref 0 and tn = ref 0 and fp = ref 0 and fn = ref 0 in
+  for p = 0 to n - 1 do
+    let hpc_large = hpc_distances.(p) > hpc_thr in
+    let mica_large = mica_distances.(p) > mica_thr in
+    match (hpc_large, mica_large) with
+    | true, true -> incr tp
+    | false, false -> incr tn
+    | false, true -> incr fp
+    | true, false -> incr fn
+  done;
+  { true_pos = !tp; true_neg = !tn; false_pos = !fp; false_neg = !fn; total = n }
+
+let fractions c =
+  let d = float_of_int (max 1 c.total) in
+  {
+    f_true_pos = float_of_int c.true_pos /. d;
+    f_true_neg = float_of_int c.true_neg /. d;
+    f_false_pos = float_of_int c.false_pos /. d;
+    f_false_neg = float_of_int c.false_neg /. d;
+  }
+
+let correlation ~hpc_distances ~mica_distances =
+  Stats.Correlation.pearson hpc_distances mica_distances

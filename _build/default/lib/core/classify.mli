@@ -1,0 +1,40 @@
+(** Benchmark-tuple classification (section IV, Table III).
+
+    Every benchmark pair is labelled by whether its distance is {e large}
+    (above a fraction of the maximum observed distance) in the
+    hardware-performance-counter space and in the
+    microarchitecture-independent space:
+
+    - true positive: large in both — both views agree the pair differs;
+    - true negative: small in both — both views agree the pair is similar;
+    - false positive: large in the MICA space, small in the counter
+      space — inherently different programs that look alike on one machine
+      (the paper's pitfall);
+    - false negative: small in the MICA space, large in the counter space. *)
+
+type counts = {
+  true_pos : int;
+  true_neg : int;
+  false_pos : int;
+  false_neg : int;
+  total : int;
+}
+
+type fractions = {
+  f_true_pos : float;
+  f_true_neg : float;
+  f_false_pos : float;
+  f_false_neg : float;
+}
+
+val classify :
+  hpc_distances:float array -> mica_distances:float array -> ?frac:float -> unit -> counts
+(** [frac] is the threshold fraction of each space's maximum distance
+    (default 0.2, the paper's 20%).  Requires equal-length condensed
+    distance vectors. *)
+
+val fractions : counts -> fractions
+
+val correlation : hpc_distances:float array -> mica_distances:float array -> float
+(** Pearson correlation between the two distance vectors (the paper's
+    Figure 1 statistic, reported as 0.46). *)

@@ -1,0 +1,143 @@
+module Stats = Mica_stats
+module W = Mica_workloads
+
+type coverage_row = {
+  suite : W.Suite.t;
+  total : int;
+  covered : int;
+  dissimilar : string array;
+}
+
+let reduced_space ctx ~selected =
+  Space.of_dataset (Dataset.select_features ctx.Experiments.Context.mica selected)
+
+let suite_of_id id =
+  match String.index_opt id '/' with
+  | Some i -> W.Suite.of_name (String.sub id 0 i)
+  | None -> None
+
+let suite_coverage ?(frac = 0.2) ctx ~selected =
+  let space = reduced_space ctx ~selected in
+  let names = space.Space.dataset.Dataset.names in
+  let n = Space.n space in
+  let threshold = frac *. Space.max_distance space in
+  let spec_rows =
+    List.filter
+      (fun i -> suite_of_id names.(i) = Some W.Suite.SpecCpu2000)
+      (List.init n Fun.id)
+  in
+  let nearest_spec i =
+    List.fold_left (fun acc j -> Float.min acc (Space.distance space i j)) infinity spec_rows
+  in
+  List.filter_map
+    (fun suite ->
+      if suite = W.Suite.SpecCpu2000 then None
+      else begin
+        let members =
+          List.filter (fun i -> suite_of_id names.(i) = Some suite) (List.init n Fun.id)
+        in
+        let dissimilar =
+          List.filter (fun i -> nearest_spec i > threshold) members
+          |> List.map (fun i -> names.(i))
+          |> Array.of_list
+        in
+        Some
+          {
+            suite;
+            total = List.length members;
+            covered = List.length members - Array.length dissimilar;
+            dissimilar;
+          }
+      end)
+    W.Suite.all
+
+let render_coverage rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "coverage of the emerging suites by SPEC CPU2000 (key-characteristic space)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-22s %8s %8s %12s\n" "suite" "total" "covered" "dissimilar");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-22s %8d %8d %12d\n" (W.Suite.name r.suite) r.total r.covered
+           (Array.length r.dissimilar)))
+    rows;
+  Buffer.add_string buf "\nbenchmarks SPEC CPU2000 does not cover:\n";
+  List.iter
+    (fun r ->
+      Array.iter (fun id -> Buffer.add_string buf (Printf.sprintf "  %s\n" id)) r.dissimilar)
+    rows;
+  Buffer.add_string buf
+    "(paper: several BioInfoMark/BioMetricsWorkload/CommBench benchmarks are dissimilar\n\
+     from SPEC; MediaBench and MiBench mostly overlap it)\n";
+  Buffer.contents buf
+
+type sensitivity_row = { program : string; inputs : int; max_intra : float; relative : float }
+
+let input_sensitivity ctx ~selected =
+  let space = reduced_space ctx ~selected in
+  let names = space.Space.dataset.Dataset.names in
+  let n = Space.n space in
+  (* group rows by "suite/program" *)
+  let program_of id =
+    match String.split_on_char '/' id with
+    | suite :: program :: _ -> suite ^ "/" ^ program
+    | _ -> id
+  in
+  let groups = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let key = program_of names.(i) in
+    Hashtbl.replace groups key (i :: Option.value (Hashtbl.find_opt groups key) ~default:[])
+  done;
+  (* median inter-program distance as the scale reference *)
+  let median_inter =
+    let ds = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if program_of names.(i) <> program_of names.(j) then
+          ds := Space.distance space i j :: !ds
+      done
+    done;
+    match !ds with
+    | [] -> 1.0
+    | ds -> Stats.Descriptive.percentile (Array.of_list ds) 0.5
+  in
+  Hashtbl.fold
+    (fun program members acc ->
+      if List.length members < 2 then acc
+      else begin
+        let max_intra =
+          List.fold_left
+            (fun best i ->
+              List.fold_left
+                (fun best j -> if i < j then Float.max best (Space.distance space i j) else best)
+                best members)
+            0.0 members
+        in
+        {
+          program;
+          inputs = List.length members;
+          max_intra;
+          relative = (if median_inter > 0.0 then max_intra /. median_inter else 0.0);
+        }
+        :: acc
+      end)
+    groups []
+  |> List.sort (fun a b -> compare b.relative a.relative)
+
+let render_sensitivity rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "input sensitivity: how far apart do a program's own inputs lie?\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-30s %7s %11s %22s\n" "program" "inputs" "max intra"
+       "vs median inter-prog");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-30s %7d %11.3f %21.2fx\n" r.program r.inputs r.max_intra r.relative))
+    rows;
+  Buffer.add_string buf
+    "(ratios near or above 1 mean the input changes behaviour as much as switching\n\
+     programs — the paper's \"isolated behaviour for particular inputs\", clusters 3/6)\n";
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Quantitative versions of the paper's section VI conclusions.
+
+    {b Suite coverage}: for each emerging suite, which benchmarks lie close
+    to some SPEC CPU2000 benchmark in the key-characteristic space (SPEC
+    already covers them) and which are dissimilar from all of SPEC (they
+    motivate extending the design suite)?  The paper concludes BioInfoMark,
+    BioMetricsWorkload and CommBench contain dissimilar benchmarks while
+    MediaBench and MiBench mostly overlap SPEC.
+
+    {b Input sensitivity}: several programs appear with multiple inputs
+    (gcc, gzip, hmmer, tiff, ...); the paper notes that some benchmarks
+    isolate only for particular inputs (its clusters 3 and 6).  This
+    analysis measures how far apart a program's own inputs lie, relative
+    to the typical distance between different programs. *)
+
+type coverage_row = {
+  suite : Mica_workloads.Suite.t;
+  total : int;  (** benchmarks in the suite *)
+  covered : int;  (** within the threshold of some SPEC benchmark *)
+  dissimilar : string array;  (** ids of the uncovered benchmarks *)
+}
+
+val suite_coverage :
+  ?frac:float -> Experiments.Context.t -> selected:int array -> coverage_row list
+(** One row per non-SPEC suite; [frac] (default 0.2) of the maximum pair
+    distance in the reduced space is the similarity threshold. *)
+
+val render_coverage : coverage_row list -> string
+
+type sensitivity_row = {
+  program : string;  (** "suite/program" *)
+  inputs : int;
+  max_intra : float;  (** largest distance between two inputs of the program *)
+  relative : float;  (** [max_intra] / median inter-program distance *)
+}
+
+val input_sensitivity : Experiments.Context.t -> selected:int array -> sensitivity_row list
+(** One row per program with at least two inputs, sorted by descending
+    [relative]. *)
+
+val render_sensitivity : sensitivity_row list -> string

@@ -1,0 +1,84 @@
+module Matrix = Mica_stats.Matrix
+module Csv = Mica_util.Csv
+
+type t = { names : string array; features : string array; data : Matrix.t }
+
+let create ~names ~features data =
+  let rows, cols = Matrix.dims data in
+  if rows <> Array.length names then invalid_arg "Dataset.create: row label count mismatch";
+  if rows > 0 && cols <> Array.length features then
+    invalid_arg "Dataset.create: feature label count mismatch";
+  { names; features; data }
+
+let rows t = Array.length t.names
+let cols t = Array.length t.features
+
+let index_of labels needle =
+  let n = Array.length labels in
+  let rec go i = if i >= n then None else if labels.(i) = needle then Some i else go (i + 1) in
+  go 0
+
+let row_index t name = index_of t.names name
+let feature_index t name = index_of t.features name
+
+let row_exn t name =
+  match row_index t name with
+  | Some i -> t.data.(i)
+  | None -> invalid_arg (Printf.sprintf "Dataset.row_exn: unknown row %S" name)
+
+let select_features t idx =
+  {
+    names = t.names;
+    features = Array.map (fun j -> t.features.(j)) idx;
+    data = Matrix.select_columns t.data idx;
+  }
+
+let select_rows t idx =
+  {
+    names = Array.map (fun i -> t.names.(i)) idx;
+    features = t.features;
+    data = Array.map (fun i -> Array.copy t.data.(i)) idx;
+  }
+
+let append_rows a b =
+  if a.features <> b.features then invalid_arg "Dataset.append_rows: feature mismatch";
+  {
+    names = Array.append a.names b.names;
+    features = a.features;
+    data = Array.append (Matrix.copy a.data) (Matrix.copy b.data);
+  }
+
+let to_csv t path =
+  let header = "name" :: Array.to_list t.features in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i name ->
+           name :: Array.to_list (Array.map (Printf.sprintf "%.17g") t.data.(i)))
+         t.names)
+  in
+  Csv.to_file path (header :: rows)
+
+let of_csv path =
+  match Csv.of_file path with
+  | [] -> failwith (Printf.sprintf "Dataset.of_csv: %s is empty" path)
+  | header :: body ->
+    let features =
+      match header with
+      | "name" :: rest -> Array.of_list rest
+      | _ -> failwith (Printf.sprintf "Dataset.of_csv: %s lacks a 'name' header" path)
+    in
+    let parse_row row =
+      match row with
+      | name :: values ->
+        if List.length values <> Array.length features then
+          failwith (Printf.sprintf "Dataset.of_csv: %s: row %s has wrong arity" path name);
+        (name, Array.of_list (List.map float_of_string values))
+      | [] -> failwith (Printf.sprintf "Dataset.of_csv: %s has an empty row" path)
+    in
+    let parsed = List.map parse_row body in
+    {
+      names = Array.of_list (List.map fst parsed);
+      features;
+      data = Array.of_list (List.map snd parsed);
+    }

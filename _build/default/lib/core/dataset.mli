@@ -1,0 +1,30 @@
+(** Labeled observation matrices: benchmarks (rows) by characteristics
+    (columns), with CSV round-tripping for caching and export. *)
+
+type t = {
+  names : string array;  (** row labels (workload ids) *)
+  features : string array;  (** column labels (characteristic short names) *)
+  data : Mica_stats.Matrix.t;
+}
+
+val create : names:string array -> features:string array -> Mica_stats.Matrix.t -> t
+(** Validates that dimensions match the labels. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val row_index : t -> string -> int option
+val row_exn : t -> string -> float array
+val feature_index : t -> string -> int option
+
+val select_features : t -> int array -> t
+val select_rows : t -> int array -> t
+
+val append_rows : t -> t -> t
+(** Requires identical feature labels. *)
+
+val to_csv : t -> string -> unit
+(** Header row is ["name"; features...]; one row per observation. *)
+
+val of_csv : string -> t
+(** Inverse of {!to_csv}.  Raises [Failure] on malformed input. *)

@@ -1,0 +1,35 @@
+module Stats = Mica_stats
+
+type t = { dataset : Dataset.t; tree : Stats.Linkage.tree }
+
+let build ?linkage dataset =
+  let normalized = Stats.Normalize.zscore dataset.Dataset.data in
+  { dataset; tree = Stats.Linkage.cluster ?linkage normalized }
+
+let render ?(max_depth = max_int) t =
+  let buf = Buffer.create 4096 in
+  let name i = t.dataset.Dataset.names.(i) in
+  let rec go prefix depth tree =
+    match (tree : Stats.Linkage.tree) with
+    | Stats.Linkage.Leaf i -> Buffer.add_string buf (Printf.sprintf "%s%s\n" prefix (name i))
+    | Stats.Linkage.Node { left; right; height; size } ->
+      if depth >= max_depth then
+        Buffer.add_string buf
+          (Printf.sprintf "%s[%d benchmarks, height %.2f]\n" prefix size height)
+      else begin
+        Buffer.add_string buf (Printf.sprintf "%s+ %.2f\n" prefix height);
+        go (prefix ^ "| ") (depth + 1) left;
+        go (prefix ^ "| ") (depth + 1) right
+      end
+  in
+  go "" 0 t.tree;
+  Buffer.contents buf
+
+let clusters_at t ~k =
+  let assignments = Stats.Linkage.cut t.tree ~k in
+  let members = Array.make k [] in
+  let n = Array.length assignments in
+  for i = n - 1 downto 0 do
+    members.(assignments.(i)) <- t.dataset.Dataset.names.(i) :: members.(assignments.(i))
+  done;
+  List.init k (fun c -> (c, Array.of_list members.(c)))

@@ -1,0 +1,21 @@
+(** Dendrogram rendering of hierarchical workload clusterings.
+
+    Complements the paper's k-means view (Figure 6) with the
+    dendrogram presentation its prior work used: the full merge structure
+    of benchmark similarity, cut at any granularity. *)
+
+type t = {
+  dataset : Dataset.t;
+  tree : Mica_stats.Linkage.tree;
+}
+
+val build : ?linkage:Mica_stats.Linkage.linkage -> Dataset.t -> t
+(** Z-scores the dataset and clusters its rows hierarchically. *)
+
+val render : ?max_depth:int -> t -> string
+(** ASCII dendrogram: nested merges with heights; subtrees deeper than
+    [max_depth] (default unlimited) are summarized as "[n benchmarks]". *)
+
+val clusters_at : t -> k:int -> (int * string array) list
+(** Cut into [k] clusters; returns (cluster id, member names) pairs in leaf
+    order. *)

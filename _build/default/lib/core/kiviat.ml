@@ -1,0 +1,128 @@
+let clamp01 v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v
+
+let bar v =
+  let width = 20 in
+  let filled = int_of_float (Float.round (clamp01 v *. float_of_int width)) in
+  String.concat "" [ String.make filled '#'; String.make (width - filled) '.' ]
+
+let text ~axes ~values =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i v -> Buffer.add_string buf (Printf.sprintf "  %-10s |%s| %.3f\n" axes.(i) (bar v) v))
+    values;
+  Buffer.contents buf
+
+let blocks = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let text_compact ~values =
+  String.concat ""
+    (Array.to_list
+       (Array.map
+          (fun v -> blocks.(int_of_float (Float.round (clamp01 v *. 8.0))))
+          values))
+
+type plot = { p_label : string; p_values : float array; p_cluster : int }
+
+let svg_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One kiviat cell: axes radiating from the centre, a polygon connecting the
+   per-axis values. *)
+let cell buf ~x ~y ~size ~axes ~values ~label =
+  let cx = x +. (size /. 2.0) and cy = y +. (size /. 2.0) in
+  let r = size /. 2.0 -. 14.0 in
+  let n = Array.length axes in
+  let angle i = (2.0 *. Float.pi *. float_of_int i /. float_of_int n) -. (Float.pi /. 2.0) in
+  let pt i rad = (cx +. (rad *. cos (angle i)), cy +. (rad *. sin (angle i))) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"none\" stroke=\"#ddd\"/>\n" cx cy r);
+  for i = 0 to n - 1 do
+    let ex, ey = pt i r in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#eee\"/>\n" cx cy ex ey)
+  done;
+  let points =
+    String.concat " "
+      (List.init n (fun i ->
+           let px, py = pt i (clamp01 values.(i) *. r) in
+           Printf.sprintf "%.1f,%.1f" px py))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<polygon points=\"%s\" fill=\"#4477aa\" fill-opacity=\"0.45\" stroke=\"#27517f\"/>\n"
+       points);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%.1f\" y=\"%.1f\" font-size=\"9\" text-anchor=\"middle\" \
+        font-family=\"sans-serif\">%s</text>\n"
+       cx
+       (y +. size -. 2.0)
+       (svg_escape label))
+
+let svg_grid ~title ~axes plots =
+  let cell_size = 110.0 in
+  let per_row = 8 in
+  let header_h = 24.0 in
+  let buf = Buffer.create 65536 in
+  (* lay out: new row group whenever the cluster changes *)
+  let y = ref 30.0 in
+  let x = ref 0.0 in
+  let col = ref 0 in
+  let current_cluster = ref min_int in
+  let body = Buffer.create 65536 in
+  List.iter
+    (fun p ->
+      if p.p_cluster <> !current_cluster then begin
+        current_cluster := p.p_cluster;
+        if !col > 0 then y := !y +. cell_size;
+        Buffer.add_string body
+          (Printf.sprintf
+             "<text x=\"4\" y=\"%.1f\" font-size=\"13\" font-weight=\"bold\" \
+              font-family=\"sans-serif\">Cluster %d</text>\n"
+             (!y +. 14.0) (p.p_cluster + 1));
+        y := !y +. header_h;
+        x := 0.0;
+        col := 0
+      end;
+      if !col >= per_row then begin
+        y := !y +. cell_size;
+        x := 0.0;
+        col := 0
+      end;
+      cell body ~x:!x ~y:!y ~size:cell_size ~axes ~values:p.p_values ~label:p.p_label;
+      x := !x +. cell_size;
+      incr col)
+    plots;
+  let total_h = !y +. cell_size +. 20.0 in
+  let total_w = float_of_int per_row *. cell_size in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+        viewBox=\"0 0 %.0f %.0f\">\n"
+       total_w total_h total_w total_h);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"4\" y=\"18\" font-size=\"15\" font-weight=\"bold\" \
+        font-family=\"sans-serif\">%s</text>\n"
+       (svg_escape title));
+  Buffer.add_buffer buf body;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_svg ~path ~title ~axes plots =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (svg_grid ~title ~axes plots))

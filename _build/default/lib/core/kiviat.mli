@@ -1,0 +1,26 @@
+(** Kiviat (radar) diagrams of workloads over key characteristics
+    (Figure 6).
+
+    Values are expected in [0, 1] per axis (use
+    {!Mica_stats.Normalize.unit_range} over the dataset first).  Two
+    renderers: a compact unicode bar form for terminals, and an SVG grid
+    grouped by cluster for files. *)
+
+val text : axes:string array -> values:float array -> string
+(** One line per axis: label, bar, value. *)
+
+val text_compact : values:float array -> string
+(** A single-line block-character sparkline (one glyph per axis). *)
+
+type plot = {
+  p_label : string;
+  p_values : float array;  (** unit-range, one per axis *)
+  p_cluster : int;
+}
+
+val svg_grid : title:string -> axes:string array -> plot list -> string
+(** An SVG document laying the kiviat plots out in rows, one row group per
+    cluster (plots must be pre-sorted by cluster; a cluster header is
+    emitted whenever [p_cluster] changes). *)
+
+val write_svg : path:string -> title:string -> axes:string array -> plot list -> unit

@@ -1,0 +1,90 @@
+module Stats = Mica_stats
+module Machine = Mica_uarch.Machine
+module W = Mica_workloads
+
+type machine_space = { config_name : string; dataset : Dataset.t; space : Space.t }
+
+type result = {
+  spaces : machine_space list;
+  cross_correlation : (string * string * float) list;
+  mica_correlation : (string * float) list;
+  transfer : (string * string * Classify.counts) list;
+}
+
+let run ?(configs = Machine.presets) (ctx : Experiments.Context.t) =
+  let workloads = ctx.Experiments.Context.workloads in
+  let icount = ctx.Experiments.Context.config.Pipeline.icount in
+  let names = Array.of_list (List.map W.Workload.id workloads) in
+  (* rows.(w) = per-machine counter vectors for workload w *)
+  let rows =
+    List.map
+      (fun (w : W.Workload.t) ->
+        Machine.measure_all configs w.W.Workload.model ~icount |> List.map Machine.to_vector)
+      workloads
+  in
+  let spaces =
+    List.mapi
+      (fun m (cfg : Machine.config) ->
+        let data = Array.of_list (List.map (fun vs -> List.nth vs m) rows) in
+        let dataset = Dataset.create ~names ~features:Machine.metric_names data in
+        { config_name = cfg.Machine.name; dataset; space = Space.of_dataset dataset })
+      configs
+  in
+  let pairs =
+    List.concat_map
+      (fun a -> List.filter_map (fun b -> if a.config_name < b.config_name then Some (a, b) else None) spaces)
+      spaces
+  in
+  let cross_correlation =
+    List.map
+      (fun (a, b) ->
+        ( a.config_name,
+          b.config_name,
+          Stats.Correlation.pearson a.space.Space.distances b.space.Space.distances ))
+      pairs
+  in
+  let mica_d = ctx.Experiments.Context.mica_space.Space.distances in
+  let mica_correlation =
+    List.map
+      (fun s -> (s.config_name, Stats.Correlation.pearson s.space.Space.distances mica_d))
+      spaces
+  in
+  let transfer =
+    List.map
+      (fun (a, b) ->
+        ( a.config_name,
+          b.config_name,
+          Classify.classify ~hpc_distances:a.space.Space.distances
+            ~mica_distances:b.space.Space.distances () ))
+      pairs
+  in
+  { spaces; cross_correlation; mica_correlation; transfer }
+
+let render r =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "cross-machine stability of counter-based similarity\n\n";
+  Buffer.add_string buf "distance correlation between machine counter spaces:\n";
+  List.iter
+    (fun (a, b, c) -> Buffer.add_string buf (Printf.sprintf "  %-10s vs %-10s  %6.3f\n" a b c))
+    r.cross_correlation;
+  Buffer.add_string buf "\ndistance correlation of each machine space with the MICA space:\n";
+  List.iter
+    (fun (m, c) -> Buffer.add_string buf (Printf.sprintf "  %-10s %6.3f\n" m c))
+    r.mica_correlation;
+  Buffer.add_string buf
+    "\ntransfer of similarity verdicts between machines (20% thresholds):\n";
+  List.iter
+    (fun (a, b, counts) ->
+      let f = Classify.fractions counts in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %s -> %s: %4.1f%% of pairs change verdict (%4.1f%% similar-on-%s-only, %4.1f%% \
+            similar-on-%s-only)\n"
+           a b
+           (100.0 *. (f.Classify.f_false_pos +. f.Classify.f_false_neg))
+           (100.0 *. f.Classify.f_false_pos) a (100.0 *. f.Classify.f_false_neg) b))
+    r.transfer;
+  Buffer.add_string buf
+    "\n(the MICA space is microarchitecture-independent by construction: the same\n\
+     vectors describe the workloads on every machine)\n";
+  Buffer.contents buf

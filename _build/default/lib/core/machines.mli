@@ -1,0 +1,37 @@
+(** Cross-machine stability of counter-based characterization.
+
+    The paper's core warning is that conclusions drawn from
+    microarchitecture-dependent characteristics "may not be generalized to
+    other microarchitectures".  This experiment quantifies that: the same
+    122 workloads are measured on several machine models
+    ({!Mica_uarch.Machine.presets}); we then compare the benchmark-distance
+    structure each machine induces — against the other machines and
+    against the microarchitecture-independent space (which is
+    machine-invariant by construction). *)
+
+type machine_space = {
+  config_name : string;
+  dataset : Dataset.t;  (** workloads x 6 counter metrics *)
+  space : Space.t;
+}
+
+type result = {
+  spaces : machine_space list;
+  cross_correlation : (string * string * float) list;
+      (** distance-vector Pearson correlation for each machine pair *)
+  mica_correlation : (string * float) list;
+      (** each machine space's distance correlation with the MICA space *)
+  transfer : (string * string * Classify.counts) list;
+      (** treating "similar on machine A" as ground truth at the 20%
+          threshold, how do "similar on machine B" verdicts classify?
+          False positives here are benchmark pairs one machine calls
+          similar and the other does not — conclusions that failed to
+          transfer. *)
+}
+
+val run :
+  ?configs:Mica_uarch.Machine.config list -> Experiments.Context.t -> result
+(** Measures every workload on every machine (one generated trace per
+    workload, fanned out to all machines) at the context's trace length. *)
+
+val render : result -> string

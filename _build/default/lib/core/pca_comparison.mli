@@ -1,0 +1,30 @@
+(** Comparison against the PCA-based prior work (section V-C).
+
+    The paper argues its selection methods beat PCA on two axes: PCA still
+    requires {e measuring} all 47 characteristics (its reduced dimensions
+    are linear combinations), and PCA dimensions are hard to interpret.
+    What PCA does preserve is distance fidelity.  This experiment
+    quantifies the trade-off: distance correlation (and ROC AUC) of the
+    PCA-reduced space at each dimensionality, side by side with the
+    GA-selected subset — together with how many of the 47 raw
+    characteristics each approach needs measured. *)
+
+type point = {
+  dims : int;  (** retained PCA dimensions *)
+  rho : float;  (** distance correlation with the full space *)
+  auc : float;  (** ROC AUC against the counter space at the 20% threshold *)
+  measured_characteristics : int;  (** always 47 for PCA *)
+}
+
+type result = {
+  pca_points : point array;  (** for dims 1, 2, 4, 8, 12, 16, 24, 32, 47 *)
+  ga_rho : float;
+  ga_auc : float;
+  ga_measured : int;  (** size of the GA subset *)
+  variance_explained_8 : float;  (** cumulative variance of the first 8 PCs *)
+}
+
+val run :
+  Experiments.Context.t -> ga:Mica_select.Genetic.result -> result
+
+val render : result -> string

@@ -1,0 +1,159 @@
+module Workload = Mica_workloads.Workload
+
+type config = {
+  icount : int;
+  ppm_order : int;
+  cache_dir : string option;
+  progress : bool;
+  jobs : int;
+}
+
+let default_config =
+  {
+    icount = 200_000;
+    ppm_order = 8;
+    cache_dir = Some "results/cache";
+    progress = false;
+    jobs = min 8 (Domain.recommended_domain_count ());
+  }
+
+let model_version = "v3"
+
+let characterize config w =
+  let analyzer = Mica_analysis.Analyzer.create ~ppm_order:config.ppm_order () in
+  let counters = Mica_uarch.Hw_counters.create () in
+  let sink =
+    Mica_trace.Sink.fanout
+      [ Mica_analysis.Analyzer.sink analyzer; Mica_uarch.Hw_counters.sink counters ]
+  in
+  let (_ : int) = Mica_trace.Generator.run w.Workload.model ~icount:config.icount ~sink in
+  ( Mica_analysis.Analyzer.vector analyzer,
+    Mica_uarch.Hw_counters.to_vector (Mica_uarch.Hw_counters.result counters) )
+
+let cache_path config kind =
+  Option.map
+    (fun dir -> Filename.concat dir (Printf.sprintf "%s-%s-%d.csv" kind model_version config.icount))
+    config.cache_dir
+
+let load_cache path =
+  if Sys.file_exists path then begin
+    try
+      let ds = Dataset.of_csv path in
+      let tbl = Hashtbl.create (Dataset.rows ds) in
+      Array.iteri (fun i name -> Hashtbl.replace tbl name ds.Dataset.data.(i)) ds.Dataset.names;
+      tbl
+    with Failure _ -> Hashtbl.create 16
+  end
+  else Hashtbl.create 16
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save_cache path ~features tbl =
+  mkdir_p (Filename.dirname path);
+  let entries = Hashtbl.fold (fun name row acc -> (name, row) :: acc) tbl [] in
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  let ds =
+    Dataset.create
+      ~names:(Array.of_list (List.map fst entries))
+      ~features
+      (Array.of_list (List.map snd entries))
+  in
+  Dataset.to_csv ds path
+
+(* Characterize the missing workloads, fanning them out over worker
+   domains.  Workloads are independent and internally deterministic, so the
+   result is identical at any parallelism; workers only compute — all cache
+   reads and writes stay in the calling domain. *)
+let characterize_many config missing =
+  let jobs = max 1 config.jobs in
+  let work = Array.of_list missing in
+  if Array.length work = 0 then []
+  else if jobs = 1 || Array.length work = 1 then
+    Array.to_list
+      (Array.map
+         (fun w ->
+           if config.progress then
+             Logs.app (fun f ->
+                 f "characterizing %s (%d instructions)" (Workload.id w) config.icount);
+           let m, h = characterize config w in
+           (Workload.id w, m, h))
+         work)
+  else begin
+    if config.progress then
+      Logs.app (fun f ->
+          f "characterizing %d workloads on %d domains (%d instructions each)"
+            (Array.length work) jobs config.icount);
+    let next = Atomic.make 0 in
+    let results = Array.make (Array.length work) None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length work then begin
+          let w = work.(i) in
+          let m, h = characterize config w in
+          results.(i) <- Some (Workload.id w, m, h);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list (Array.map Option.get results)
+  end
+
+let datasets ?(config = default_config) workloads =
+  let mica_path = cache_path config "mica" and hpc_path = cache_path config "hpc" in
+  let mica_cache = Option.fold ~none:(Hashtbl.create 16) ~some:load_cache mica_path in
+  let hpc_cache = Option.fold ~none:(Hashtbl.create 16) ~some:load_cache hpc_path in
+  let cached id =
+    match (Hashtbl.find_opt mica_cache id, Hashtbl.find_opt hpc_cache id) with
+    | Some m, Some h
+      when Array.length m = Mica_analysis.Characteristics.count
+           && Array.length h = Mica_uarch.Hw_counters.count ->
+      Some (m, h)
+    | _ -> None
+  in
+  let missing = List.filter (fun w -> cached (Workload.id w) = None) workloads in
+  let computed = characterize_many config missing in
+  let dirty = computed <> [] in
+  List.iter
+    (fun (id, m, h) ->
+      Hashtbl.replace mica_cache id m;
+      Hashtbl.replace hpc_cache id h)
+    computed;
+  let rows =
+    List.map
+      (fun w ->
+        let id = Workload.id w in
+        match cached id with
+        | Some (m, h) -> (id, m, h)
+        | None -> assert false (* just computed *))
+      workloads
+  in
+  if dirty then begin
+    Option.iter
+      (fun p -> save_cache p ~features:Mica_analysis.Characteristics.short_names mica_cache)
+      mica_path;
+    Option.iter
+      (fun p -> save_cache p ~features:Mica_uarch.Hw_counters.short_names hpc_cache)
+      hpc_path
+  end;
+  let names = Array.of_list (List.map (fun (id, _, _) -> id) rows) in
+  let mica =
+    Dataset.create ~names ~features:Mica_analysis.Characteristics.short_names
+      (Array.of_list (List.map (fun (_, m, _) -> m) rows))
+  in
+  let hpc =
+    Dataset.create ~names ~features:Mica_uarch.Hw_counters.short_names
+      (Array.of_list (List.map (fun (_, _, h) -> h) rows))
+  in
+  (mica, hpc)
+
+let mica_dataset ?config workloads = fst (datasets ?config workloads)
+let hpc_dataset ?config workloads = snd (datasets ?config workloads)

@@ -1,0 +1,38 @@
+(** The end-to-end characterization pipeline.
+
+    For each workload, one trace is generated and fanned out to both the
+    microarchitecture-independent analyzer (47 characteristics) and the
+    machine models (7 hardware-counter metrics) — a single pass, like
+    running ATOM and DCPI over the same execution.
+
+    Results are cached as CSV under [cache_dir] keyed by trace length and
+    model version, so repeated experiments and the CLI share work. *)
+
+type config = {
+  icount : int;  (** dynamic instructions per workload trace *)
+  ppm_order : int;  (** PPM predictor maximum context length *)
+  cache_dir : string option;  (** [None] disables caching *)
+  progress : bool;  (** log one line per characterized workload *)
+  jobs : int;
+      (** worker domains for characterization; workloads are independent
+          and deterministic, so results are identical at any parallelism *)
+}
+
+val default_config : config
+(** 200k instructions, PPM order 8, cache under ["results/cache"],
+    progress off, parallelism = available cores capped at 8. *)
+
+val model_version : string
+(** Bumped whenever the generator or analyzers change semantics; part of
+    the cache key. *)
+
+val characterize : config -> Mica_workloads.Workload.t -> float array * float array
+(** [(mica_47, hpc_7)] for one workload (no caching). *)
+
+val datasets : ?config:config -> Mica_workloads.Workload.t list -> Dataset.t * Dataset.t
+(** [(mica, hpc)] datasets over the given workloads, in order.  Rows are
+    workload ids.  Cached rows are reused; missing rows are computed and
+    the cache updated. *)
+
+val mica_dataset : ?config:config -> Mica_workloads.Workload.t list -> Dataset.t
+val hpc_dataset : ?config:config -> Mica_workloads.Workload.t list -> Dataset.t

@@ -1,0 +1,85 @@
+module Stats = Mica_stats
+
+let knn_predict ~space ~targets ~k ~exclude i =
+  let n = Space.n space in
+  let neighbours =
+    List.filter (fun j -> j <> i && j <> exclude) (List.init n Fun.id)
+    |> List.map (fun j -> (Space.distance space i j, j))
+    |> List.sort compare
+    |> List.filteri (fun rank _ -> rank < k)
+  in
+  match List.find_opt (fun (d, _) -> d = 0.0) neighbours with
+  | Some (_, j) -> targets.(j)
+  | None ->
+    let wsum = ref 0.0 and acc = ref 0.0 in
+    List.iter
+      (fun (d, j) ->
+        let w = 1.0 /. d in
+        wsum := !wsum +. w;
+        acc := !acc +. (w *. targets.(j)))
+      neighbours;
+    if !wsum > 0.0 then !acc /. !wsum else 0.0
+
+type eval = {
+  metric : string;
+  k : int;
+  mean_abs_error : float;
+  mean_rel_error : float;
+  baseline_rel_error : float;
+  rank_correlation : float;
+}
+
+let evaluate_loo ~space ~targets ~metric ~k =
+  let n = Space.n space in
+  let predictions = Array.init n (fun i -> knn_predict ~space ~targets ~k ~exclude:(-1) i) in
+  let mean = Stats.Descriptive.mean targets in
+  let abs_err = Array.init n (fun i -> Float.abs (predictions.(i) -. targets.(i))) in
+  let rel_errors f =
+    let errs =
+      List.filter_map
+        (fun i ->
+          if targets.(i) > 1e-9 then Some (Float.abs (f i -. targets.(i)) /. targets.(i))
+          else None)
+        (List.init n Fun.id)
+    in
+    match errs with [] -> 0.0 | errs -> Stats.Descriptive.mean (Array.of_list errs)
+  in
+  {
+    metric;
+    k;
+    mean_abs_error = Stats.Descriptive.mean abs_err;
+    mean_rel_error = rel_errors (fun i -> predictions.(i));
+    baseline_rel_error = rel_errors (fun _ -> mean);
+    rank_correlation = Stats.Correlation.spearman predictions targets;
+  }
+
+let evaluate_counters ?(k = 5) (ctx : Experiments.Context.t) =
+  let space = ctx.Experiments.Context.mica_space in
+  let hpc = ctx.Experiments.Context.hpc in
+  Array.to_list
+    (Array.mapi
+       (fun j metric ->
+         let targets = Array.map (fun row -> row.(j)) hpc.Dataset.data in
+         evaluate_loo ~space ~targets ~metric ~k)
+       hpc.Dataset.features)
+
+let render evals =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "leave-one-out performance prediction from the MICA space (kNN, inverse-distance)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-12s %3s %12s %12s %16s %10s\n" "metric" "k" "mean |err|" "rel. err"
+       "baseline rel err" "rank corr");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s %3d %12.4f %11.1f%% %15.1f%% %10.3f\n" e.metric e.k
+           e.mean_abs_error
+           (100.0 *. e.mean_rel_error)
+           (100.0 *. e.baseline_rel_error)
+           e.rank_correlation))
+    evals;
+  Buffer.add_string buf
+    "(beating the predict-the-mean baseline shows inherent similarity carries\n\
+     machine-performance information, the premise of the authors' PACT'06 work)\n";
+  Buffer.contents buf

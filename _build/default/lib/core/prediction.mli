@@ -1,0 +1,35 @@
+(** Performance prediction from inherent program similarity.
+
+    The authors' companion work (Hoste et al., "Performance prediction
+    based on inherent program similarity", PACT 2006) predicts how an
+    application performs on a machine from the measured performance of its
+    nearest neighbours in the microarchitecture-independent space.  This
+    module implements the k-nearest-neighbour, inverse-distance-weighted
+    form and evaluates it leave-one-out over the benchmark suite: each
+    benchmark's machine metric (e.g. EV56 IPC) is predicted from the other
+    121, then compared with its measured value. *)
+
+val knn_predict :
+  space:Space.t -> targets:float array -> k:int -> exclude:int -> int -> float
+(** [knn_predict ~space ~targets ~k ~exclude i] predicts observation [i]'s
+    target as the inverse-distance-weighted mean of its [k] nearest
+    neighbours (skipping [exclude], normally [i] itself; pass -1 to skip
+    nothing).  An exact-distance-0 neighbour returns its target directly. *)
+
+type eval = {
+  metric : string;
+  k : int;
+  mean_abs_error : float;
+  mean_rel_error : float;  (** mean |pred - true| / true over positive targets *)
+  baseline_rel_error : float;  (** same, predicting the global mean for everyone *)
+  rank_correlation : float;  (** Spearman correlation of predicted vs true *)
+}
+
+val evaluate_loo : space:Space.t -> targets:float array -> metric:string -> k:int -> eval
+(** Leave-one-out evaluation over all observations. *)
+
+val evaluate_counters : ?k:int -> Experiments.Context.t -> eval list
+(** One evaluation per hardware-counter metric, predicting from the MICA
+    space (default k = 5). *)
+
+val render : eval list -> string

@@ -1,0 +1,101 @@
+module W = Mica_workloads
+module U = Mica_uarch
+
+type interval_ipc = { instructions : int; cycles : int }
+
+type t = {
+  phases : Phases.t;
+  interval_results : interval_ipc array;
+  true_ipc : float;
+  estimated_ipc : float;
+  error : float;
+}
+
+(* Per-interval machine results come from one warm simulation: the
+   in-order model's counters are sampled at every interval boundary. *)
+let per_interval_ipc program ~icount ~interval =
+  let model = U.Inorder.create () in
+  let model_sink = U.Inorder.sink model in
+  let boundaries = ref [] in
+  let seen = ref 0 in
+  let sampler =
+    Mica_trace.Sink.make ~name:"interval-sampler" (fun _ ->
+        incr seen;
+        if !seen mod interval = 0 then begin
+          let r = U.Inorder.result model in
+          boundaries := (r.U.Inorder.instructions, r.U.Inorder.cycles) :: !boundaries
+        end)
+  in
+  (* the model must observe the instruction before the sampler reads it *)
+  let sink = Mica_trace.Sink.fanout [ model_sink; sampler ] in
+  let (_ : int) = Mica_trace.Generator.run program ~icount ~sink in
+  let final = U.Inorder.result model in
+  let cumulative = Array.of_list (List.rev !boundaries) in
+  let intervals =
+    Array.mapi
+      (fun i (instrs, cycles) ->
+        let prev_i, prev_c = if i = 0 then (0, 0) else cumulative.(i - 1) in
+        { instructions = instrs - prev_i; cycles = cycles - prev_c })
+      cumulative
+  in
+  (intervals, float_of_int final.U.Inorder.instructions /. float_of_int final.U.Inorder.cycles)
+
+let validate ?(interval = 10_000) (w : W.Workload.t) ~icount =
+  let phases = Phases.analyze ~interval w.W.Workload.model ~icount in
+  let interval_results, true_ipc = per_interval_ipc w.W.Workload.model ~icount ~interval in
+  (* phase analysis and machine sampling may disagree by one trailing
+     partial interval; align on the shorter *)
+  let n = min (Array.length phases.Phases.assignments) (Array.length interval_results) in
+  let cpi_of i =
+    let r = interval_results.(i) in
+    if r.instructions = 0 then 0.0 else float_of_int r.cycles /. float_of_int r.instructions
+  in
+  (* weight = share of instructions belonging to each phase (within the
+     aligned prefix) *)
+  let k = phases.Phases.k in
+  let instr_per_phase = Array.make k 0 in
+  for i = 0 to n - 1 do
+    let p = phases.Phases.assignments.(i) in
+    instr_per_phase.(p) <- instr_per_phase.(p) + interval_results.(i).instructions
+  done;
+  let total_instrs = Array.fold_left ( + ) 0 instr_per_phase in
+  let estimated_cpi = ref 0.0 in
+  for p = 0 to k - 1 do
+    let rep = phases.Phases.representatives.(p) in
+    if rep >= 0 && rep < n && total_instrs > 0 then
+      estimated_cpi :=
+        !estimated_cpi
+        +. (float_of_int instr_per_phase.(p) /. float_of_int total_instrs *. cpi_of rep)
+  done;
+  let estimated_ipc = if !estimated_cpi > 0.0 then 1.0 /. !estimated_cpi else 0.0 in
+  {
+    phases;
+    interval_results;
+    true_ipc;
+    estimated_ipc;
+    error = (if true_ipc > 0.0 then Float.abs (estimated_ipc -. true_ipc) /. true_ipc else 0.0);
+  }
+
+let validate_many ?interval workloads ~icount =
+  List.map (fun w -> (W.Workload.id w, validate ?interval w ~icount)) workloads
+
+let render results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "SimPoint validation: phase-weighted representative IPC vs whole-trace IPC\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-40s %7s %9s %9s %7s\n" "workload" "phases" "true IPC" "est. IPC"
+       "error");
+  List.iter
+    (fun (id, t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-40s %7d %9.3f %9.3f %6.1f%%\n" id t.phases.Phases.k t.true_ipc
+           t.estimated_ipc (100.0 *. t.error)))
+    results;
+  let errors = Array.of_list (List.map (fun (_, t) -> t.error) results) in
+  if Array.length errors > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "  mean error %.1f%%, max %.1f%%\n"
+         (100.0 *. Mica_stats.Descriptive.mean errors)
+         (100.0 *. snd (Mica_stats.Descriptive.min_max errors)));
+  Buffer.contents buf

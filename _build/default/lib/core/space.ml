@@ -1,0 +1,44 @@
+module Stats = Mica_stats
+
+type t = {
+  dataset : Dataset.t;
+  normalized : Stats.Matrix.t;
+  zparams : (float * float) array;
+  distances : float array;
+}
+
+let of_dataset dataset =
+  let zparams = Stats.Normalize.zscore_params dataset.Dataset.data in
+  let normalized = Array.map (Stats.Normalize.apply_zscore zparams) dataset.Dataset.data in
+  let distances = Stats.Distance.condensed normalized in
+  { dataset; normalized; zparams; distances }
+
+let n t = Dataset.rows t.dataset
+
+let distance t i j =
+  if i = j then 0.0 else t.distances.(Stats.Distance.pair_index ~n:(n t) i j)
+
+let distance_by_name t a b =
+  let idx name =
+    match Dataset.row_index t.dataset name with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Space.distance_by_name: unknown %S" name)
+  in
+  distance t (idx a) (idx b)
+
+let max_distance t = if Array.length t.distances = 0 then 0.0 else snd (Stats.Descriptive.min_max t.distances)
+
+let nearest t i ~k =
+  let others =
+    List.filter_map
+      (fun j -> if j = i then None else Some (j, distance t i j))
+      (List.init (n t) Fun.id)
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) others in
+  List.filteri (fun rank _ -> rank < k) sorted
+
+let place t raw = Stats.Normalize.apply_zscore t.zparams raw
+
+let distances_from t raw =
+  let z = place t raw in
+  Array.map (fun row -> Stats.Distance.euclidean z row) t.normalized

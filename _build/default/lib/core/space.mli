@@ -1,0 +1,32 @@
+(** A workload space: a dataset with z-score normalization and condensed
+    pairwise Euclidean distances, as used throughout sections IV-VI. *)
+
+type t = {
+  dataset : Dataset.t;
+  normalized : Mica_stats.Matrix.t;
+  zparams : (float * float) array;  (** per-feature (mean, stddev) *)
+  distances : float array;  (** condensed upper-triangle distances *)
+}
+
+val of_dataset : Dataset.t -> t
+
+val n : t -> int
+(** Number of observations. *)
+
+val distance : t -> int -> int -> float
+(** Distance between observations by row index. *)
+
+val distance_by_name : t -> string -> string -> float
+(** Raises [Invalid_argument] on unknown names. *)
+
+val max_distance : t -> float
+
+val nearest : t -> int -> k:int -> (int * float) list
+(** The [k] nearest other observations to row [i], ascending distance. *)
+
+val place : t -> float array -> float array
+(** Normalize a new observation with the space's parameters (to position a
+    workload that was not part of the original dataset). *)
+
+val distances_from : t -> float array -> float array
+(** Distances from a new (raw) observation to every row of the space. *)

@@ -1,0 +1,82 @@
+type t = {
+  chosen : int array;
+  representative_of : int array;
+  max_distance : float;
+  mean_distance : float;
+}
+
+(* medoid: the observation minimizing total distance to all others *)
+let medoid space =
+  let n = Space.n space in
+  let best = ref 0 and best_sum = ref infinity in
+  for i = 0 to n - 1 do
+    let sum = ref 0.0 in
+    for j = 0 to n - 1 do
+      sum := !sum +. Space.distance space i j
+    done;
+    if !sum < !best_sum then begin
+      best_sum := !sum;
+      best := i
+    end
+  done;
+  !best
+
+let k_center space ~k =
+  let n = Space.n space in
+  if k < 1 || k > n then invalid_arg "Subsetting.k_center: k out of range";
+  let chosen = ref [ medoid space ] in
+  (* nearest.(i) = (distance to nearest chosen, that chosen index) *)
+  let nearest = Array.init n (fun i -> (Space.distance space i (List.hd !chosen), List.hd !chosen)) in
+  while List.length !chosen < k do
+    (* farthest point from the current selection *)
+    let far = ref 0 and far_d = ref neg_infinity in
+    Array.iteri
+      (fun i (d, _) ->
+        if d > !far_d then begin
+          far_d := d;
+          far := i
+        end)
+      nearest;
+    chosen := !far :: !chosen;
+    Array.iteri
+      (fun i (d, _) ->
+        let d' = Space.distance space i !far in
+        if d' < d then nearest.(i) <- (d', !far))
+      nearest
+  done;
+  let representative_of = Array.map snd nearest in
+  let distances = Array.map fst nearest in
+  {
+    chosen = Array.of_list (List.rev !chosen);
+    representative_of;
+    max_distance = Array.fold_left Float.max 0.0 distances;
+    mean_distance = Mica_stats.Descriptive.mean distances;
+  }
+
+let sweep space ~ks = List.map (fun k -> (k, (k_center space ~k).max_distance)) ks
+
+let render space t =
+  let names = space.Space.dataset.Dataset.names in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "reduced suite of %d benchmarks (covering radius %.3f, mean distance %.3f):\n"
+       (Array.length t.chosen) t.max_distance t.mean_distance);
+  Array.iter
+    (fun c ->
+      let covered =
+        List.filter
+          (fun i -> t.representative_of.(i) = c && i <> c)
+          (List.init (Array.length names) Fun.id)
+      in
+      Buffer.add_string buf (Printf.sprintf "* %s\n" names.(c));
+      Buffer.add_string buf
+        (Printf.sprintf "    represents %d others%s\n" (List.length covered)
+           (if covered = [] then ""
+            else
+              ": "
+              ^ String.concat ", "
+                  (List.filteri (fun i _ -> i < 4) (List.map (fun i -> names.(i)) covered))
+              ^ if List.length covered > 4 then ", ..." else "")))
+    t.chosen;
+  Buffer.contents buf

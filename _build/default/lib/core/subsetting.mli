@@ -1,0 +1,29 @@
+(** Benchmark-suite subsetting.
+
+    A direct application of the workload space (Eeckhout et al.,
+    "Exploiting program microarchitecture independent characteristics and
+    phase behavior for reduced benchmark suite simulation"; Vandierendonck
+    & De Bosschere, "Experiments with subsetting benchmark suites"): pick
+    K benchmarks such that every other benchmark is close to a chosen one,
+    then simulate only those K.
+
+    Uses the greedy k-center heuristic (2-approximation): start from the
+    medoid, repeatedly add the benchmark farthest from the current
+    selection. *)
+
+type t = {
+  chosen : int array;  (** row indices of the selected benchmarks, selection order *)
+  representative_of : int array;  (** per row: index (into rows) of its nearest chosen *)
+  max_distance : float;  (** covering radius *)
+  mean_distance : float;  (** average distance to the assigned representative *)
+}
+
+val k_center : Space.t -> k:int -> t
+(** Deterministic.  Requires [1 <= k <= n]. *)
+
+val sweep : Space.t -> ks:int list -> (int * float) list
+(** Covering radius per subset size — the curve that tells you how many
+    benchmarks a reduced suite needs. *)
+
+val render : Space.t -> t -> string
+(** Chosen benchmarks with the cluster of workloads each one represents. *)

@@ -1,0 +1,52 @@
+type t =
+  | Load
+  | Store
+  | Branch
+  | Jump
+  | Call
+  | Return
+  | Int_alu
+  | Int_mul
+  | Fp_add
+  | Fp_mul
+  | Fp_div
+  | Nop
+
+let is_load = function Load -> true | _ -> false
+let is_store = function Store -> true | _ -> false
+let is_mem = function Load | Store -> true | _ -> false
+let is_control = function Branch | Jump | Call | Return -> true | _ -> false
+let is_cond_branch = function Branch -> true | _ -> false
+let is_int_alu = function Int_alu -> true | _ -> false
+let is_int_mul = function Int_mul -> true | _ -> false
+let is_fp = function Fp_add | Fp_mul | Fp_div -> true | _ -> false
+
+let latency = function
+  | Load -> 1 (* address generation; memory latency added by the cache model *)
+  | Store -> 1
+  | Branch | Jump | Call | Return -> 1
+  | Int_alu -> 1
+  | Int_mul -> 8
+  | Fp_add -> 4
+  | Fp_mul -> 4
+  | Fp_div -> 18
+  | Nop -> 1
+
+let to_string = function
+  | Load -> "load"
+  | Store -> "store"
+  | Branch -> "branch"
+  | Jump -> "jump"
+  | Call -> "call"
+  | Return -> "return"
+  | Int_alu -> "int_alu"
+  | Int_mul -> "int_mul"
+  | Fp_add -> "fp_add"
+  | Fp_mul -> "fp_mul"
+  | Fp_div -> "fp_div"
+  | Nop -> "nop"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let all =
+  [ Load; Store; Branch; Jump; Call; Return; Int_alu; Int_mul; Fp_add; Fp_mul; Fp_div; Nop ]

@@ -1,0 +1,17 @@
+let none = -1
+let zero = 31
+let int_base = 0
+let int_count = 32
+let fp_base = 32
+let fp_count = 32
+let count = int_count + fp_count
+let is_none r = r < 0
+let is_int r = r >= int_base && r < int_base + int_count
+let is_fp r = r >= fp_base && r < fp_base + fp_count
+let carries_dependency r = r >= 0 && r <> zero
+
+let to_string r =
+  if is_none r then "-"
+  else if is_int r then Printf.sprintf "r%d" r
+  else if is_fp r then Printf.sprintf "f%d" (r - fp_base)
+  else Printf.sprintf "?%d" r

@@ -1,0 +1,1 @@
+lib/select/correlation_elimination.ml: Array Fitness Float Fun List Mica_stats

@@ -1,0 +1,1 @@
+lib/select/correlation_elimination.mli: Fitness Mica_stats

@@ -1,0 +1,1 @@
+lib/select/fitness.ml: Array Mica_stats

@@ -1,0 +1,1 @@
+lib/select/fitness.mli: Mica_stats

@@ -1,0 +1,1 @@
+lib/select/genetic.ml: Array Bytes Fitness Fun Hashtbl List Mica_util

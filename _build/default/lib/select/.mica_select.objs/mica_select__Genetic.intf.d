@@ -1,0 +1,1 @@
+lib/select/genetic.mli: Fitness Mica_util

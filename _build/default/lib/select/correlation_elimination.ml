@@ -1,0 +1,47 @@
+module Stats = Mica_stats
+
+type step = { removed : int; avg_abs_corr : float; remaining : int array; rho : float }
+
+let run ?(down_to = 1) ~data fitness =
+  let _, n = Stats.Matrix.dims data in
+  let down_to = max 1 down_to in
+  (* Correlation matrix over the full set; sub-matrices are just index
+     restrictions of it, so it is computed once. *)
+  let corr = Stats.Matrix.correlation_matrix data in
+  let alive = Array.make n true in
+  let alive_count = ref n in
+  let steps = ref [] in
+  while !alive_count > down_to do
+    (* average |r| of each live characteristic against the other live ones *)
+    let best = ref (-1) and best_avg = ref neg_infinity in
+    for i = 0 to n - 1 do
+      if alive.(i) then begin
+        let acc = ref 0.0 and cnt = ref 0 in
+        for j = 0 to n - 1 do
+          if alive.(j) && j <> i then begin
+            acc := !acc +. Float.abs corr.(i).(j);
+            incr cnt
+          end
+        done;
+        let avg = if !cnt = 0 then 0.0 else !acc /. float_of_int !cnt in
+        if avg > !best_avg then begin
+          best_avg := avg;
+          best := i
+        end
+      end
+    done;
+    alive.(!best) <- false;
+    decr alive_count;
+    let remaining =
+      Array.of_list (List.filter (fun i -> alive.(i)) (List.init n Fun.id))
+    in
+    steps :=
+      { removed = !best; avg_abs_corr = !best_avg; remaining; rho = Fitness.rho fitness remaining }
+      :: !steps
+  done;
+  List.rev !steps
+
+let subset_of_size steps k =
+  match List.find_opt (fun s -> Array.length s.remaining = k) steps with
+  | Some s -> s.remaining
+  | None -> raise Not_found

@@ -1,0 +1,26 @@
+(** Correlation elimination (section V-A).
+
+    Iteratively removes the characteristic with the highest average
+    correlation with the remaining characteristics: the one carrying the
+    least additional information.  Each step records which characteristic
+    was dropped and how well the surviving subset still reproduces
+    full-space distances. *)
+
+type step = {
+  removed : int;  (** index of the characteristic dropped at this step *)
+  avg_abs_corr : float;  (** its average |r| with the others, motivating removal *)
+  remaining : int array;  (** surviving characteristic indices, ascending *)
+  rho : float;  (** distance correlation of the surviving subset vs. full space *)
+}
+
+val run : ?down_to:int -> data:Mica_stats.Matrix.t -> Fitness.t -> step list
+(** [run ~data fitness] eliminates one characteristic at a time until
+    [down_to] remain (default 1).  [data] is the raw (unnormalized)
+    observations matrix — correlations between characteristics are scale
+    invariant; [fitness] must come from the normalized version of the same
+    matrix.  Steps are returned in elimination order. *)
+
+val subset_of_size : step list -> int -> int array
+(** [subset_of_size steps k] is the surviving subset after elimination has
+    reduced the space to [k] characteristics.  Raises [Not_found] if the
+    run did not reach [k]. *)

@@ -1,0 +1,28 @@
+module Stats = Mica_stats
+
+type t = {
+  components : Stats.Matrix.t;  (* pairs x characteristics, squared diffs *)
+  full : float array;
+  n_chars : int;
+}
+
+let create normalized =
+  let rows, cols = Stats.Matrix.dims normalized in
+  if rows < 2 then invalid_arg "Fitness.create: need at least 2 observations";
+  let components = Stats.Distance.condensed_squared_components normalized in
+  let full = Stats.Distance.condensed normalized in
+  { components; full; n_chars = cols }
+
+let n_characteristics t = t.n_chars
+let n_pairs t = Array.length t.full
+let full_distances t = t.full
+let distances_for t subset = Stats.Distance.subset_distances t.components subset
+
+let rho t subset =
+  if Array.length subset = 0 then 0.0
+  else Stats.Correlation.pearson (distances_for t subset) t.full
+
+let paper_fitness t subset =
+  let n = Array.length subset in
+  if n = 0 then 0.0
+  else rho t subset *. (1.0 -. (float_of_int n /. float_of_int t.n_chars))

@@ -1,0 +1,32 @@
+(** Fitness of characteristic subsets.
+
+    Both reduction methods of section V judge a subset S of the N
+    characteristics by how well pairwise benchmark distances computed in
+    the reduced space correlate with distances in the full normalized
+    space.  This module precomputes per-pair, per-characteristic squared
+    differences once so that evaluating a subset costs one pass over the
+    pairs — which is what makes the genetic algorithm affordable. *)
+
+type t
+
+val create : Mica_stats.Matrix.t -> t
+(** [create normalized] builds the evaluation context from an
+    observations-by-characteristics matrix that is already normalized
+    (z-scored).  Requires at least 2 observations. *)
+
+val n_characteristics : t -> int
+val n_pairs : t -> int
+
+val full_distances : t -> float array
+(** Condensed pairwise distances using all characteristics. *)
+
+val distances_for : t -> int array -> float array
+(** Condensed pairwise distances using only the given characteristic
+    indices. *)
+
+val rho : t -> int array -> float
+(** Pearson correlation between the subset-space distances and the
+    full-space distances.  0 for the empty subset. *)
+
+val paper_fitness : t -> int array -> float
+(** The paper's GA fitness [f = rho * (1 - n/N)]. *)

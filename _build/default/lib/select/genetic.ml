@@ -1,0 +1,129 @@
+module Rng = Mica_util.Rng
+
+type config = {
+  population : int;
+  max_generations : int;
+  tournament_size : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  elite : int;
+  stall_generations : int;
+  init_select_prob : float;
+}
+
+let default_config =
+  {
+    population = 48;
+    max_generations = 250;
+    tournament_size = 3;
+    crossover_rate = 0.9;
+    mutation_rate = 0.03;
+    elite = 2;
+    stall_generations = 40;
+    init_select_prob = 0.25;
+  }
+
+type result = {
+  selected : int array;
+  fitness : float;
+  rho : float;
+  generations_run : int;
+  best_history : float array;
+  evaluations : int;
+}
+
+let genome_key genome =
+  let buf = Bytes.make (Array.length genome) '0' in
+  Array.iteri (fun i b -> if b then Bytes.set buf i '1') genome;
+  Bytes.to_string buf
+
+let subset_of_genome genome =
+  let out = ref [] in
+  for i = Array.length genome - 1 downto 0 do
+    if genome.(i) then out := i :: !out
+  done;
+  Array.of_list !out
+
+let run ?(config = default_config) ~rng fitness =
+  let n = Fitness.n_characteristics fitness in
+  let cache : (string, float) Hashtbl.t = Hashtbl.create 1024 in
+  let evaluations = ref 0 in
+  let eval genome =
+    let key = genome_key genome in
+    match Hashtbl.find_opt cache key with
+    | Some f -> f
+    | None ->
+      incr evaluations;
+      let f = Fitness.paper_fitness fitness (subset_of_genome genome) in
+      Hashtbl.add cache key f;
+      f
+  in
+  let random_genome () =
+    let g = Array.init n (fun _ -> Rng.bernoulli rng ~p:config.init_select_prob) in
+    (* an empty genome is useless; force one bit *)
+    if not (Array.exists Fun.id g) then g.(Rng.int rng n) <- true;
+    g
+  in
+  let population = ref (Array.init config.population (fun _ -> random_genome ())) in
+  let scores = ref (Array.map eval !population) in
+  let tournament () =
+    let best = ref (Rng.int rng config.population) in
+    for _ = 2 to config.tournament_size do
+      let c = Rng.int rng config.population in
+      if !scores.(c) > !scores.(!best) then best := c
+    done;
+    !population.(!best)
+  in
+  let crossover a b =
+    if Rng.bernoulli rng ~p:config.crossover_rate then
+      Array.init n (fun i -> if Rng.bool rng then a.(i) else b.(i))
+    else Array.copy a
+  in
+  let mutate g =
+    Array.iteri (fun i b -> if Rng.bernoulli rng ~p:config.mutation_rate then g.(i) <- not b) g;
+    if not (Array.exists Fun.id g) then g.(Rng.int rng n) <- true
+  in
+  let best_of pop_scores =
+    let best = ref 0 in
+    Array.iteri (fun i s -> if s > pop_scores.(!best) then best := i) pop_scores;
+    !best
+  in
+  let history = ref [] in
+  let stall = ref 0 in
+  let generation = ref 0 in
+  let best_ever = ref (Array.copy !population.(best_of !scores)) in
+  let best_ever_score = ref !scores.(best_of !scores) in
+  while !generation < config.max_generations && !stall < config.stall_generations do
+    incr generation;
+    (* elitism: carry the best genomes over unchanged *)
+    let order = Array.init config.population Fun.id in
+    Array.sort (fun a b -> compare !scores.(b) !scores.(a)) order;
+    let next =
+      Array.init config.population (fun i ->
+          if i < config.elite then Array.copy !population.(order.(i))
+          else begin
+            let child = crossover (tournament ()) (tournament ()) in
+            mutate child;
+            child
+          end)
+    in
+    population := next;
+    scores := Array.map eval next;
+    let b = best_of !scores in
+    if !scores.(b) > !best_ever_score +. 1e-12 then begin
+      best_ever_score := !scores.(b);
+      best_ever := Array.copy !population.(b);
+      stall := 0
+    end
+    else incr stall;
+    history := !best_ever_score :: !history
+  done;
+  let selected = subset_of_genome !best_ever in
+  {
+    selected;
+    fitness = !best_ever_score;
+    rho = Fitness.rho fitness selected;
+    generations_run = !generation;
+    best_history = Array.of_list (List.rev !history);
+    evaluations = !evaluations;
+  }

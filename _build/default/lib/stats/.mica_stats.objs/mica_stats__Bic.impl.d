@@ -1,0 +1,1 @@
+lib/stats/bic.ml: Array Descriptive Float Kmeans List Option

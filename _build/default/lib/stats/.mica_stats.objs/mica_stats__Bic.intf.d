@@ -1,0 +1,1 @@
+lib/stats/bic.mli: Kmeans Matrix Mica_util

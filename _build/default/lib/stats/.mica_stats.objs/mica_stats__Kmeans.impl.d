@@ -1,0 +1,1 @@
+lib/stats/kmeans.ml: Array Distance Matrix Mica_util

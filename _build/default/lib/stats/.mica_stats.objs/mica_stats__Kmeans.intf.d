@@ -1,0 +1,1 @@
+lib/stats/kmeans.mli: Matrix Mica_util

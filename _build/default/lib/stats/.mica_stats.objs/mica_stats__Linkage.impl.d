@@ -1,0 +1,1 @@
+lib/stats/linkage.ml: Array Distance Float List Option

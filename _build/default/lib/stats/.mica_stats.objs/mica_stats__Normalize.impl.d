@@ -1,0 +1,1 @@
+lib/stats/normalize.ml: Array Descriptive Float Matrix

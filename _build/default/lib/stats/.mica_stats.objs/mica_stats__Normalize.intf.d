@@ -1,0 +1,1 @@
+lib/stats/normalize.mli: Matrix

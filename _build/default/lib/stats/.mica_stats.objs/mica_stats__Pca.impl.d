@@ -1,0 +1,1 @@
+lib/stats/pca.ml: Array Descriptive Float Fun Matrix

@@ -1,0 +1,1 @@
+lib/stats/roc.ml: Array Descriptive Fun List

@@ -1,0 +1,73 @@
+(* X-means BIC (Pelleg & Moore, 2000), spherical Gaussian model:
+
+     sigma^2 = inertia / (M * (R - K))           (per-dimension ML variance)
+     l       = sum_i R_i log(R_i / R)
+               - (R * M / 2) log(2 pi sigma^2)
+               - M (R - K) / 2
+     BIC     = l - (p / 2) log R,   p = K (M + 1)
+
+   with R observations, M dimensions, K clusters and R_i members in
+   cluster i.  Larger is better. *)
+let score m (res : Kmeans.result) =
+  let n = Array.length m in
+  let dims = if n = 0 then 0 else Array.length m.(0) in
+  let k = res.k in
+  let nf = float_of_int n and df = float_of_int dims and kf = float_of_int k in
+  let variance =
+    if n <= k then 1e-9 else Float.max (res.inertia /. (df *. float_of_int (n - k))) 1e-9
+  in
+  let members = Kmeans.cluster_members res in
+  let mixture_term =
+    Array.fold_left
+      (fun acc mem ->
+        let rn = float_of_int (List.length mem) in
+        if rn > 0.0 then acc +. (rn *. log (rn /. nf)) else acc)
+      0.0 members
+  in
+  let log_likelihood =
+    mixture_term
+    -. (nf *. df /. 2.0 *. log (2.0 *. Float.pi *. variance))
+    -. (df *. float_of_int (n - k) /. 2.0)
+  in
+  let free_params = kf *. (df +. 1.0) in
+  log_likelihood -. (free_params /. 2.0 *. log nf)
+
+let sweep ?(k_min = 1) ?(k_max = 70) ?(restarts = 3) ~rng m =
+  let n = Array.length m in
+  let k_max = min k_max n in
+  let k_min = max 1 (min k_min k_max) in
+  Array.init
+    (k_max - k_min + 1)
+    (fun i ->
+      let k = k_min + i in
+      let res = Kmeans.fit ~restarts ~rng ~k m in
+      (k, res, score m res))
+
+type preference = Smallest_within | Largest_within | Peak
+
+let choose ?(frac = 0.9) ?(prefer = Smallest_within) sweep_results =
+  if Array.length sweep_results = 0 then invalid_arg "Bic.choose: empty sweep";
+  let scores = Array.map (fun (_, _, s) -> s) sweep_results in
+  let lo, hi = Descriptive.min_max scores in
+  let threshold = if hi > lo then lo +. (frac *. (hi -. lo)) else hi in
+  let qualifying =
+    Array.to_list sweep_results |> List.filter (fun (_, _, s) -> s >= threshold)
+  in
+  match prefer with
+  | Peak ->
+    Array.to_list sweep_results
+    |> List.fold_left
+         (fun best ((_, _, s) as entry) ->
+           match best with
+           | Some (_, _, bs) when bs >= s -> best
+           | Some _ | None -> Some entry)
+         None
+    |> Option.get
+  | Smallest_within -> (
+    match qualifying with
+    | first :: _ -> first
+    | [] -> sweep_results.(Array.length sweep_results - 1))
+  | Largest_within -> (
+    match List.rev qualifying with
+    | last :: _ -> last
+    | [] -> sweep_results.(Array.length sweep_results - 1))

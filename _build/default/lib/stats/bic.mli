@@ -1,0 +1,41 @@
+(** Bayesian Information Criterion scoring of k-means clusterings.
+
+    The paper selects K by running k-means for K = 1..70 and picking the K
+    whose BIC score is "within 90% of the maximum score", citing Sherwood
+    et al. (SimPoint).  We use the X-means BIC of Pelleg and Moore: the
+    log-likelihood of the data under a spherical Gaussian mixture located
+    at the centroids, minus a (p/2) log n penalty on the number of free
+    parameters.
+
+    Because BIC scores are typically negative, "within 90%" is implemented
+    as a min-max normalized rule: the smallest K whose score reaches
+    [min + frac * (max - min)] over the swept K range. *)
+
+val score : Matrix.t -> Kmeans.result -> float
+(** BIC of a clustering; larger is better. *)
+
+val sweep :
+  ?k_min:int ->
+  ?k_max:int ->
+  ?restarts:int ->
+  rng:Mica_util.Rng.t ->
+  Matrix.t ->
+  (int * Kmeans.result * float) array
+(** Run k-means for each K in [k_min, k_max] (clamped to the number of
+    observations) and return (K, clustering, BIC). *)
+
+type preference =
+  | Smallest_within  (** smallest K reaching the threshold (SimPoint's rule) *)
+  | Largest_within  (** largest K still above the threshold *)
+  | Peak  (** the K maximizing the BIC score outright *)
+
+val choose :
+  ?frac:float ->
+  ?prefer:preference ->
+  (int * Kmeans.result * float) array ->
+  int * Kmeans.result * float
+(** Select K from a sweep.  The threshold is [min + frac * (max - min)]
+    (default [frac] 0.9); the paper's phrase "a K value within 90% of the
+    maximum score" does not pin down which qualifying K to take, so
+    [prefer] (default {!Smallest_within}) makes the reading explicit.
+    Requires a non-empty sweep. *)

@@ -1,0 +1,30 @@
+module Rng = Mica_util.Rng
+
+type interval = { estimate : float; lo : float; hi : float; replicates : int }
+
+let interval ?(replicates = 1000) ?(confidence = 0.95) ~rng ~n f =
+  if n <= 0 then invalid_arg "Bootstrap.interval: need observations";
+  let estimate = f (Array.init n Fun.id) in
+  let stats =
+    Array.init replicates (fun _ -> f (Array.init n (fun _ -> Rng.int rng n)))
+  in
+  let alpha = (1.0 -. confidence) /. 2.0 in
+  {
+    estimate;
+    lo = Descriptive.percentile stats alpha;
+    hi = Descriptive.percentile stats (1.0 -. alpha);
+    replicates;
+  }
+
+let pair_distance_statistic ~normalized_a ~normalized_b stat sample =
+  let n = Array.length sample in
+  let da = ref [] and db = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if sample.(i) <> sample.(j) then begin
+        da := Distance.euclidean normalized_a.(sample.(i)) normalized_a.(sample.(j)) :: !da;
+        db := Distance.euclidean normalized_b.(sample.(i)) normalized_b.(sample.(j)) :: !db
+      end
+    done
+  done;
+  stat (Array.of_list !da) (Array.of_list !db)

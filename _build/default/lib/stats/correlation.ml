@@ -1,0 +1,38 @@
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Correlation.pearson: length mismatch";
+  if n = 0 then 0.0
+  else begin
+    let mx = Descriptive.mean xs and my = Descriptive.mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    let denom = sqrt (!sxx *. !syy) in
+    if denom > 0.0 then !sxy /. denom else 0.0
+  end
+
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  let out = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    (* find the extent of the tie group *)
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      out.(order.(k)) <- avg_rank
+    done;
+    i := !j + 1
+  done;
+  out
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)

@@ -1,0 +1,12 @@
+(** Correlation coefficients. *)
+
+val pearson : float array -> float array -> float
+(** Pearson product-moment correlation.  Returns 0 if either input has zero
+    variance.  Requires equal lengths. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation (Pearson over average ranks, handling
+    ties). *)
+
+val ranks : float array -> float array
+(** Average ranks (1-based) with ties sharing their mean rank. *)

@@ -1,0 +1,55 @@
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      xs;
+    !acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  assert (Array.length xs > 0);
+  Array.fold_left
+    (fun (lo, hi) x -> ((if x < lo then x else lo), if x > hi then x else hi))
+    (xs.(0), xs.(0))
+    xs
+
+let percentile xs p =
+  assert (Array.length xs > 0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  let lo = max 0 (min (n - 1) lo) and hi = max 0 (min (n - 1) hi) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+type running = { mutable n : int; mutable m : float; mutable m2 : float }
+
+let running_create () = { n = 0; m = 0.0; m2 = 0.0 }
+
+let running_add r x =
+  r.n <- r.n + 1;
+  let delta = x -. r.m in
+  r.m <- r.m +. (delta /. float_of_int r.n);
+  r.m2 <- r.m2 +. (delta *. (x -. r.m))
+
+let running_count r = r.n
+let running_mean r = r.m
+let running_stddev r = if r.n < 2 then 0.0 else sqrt (r.m2 /. float_of_int r.n)

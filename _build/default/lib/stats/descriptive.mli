@@ -1,0 +1,28 @@
+(** Descriptive statistics over float arrays. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val variance : float array -> float
+(** Population variance (divide by n); 0 for fewer than 2 elements. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min_max : float array -> float * float
+(** Requires a non-empty array. *)
+
+val sum : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,1], linear interpolation between order
+    statistics.  Requires a non-empty array.  Does not modify [xs]. *)
+
+type running
+(** Welford accumulator for single-pass mean/variance. *)
+
+val running_create : unit -> running
+val running_add : running -> float -> unit
+val running_count : running -> int
+val running_mean : running -> float
+val running_stddev : running -> float

@@ -1,0 +1,137 @@
+module Rng = Mica_util.Rng
+
+type result = {
+  k : int;
+  assignments : int array;
+  centroids : Matrix.t;
+  inertia : float;
+  iterations : int;
+}
+
+let nearest centroids x =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun c centroid ->
+      let d = Distance.squared_euclidean centroid x in
+      if d < !best_d then begin
+        best_d := d;
+        best := c
+      end)
+    centroids;
+  (!best, !best_d)
+
+(* k-means++ seeding: first centroid uniform, then proportional to squared
+   distance to the nearest chosen centroid. *)
+let seed rng k m =
+  let n = Array.length m in
+  let centroids = Array.make k m.(0) in
+  centroids.(0) <- Array.copy m.(Rng.int rng n);
+  let d2 = Array.map (fun x -> Distance.squared_euclidean x centroids.(0)) m in
+  for c = 1 to k - 1 do
+    let total = Array.fold_left ( +. ) 0.0 d2 in
+    let chosen =
+      if total <= 0.0 then Rng.int rng n
+      else begin
+        let r = Rng.float rng total in
+        let acc = ref 0.0 and pick = ref (n - 1) in
+        (try
+           Array.iteri
+             (fun i d ->
+               acc := !acc +. d;
+               if r < !acc then begin
+                 pick := i;
+                 raise Exit
+               end)
+             d2
+         with Exit -> ());
+        !pick
+      end
+    in
+    centroids.(c) <- Array.copy m.(chosen);
+    Array.iteri
+      (fun i x ->
+        let d = Distance.squared_euclidean x centroids.(c) in
+        if d < d2.(i) then d2.(i) <- d)
+      m
+  done;
+  centroids
+
+let lloyd ~max_iters m centroids =
+  let n = Array.length m in
+  let k = Array.length centroids in
+  let dims = Array.length m.(0) in
+  let assignments = Array.make n (-1) in
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed && !iterations < max_iters do
+    incr iterations;
+    changed := false;
+    (* assignment step *)
+    for i = 0 to n - 1 do
+      let c, _ = nearest centroids m.(i) in
+      if c <> assignments.(i) then begin
+        assignments.(i) <- c;
+        changed := true
+      end
+    done;
+    (* update step *)
+    let sums = Array.make_matrix k dims 0.0 in
+    let counts = Array.make k 0 in
+    for i = 0 to n - 1 do
+      let c = assignments.(i) in
+      counts.(c) <- counts.(c) + 1;
+      let row = m.(i) in
+      for d = 0 to dims - 1 do
+        sums.(c).(d) <- sums.(c).(d) +. row.(d)
+      done
+    done;
+    for c = 0 to k - 1 do
+      if counts.(c) > 0 then
+        centroids.(c) <- Array.map (fun s -> s /. float_of_int counts.(c)) sums.(c)
+      else begin
+        (* re-seed an empty cluster with the point farthest from its centroid *)
+        let far = ref 0 and far_d = ref neg_infinity in
+        for i = 0 to n - 1 do
+          let _, d = nearest centroids m.(i) in
+          if d > !far_d then begin
+            far_d := d;
+            far := i
+          end
+        done;
+        centroids.(c) <- Array.copy m.(!far);
+        changed := true
+      end
+    done
+  done;
+  let inertia = ref 0.0 in
+  for i = 0 to n - 1 do
+    let c, d = nearest centroids m.(i) in
+    assignments.(i) <- c;
+    inertia := !inertia +. d
+  done;
+  (assignments, !inertia, !iterations)
+
+let fit ?(max_iters = 100) ?(restarts = 1) ~rng ~k m =
+  let n = Array.length m in
+  if k < 1 || k > n then invalid_arg "Kmeans.fit: k out of range";
+  let best = ref None in
+  for _ = 1 to max 1 restarts do
+    let centroids = seed rng k m in
+    let assignments, inertia, iterations = lloyd ~max_iters m centroids in
+    match !best with
+    | Some (_, _, best_inertia, _) when best_inertia <= inertia -> ()
+    | Some _ | None -> best := Some (assignments, centroids, inertia, iterations)
+  done;
+  match !best with
+  | Some (assignments, centroids, inertia, iterations) ->
+    { k; assignments; centroids; inertia; iterations }
+  | None -> assert false
+
+let cluster_members result =
+  let members = Array.make result.k [] in
+  let n = Array.length result.assignments in
+  for i = n - 1 downto 0 do
+    let c = result.assignments.(i) in
+    members.(c) <- i :: members.(c)
+  done;
+  members

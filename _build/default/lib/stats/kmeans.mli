@@ -1,0 +1,22 @@
+(** K-means clustering with k-means++ seeding.
+
+    Deterministic given the supplied generator; Lloyd iterations run to
+    assignment convergence or [max_iters].  Empty clusters are re-seeded
+    with the point farthest from its centroid. *)
+
+type result = {
+  k : int;
+  assignments : int array;  (** cluster id per observation *)
+  centroids : Matrix.t;
+  inertia : float;  (** sum of squared distances to assigned centroid *)
+  iterations : int;
+}
+
+val fit :
+  ?max_iters:int -> ?restarts:int -> rng:Mica_util.Rng.t -> k:int -> Matrix.t -> result
+(** [fit ~rng ~k m] clusters the rows of [m].  With [restarts] > 1 the best
+    inertia over independent seedings wins.  Requires
+    [1 <= k <= Array.length m]. *)
+
+val cluster_members : result -> int list array
+(** Observation indices per cluster, ascending. *)

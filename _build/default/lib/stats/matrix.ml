@@ -1,0 +1,75 @@
+type t = float array array
+
+let make ~rows ~cols v = Array.make_matrix rows cols v
+
+let dims m = (Array.length m, if Array.length m = 0 then 0 else Array.length m.(0))
+
+let copy m = Array.map Array.copy m
+
+let column m j = Array.map (fun row -> row.(j)) m
+let row m i = m.(i)
+
+let transpose m =
+  let rows, cols = dims m in
+  Array.init cols (fun j -> Array.init rows (fun i -> m.(i).(j)))
+
+let map f m = Array.map (Array.map f) m
+
+let select_columns m idx = Array.map (fun row -> Array.map (fun j -> row.(j)) idx) m
+
+let mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ca <> rb then invalid_arg "Matrix.mul: dimension mismatch";
+  Array.init ra (fun i ->
+      Array.init cb (fun j ->
+          let acc = ref 0.0 in
+          for k = 0 to ca - 1 do
+            acc := !acc +. (a.(i).(k) *. b.(k).(j))
+          done;
+          !acc))
+
+let covariance m =
+  let rows, cols = dims m in
+  if rows = 0 then make ~rows:cols ~cols 0.0
+  else begin
+    let means = Array.init cols (fun j -> Descriptive.mean (column m j)) in
+    let cov = make ~rows:cols ~cols 0.0 in
+    for i = 0 to rows - 1 do
+      for a = 0 to cols - 1 do
+        let da = m.(i).(a) -. means.(a) in
+        for b = a to cols - 1 do
+          cov.(a).(b) <- cov.(a).(b) +. (da *. (m.(i).(b) -. means.(b)))
+        done
+      done
+    done;
+    let n = float_of_int rows in
+    for a = 0 to cols - 1 do
+      for b = a to cols - 1 do
+        cov.(a).(b) <- cov.(a).(b) /. n;
+        cov.(b).(a) <- cov.(a).(b)
+      done
+    done;
+    cov
+  end
+
+let correlation_matrix m =
+  let cov = covariance m in
+  let cols = Array.length cov in
+  let out = make ~rows:cols ~cols 0.0 in
+  for a = 0 to cols - 1 do
+    for b = 0 to cols - 1 do
+      if a = b then out.(a).(b) <- 1.0
+      else begin
+        let denom = sqrt (cov.(a).(a) *. cov.(b).(b)) in
+        out.(a).(b) <- (if denom > 0.0 then cov.(a).(b) /. denom else 0.0)
+      end
+    done
+  done;
+  out
+
+let pp fmt m =
+  Array.iter
+    (fun row ->
+      Array.iter (fun x -> Format.fprintf fmt "%10.4f " x) row;
+      Format.pp_print_newline fmt ())
+    m

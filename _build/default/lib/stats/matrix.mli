@@ -1,0 +1,34 @@
+(** Dense row-major matrices of floats.
+
+    Rows are observations (benchmarks), columns are variables
+    (characteristics) throughout the library. *)
+
+type t = float array array
+
+val make : rows:int -> cols:int -> float -> t
+val dims : t -> int * int
+val copy : t -> t
+
+val column : t -> int -> float array
+val row : t -> int -> float array
+(** [row] aliases the underlying storage; [column] copies. *)
+
+val transpose : t -> t
+val map : (float -> float) -> t -> t
+
+val select_columns : t -> int array -> t
+(** [select_columns m idx] keeps columns [idx] in the given order. *)
+
+val mul : t -> t -> t
+(** Matrix product.  Raises [Invalid_argument] on dimension mismatch. *)
+
+val covariance : t -> t
+(** Column-covariance matrix (population, divide by n) of an
+    observations-by-variables matrix. *)
+
+val correlation_matrix : t -> t
+(** Pearson correlation between every pair of columns; unit diagonal.
+    Columns with zero variance correlate 0 with everything (and 1 with
+    themselves). *)
+
+val pp : Format.formatter -> t -> unit

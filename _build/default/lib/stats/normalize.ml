@@ -1,0 +1,42 @@
+let zscore_params m =
+  let _, cols = Matrix.dims m in
+  Array.init cols (fun j ->
+      let col = Matrix.column m j in
+      (Descriptive.mean col, Descriptive.stddev col))
+
+let apply_zscore params x =
+  Array.mapi
+    (fun j v ->
+      let mean, std = params.(j) in
+      if std > 0.0 then (v -. mean) /. std else 0.0)
+    x
+
+let zscore m =
+  let params = zscore_params m in
+  Array.map (apply_zscore params) m
+
+let max_scale m =
+  let _, cols = Matrix.dims m in
+  let maxima =
+    Array.init cols (fun j ->
+        Array.fold_left (fun acc row -> Float.max acc (Float.abs row.(j))) 0.0 m)
+  in
+  Array.map
+    (fun row -> Array.mapi (fun j v -> if maxima.(j) > 0.0 then v /. maxima.(j) else 0.0) row)
+    m
+
+let unit_range m =
+  let _, cols = Matrix.dims m in
+  let ranges =
+    Array.init cols (fun j ->
+        let col = Matrix.column m j in
+        Descriptive.min_max col)
+  in
+  Array.map
+    (fun row ->
+      Array.mapi
+        (fun j v ->
+          let lo, hi = ranges.(j) in
+          if hi > lo then (v -. lo) /. (hi -. lo) else 0.5)
+        row)
+    m

@@ -1,0 +1,23 @@
+(** Column normalization of observation matrices.
+
+    The paper normalizes each characteristic to zero mean and unit standard
+    deviation across all benchmarks before computing distances, "to put all
+    characteristics on a common scale". *)
+
+val zscore : Matrix.t -> Matrix.t
+(** Column-wise (x - mean) / stddev.  Zero-variance columns map to 0. *)
+
+val zscore_params : Matrix.t -> (float * float) array
+(** Per-column (mean, stddev) used by {!zscore}; stddev 0 is preserved. *)
+
+val apply_zscore : (float * float) array -> float array -> float array
+(** Normalize one observation with previously computed parameters (used to
+    place a new workload into an existing space). *)
+
+val max_scale : Matrix.t -> Matrix.t
+(** Column-wise division by the maximum absolute value (the normalization
+    used by the paper's Figures 2 and 3).  Zero columns stay zero. *)
+
+val unit_range : Matrix.t -> Matrix.t
+(** Column-wise (x - min) / (max - min), for kiviat axes.  Constant columns
+    map to 0.5. *)

@@ -1,0 +1,45 @@
+type point = { threshold : float; tpr : float; fpr : float }
+type curve = { points : point array; auc : float }
+
+let positives ~ref_distances ~frac =
+  let _, max_d = Descriptive.min_max ref_distances in
+  let threshold = frac *. max_d in
+  Array.map (fun d -> d > threshold) ref_distances
+
+let curve ~labels ~scores =
+  let n = Array.length labels in
+  if n <> Array.length scores then invalid_arg "Roc.curve: length mismatch";
+  let total_pos = Array.fold_left (fun acc l -> if l then acc + 1 else acc) 0 labels in
+  let total_neg = n - total_pos in
+  if total_pos = 0 || total_neg = 0 then invalid_arg "Roc.curve: need both classes";
+  (* sort by descending score; sweep thresholds at each distinct score *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare scores.(b) scores.(a)) order;
+  let points = ref [] in
+  let tp = ref 0 and fp = ref 0 in
+  let fpos = float_of_int total_pos and fneg = float_of_int total_neg in
+  points := { threshold = infinity; tpr = 0.0; fpr = 0.0 } :: !points;
+  let i = ref 0 in
+  while !i < n do
+    let s = scores.(order.(!i)) in
+    (* consume all pairs sharing this score *)
+    while !i < n && scores.(order.(!i)) = s do
+      if labels.(order.(!i)) then incr tp else incr fp;
+      incr i
+    done;
+    points :=
+      { threshold = s; tpr = float_of_int !tp /. fpos; fpr = float_of_int !fp /. fneg }
+      :: !points
+  done;
+  let points = Array.of_list (List.rev !points) in
+  (* trapezoidal AUC over (fpr, tpr) *)
+  let auc = ref 0.0 in
+  for j = 1 to Array.length points - 1 do
+    let a = points.(j - 1) and b = points.(j) in
+    auc := !auc +. ((b.fpr -. a.fpr) *. (a.tpr +. b.tpr) /. 2.0)
+  done;
+  { points; auc = !auc }
+
+let of_spaces ~ref_distances ~test_distances ~frac =
+  let labels = positives ~ref_distances ~frac in
+  curve ~labels ~scores:test_distances

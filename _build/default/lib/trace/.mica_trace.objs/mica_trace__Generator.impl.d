@@ -1,0 +1,1 @@
+lib/trace/generator.ml: Array Bool Int64 Kernel List Mica_isa Mica_util Program Sink

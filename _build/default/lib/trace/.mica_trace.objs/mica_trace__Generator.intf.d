@@ -1,0 +1,1 @@
+lib/trace/generator.mli: Mica_isa Program Sink

@@ -1,0 +1,1 @@
+lib/trace/kernel.ml: Array Float Fun List Mica_isa Mica_util Option Printf

@@ -1,0 +1,1 @@
+lib/trace/kernel.mli: Mica_isa Mica_util

@@ -1,0 +1,1 @@
+lib/trace/program.ml: Kernel List Mica_util Printf

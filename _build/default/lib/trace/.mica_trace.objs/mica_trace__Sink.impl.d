@@ -1,0 +1,1 @@
+lib/trace/sink.ml: Array List Mica_isa

@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Array Bytes Fun Generator Hashtbl In_channel Int64 List Mica_isa Printf Sink String

@@ -1,0 +1,17 @@
+(** The trace generator: executes a {!Program} model, streaming dynamic
+    instructions to a {!Sink}.
+
+    Generation is fully deterministic: the program's seed fixes both the
+    static structure (kernel instantiation) and every dynamic decision
+    (kernel interleaving, random addresses, random branch outcomes).  Two
+    runs of the same program at the same [icount] produce identical
+    traces. *)
+
+val run : Program.t -> icount:int -> sink:Sink.t -> int
+(** [run program ~icount ~sink] generates at most [icount] dynamic
+    instructions and returns the number actually emitted (always [icount]
+    for valid programs, since programs loop forever).  Raises
+    [Invalid_argument] if the program fails {!Program.validate}. *)
+
+val preview : Program.t -> n:int -> Mica_isa.Instr.t list
+(** First [n] instructions of the trace; for debugging and tests. *)

@@ -1,0 +1,125 @@
+(** Parametric synthetic computational kernels.
+
+    A kernel models a loop nest: a static body of instruction slots executed
+    repeatedly, plus optional straight-line helper routines that spread the
+    instruction footprint.  Each slot carries its own memory-access pattern
+    state and its own data-dependency edges to earlier slots, so the
+    microarchitecture-independent characteristics measured downstream
+    (instruction mix, ILP, register traffic, working sets, strides, branch
+    predictability) all emerge from executing the model rather than being
+    asserted.
+
+    Benchmark profiles ({!Mica_workloads}) are built by combining kernels
+    with suite- and benchmark-specific parameters. *)
+
+type mem_pattern =
+  | Fixed  (** one address, revisited on every execution (globals, spills) *)
+  | Seq of { stride : int }  (** small constant stride (array streaming) *)
+  | Strided of { stride : int }  (** large constant stride (row/column walks) *)
+  | Random  (** uniform random within the kernel's data region *)
+  | Chase  (** dependent pointer chasing; serializes the slot on itself *)
+
+type branch_kind =
+  | Loop_like of { period : int }
+      (** taken [period - 1] times out of [period] (inner-loop back edges,
+          highly predictable) *)
+  | Periodic of { period : int; taken_in_period : int }
+      (** deterministic repeating pattern *)
+  | Biased of { taken_prob : float }  (** independent random outcomes *)
+  | History of { depth : int }
+      (** outcome is the parity of the last [depth] global outcomes:
+          predictable from global history, opaque to local history *)
+
+type mix = {
+  load : float;
+  store : float;
+  branch : float;  (** conditional branches inside the body *)
+  int_mul : float;
+  fp : float;
+}
+(** Target dynamic fractions for the body; the remainder is integer ALU. *)
+
+type spec = {
+  name : string;
+  body_slots : int;  (** static instructions per loop body *)
+  mix : mix;
+  load_patterns : (float * mem_pattern) list;  (** mixture over load slots *)
+  store_patterns : (float * mem_pattern) list;
+  data_bytes : int;  (** size of the kernel's data region *)
+  helper_instrs : int;  (** total static instructions across helper routines *)
+  helper_regions : int;  (** number of helper routines *)
+  helper_call_prob : float;  (** per-visit probability of calling a helper *)
+  helper_zipf_s : float;  (** skew of helper popularity (hot/cold code) *)
+  trip_count : int;  (** loop iterations per visit *)
+  dep_geom_p : float;
+      (** geometric parameter for dependency distance: larger means sources
+          come from nearer producers (shorter dependencies, higher ILP
+          pressure on the window) *)
+  loop_carried_frac : float;
+      (** fraction of slots whose first source is their own previous-iteration
+          output (serial chains; lowers ILP) *)
+  hot_value_frac : float;
+      (** fraction of sources redirected to slot 0's output (a hot loop
+          index / base pointer; raises register degree of use) *)
+  imm_frac : float;  (** probability an ALU slot has only one register source *)
+  branch_kinds : (float * branch_kind) list;  (** mixture over body branches *)
+  branch_skip_max : int;  (** a taken body branch skips at most this many slots *)
+  fp_mul_frac : float;  (** of FP slots, fraction that are multiplies *)
+  fp_div_frac : float;  (** of FP slots, fraction that are divides *)
+}
+
+val default : spec
+(** A bland scalar-integer kernel; build custom kernels with
+    [{ default with ... }]. *)
+
+val validate : spec -> (unit, string) result
+(** Checks ranges (fractions in [0,1], positive sizes, non-empty pattern
+    mixtures...).  The generator validates every spec it instantiates. *)
+
+(** {1 Instantiated kernels}
+
+    The instantiation freezes the static structure: concrete slot opcodes,
+    dependency edges, register assignment, per-slot pattern state and code
+    addresses.  Mutable state (pattern cursors, branch execution counters)
+    lives inside and advances as the generator executes the instance. *)
+
+type slot = {
+  s_pc : int;
+  s_op : Mica_isa.Opcode.t;
+  s_dst : int;
+  s_src1 : int;  (** register id or {!Mica_isa.Reg.none} *)
+  s_src2 : int;
+  s_mem : mem_state option;
+  s_br : br_state option;
+}
+
+and mem_state = {
+  m_pattern : mem_pattern;
+  m_base : int;
+  m_span : int;
+  mutable m_cursor : int;
+  mutable m_aux : int;
+      (** start of the current locality window for Random/Chase patterns *)
+}
+
+and br_state = { b_kind : branch_kind; b_skip : int; mutable b_execs : int }
+
+type helper = { h_base : int; h_body : slot array }
+
+type instance = {
+  i_spec : spec;
+  i_code_base : int;
+  i_body : slot array;
+  i_loop_pc : int;  (** pc of the loop back-edge branch *)
+  i_helpers : helper array;
+  i_helper_weights : (float * int) array;  (** zipf-ish popularity, index *)
+  mutable i_visits : int;
+}
+
+val instantiate : spec -> rng:Mica_util.Rng.t -> code_base:int -> data_base:int -> instance
+(** Freeze a spec into an executable instance.  Raises [Invalid_argument]
+    if [validate spec] fails. *)
+
+val code_bytes : spec -> int
+(** Static code footprint implied by the spec (body + loop branch + helpers),
+    in bytes. *)

@@ -1,0 +1,44 @@
+module Rng = Mica_util.Rng
+
+type phase = {
+  ph_name : string;
+  ph_kernels : (float * Kernel.spec) list;
+  ph_length : int;
+}
+
+type t = { name : string; seed : int64; phases : phase list }
+
+let make ~name ?seed phases =
+  let seed = match seed with Some s -> s | None -> Rng.hash_string name in
+  { name; seed; phases }
+
+let single ~name ?seed kernel =
+  make ~name ?seed [ { ph_name = "main"; ph_kernels = [ (1.0, kernel) ]; ph_length = 100_000 } ]
+
+let validate t =
+  let err msg = Error (Printf.sprintf "program %S: %s" t.name msg) in
+  if t.phases = [] then err "no phases"
+  else
+    let check_phase acc ph =
+      match acc with
+      | Error _ as e -> e
+      | Ok () ->
+        if ph.ph_kernels = [] then err (Printf.sprintf "phase %S has no kernels" ph.ph_name)
+        else if ph.ph_length <= 0 then
+          err (Printf.sprintf "phase %S has non-positive length" ph.ph_name)
+        else if List.exists (fun (w, _) -> w < 0.0) ph.ph_kernels then
+          err (Printf.sprintf "phase %S has a negative kernel weight" ph.ph_name)
+        else if List.for_all (fun (w, _) -> w = 0.0) ph.ph_kernels then
+          err (Printf.sprintf "phase %S has all-zero kernel weights" ph.ph_name)
+        else
+          List.fold_left
+            (fun acc (_, k) ->
+              match acc with
+              | Error _ as e -> e
+              | Ok () -> (
+                match Kernel.validate k with Ok () -> Ok () | Error m -> err m))
+            (Ok ()) ph.ph_kernels
+    in
+    List.fold_left check_phase (Ok ()) t.phases
+
+let kernels t = List.concat_map (fun ph -> List.map snd ph.ph_kernels) t.phases

@@ -1,0 +1,32 @@
+(** Phase-structured synthetic program models.
+
+    A program is a sequence of phases executed cyclically; each phase is a
+    weighted set of kernels and a dynamic-instruction budget.  Phases model
+    the coarse time-varying behaviour real applications exhibit (e.g. an
+    input-parsing phase followed by a compute phase); within a phase the
+    generator alternates kernel visits, which is what creates interleaved
+    global stride streams and multi-region instruction footprints. *)
+
+type phase = {
+  ph_name : string;
+  ph_kernels : (float * Kernel.spec) list;  (** weighted kernel mixture *)
+  ph_length : int;  (** dynamic instructions before moving to the next phase *)
+}
+
+type t = {
+  name : string;
+  seed : int64;  (** generation seed; equal programs yield equal traces *)
+  phases : phase list;
+}
+
+val make : name:string -> ?seed:int64 -> phase list -> t
+(** [make ~name phases] builds a program; the default seed is derived from
+    [name] so distinct benchmarks get independent streams. *)
+
+val single : name:string -> ?seed:int64 -> Kernel.spec -> t
+(** A one-phase, one-kernel program (convenient in tests and examples). *)
+
+val validate : t -> (unit, string) result
+
+val kernels : t -> Kernel.spec list
+(** All kernel specs, in phase order (duplicates preserved). *)

@@ -1,0 +1,36 @@
+type t = { name : string; on_instr : Mica_isa.Instr.t -> unit }
+
+let make ~name on_instr = { name; on_instr }
+
+let fanout sinks =
+  let arr = Array.of_list sinks in
+  let n = Array.length arr in
+  let on_instr ins =
+    for i = 0 to n - 1 do
+      arr.(i).on_instr ins
+    done
+  in
+  { name = "fanout"; on_instr }
+
+let counter () =
+  let n = ref 0 in
+  (make ~name:"counter" (fun _ -> incr n), fun () -> !n)
+
+let sample ~every sink =
+  assert (every > 0);
+  let k = ref 0 in
+  make ~name:(sink.name ^ "/sampled") (fun ins ->
+      if !k = 0 then sink.on_instr ins;
+      k := (!k + 1) mod every)
+
+let collect ~limit () =
+  let acc = ref [] in
+  let n = ref 0 in
+  let sink =
+    make ~name:"collect" (fun ins ->
+        if !n < limit then begin
+          acc := ins :: !acc;
+          incr n
+        end)
+  in
+  (sink, fun () -> List.rev !acc)

@@ -1,0 +1,28 @@
+(** Trace consumers.
+
+    A sink receives every dynamic instruction of a trace exactly once, in
+    program order.  This is the moral equivalent of an ATOM analysis
+    routine: the generator performs a single pass and fans the stream out
+    to all registered sinks, so measuring one more characteristic never
+    costs a second trace. *)
+
+type t = {
+  name : string;  (** diagnostic label *)
+  on_instr : Mica_isa.Instr.t -> unit;  (** called once per dynamic instruction *)
+}
+
+val make : name:string -> (Mica_isa.Instr.t -> unit) -> t
+
+val fanout : t list -> t
+(** [fanout sinks] delivers each instruction to every sink in order. *)
+
+val counter : unit -> t * (unit -> int)
+(** A sink that counts instructions, and its reader. *)
+
+val sample : every:int -> t -> t
+(** [sample ~every sink] forwards every [every]-th instruction only;
+    used by tests and by cheap preview passes.  Requires [every > 0]. *)
+
+val collect : limit:int -> unit -> t * (unit -> Mica_isa.Instr.t list)
+(** A sink retaining the first [limit] instructions (program order), and
+    its reader; used by tests. *)

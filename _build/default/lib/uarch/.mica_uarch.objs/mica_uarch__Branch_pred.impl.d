@@ -1,0 +1,1 @@
+lib/uarch/branch_pred.ml: Array Bool

@@ -1,0 +1,1 @@
+lib/uarch/hw_counters.ml: Array Inorder Mica_trace Ooo

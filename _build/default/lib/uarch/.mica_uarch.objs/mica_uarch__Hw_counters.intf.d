@@ -1,0 +1,1 @@
+lib/uarch/hw_counters.mli: Mica_trace

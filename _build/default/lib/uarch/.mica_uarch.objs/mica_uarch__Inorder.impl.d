@@ -1,0 +1,1 @@
+lib/uarch/inorder.ml: Branch_pred Cache Mica_isa Mica_trace Tlb

@@ -1,0 +1,1 @@
+lib/uarch/inorder.mli: Mica_trace

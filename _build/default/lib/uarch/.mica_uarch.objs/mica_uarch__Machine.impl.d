@@ -1,0 +1,1 @@
+lib/uarch/machine.ml: Array Branch_pred Cache List Mica_isa Mica_trace Tlb

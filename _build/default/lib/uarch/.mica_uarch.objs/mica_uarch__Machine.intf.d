@@ -1,0 +1,1 @@
+lib/uarch/machine.mli: Mica_trace

@@ -1,0 +1,1 @@
+lib/uarch/ooo.ml: Array Branch_pred Cache Mica_isa Mica_trace

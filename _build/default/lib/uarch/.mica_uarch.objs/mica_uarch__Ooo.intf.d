@@ -1,0 +1,1 @@
+lib/uarch/ooo.mli: Mica_trace

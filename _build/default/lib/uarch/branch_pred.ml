@@ -1,0 +1,101 @@
+(* 2-bit saturating counters stored as ints 0..3; >= 2 predicts taken. *)
+
+type core =
+  | Bimodal of { counters : int array }
+  | Gshare of { counters : int array; hist_mask : int; mutable ghist : int }
+  | Local of { histories : int array; pattern : int array; hist_mask : int }
+  | Tournament of { chooser : int array; local : core; gshare : core }
+
+type t = { core : core; mutable predictions : int; mutable mispredictions : int }
+
+let check_entries entries =
+  if entries <= 0 || entries land (entries - 1) <> 0 then
+    invalid_arg "Branch_pred: entries must be a positive power of two"
+
+let make_counters entries = Array.make entries 1 (* weakly not-taken *)
+
+let bimodal_core ~entries =
+  check_entries entries;
+  Bimodal { counters = make_counters entries }
+
+let gshare_core ~entries ~history_bits =
+  check_entries entries;
+  Gshare { counters = make_counters entries; hist_mask = (1 lsl history_bits) - 1; ghist = 0 }
+
+let local_core ~entries ~history_bits =
+  check_entries entries;
+  Local
+    {
+      histories = Array.make entries 0;
+      pattern = make_counters (1 lsl history_bits);
+      hist_mask = (1 lsl history_bits) - 1;
+    }
+
+let wrap core = { core; predictions = 0; mispredictions = 0 }
+
+let bimodal ~entries = wrap (bimodal_core ~entries)
+let gshare ~entries ~history_bits = wrap (gshare_core ~entries ~history_bits)
+let local ~entries ~history_bits = wrap (local_core ~entries ~history_bits)
+
+let tournament ~entries ~history_bits =
+  check_entries entries;
+  wrap
+    (Tournament
+       {
+         chooser = make_counters entries;
+         local = local_core ~entries ~history_bits;
+         gshare = gshare_core ~entries ~history_bits;
+       })
+
+let bump counter taken =
+  if taken then (if counter < 3 then counter + 1 else 3)
+  else if counter > 0 then counter - 1
+  else 0
+
+let index array pc = (pc lsr 2) land (Array.length array - 1)
+
+(* Predict and update a core; returns the prediction. *)
+let rec step core ~pc ~taken =
+  match core with
+  | Bimodal { counters } ->
+    let i = index counters pc in
+    let pred = counters.(i) >= 2 in
+    counters.(i) <- bump counters.(i) taken;
+    pred
+  | Gshare g ->
+    let i = ((pc lsr 2) lxor (g.ghist land g.hist_mask)) land (Array.length g.counters - 1) in
+    let pred = g.counters.(i) >= 2 in
+    g.counters.(i) <- bump g.counters.(i) taken;
+    g.ghist <- ((g.ghist lsl 1) lor Bool.to_int taken) land g.hist_mask;
+    pred
+  | Local l ->
+    let i = index l.histories pc in
+    let h = l.histories.(i) land l.hist_mask in
+    let pred = l.pattern.(h) >= 2 in
+    l.pattern.(h) <- bump l.pattern.(h) taken;
+    l.histories.(i) <- ((h lsl 1) lor Bool.to_int taken) land l.hist_mask;
+    pred
+  | Tournament tr ->
+    let i = index tr.chooser pc in
+    let use_local = tr.chooser.(i) >= 2 in
+    let pred_local = step tr.local ~pc ~taken in
+    let pred_gshare = step tr.gshare ~pc ~taken in
+    let pred = if use_local then pred_local else pred_gshare in
+    (* train the chooser towards the component that was right *)
+    (if pred_local <> pred_gshare then
+       let local_right = pred_local = taken in
+       tr.chooser.(i) <- bump tr.chooser.(i) local_right);
+    pred
+
+let predict_update t ~pc ~taken =
+  let pred = step t.core ~pc ~taken in
+  t.predictions <- t.predictions + 1;
+  if pred <> taken then t.mispredictions <- t.mispredictions + 1;
+  pred
+
+let predictions t = t.predictions
+let mispredictions t = t.mispredictions
+
+let miss_rate t =
+  if t.predictions = 0 then 0.0
+  else float_of_int t.mispredictions /. float_of_int t.predictions

@@ -1,0 +1,29 @@
+(** Realizable branch predictor models.
+
+    Unlike the theoretical PPM predictability measure in {!Mica_analysis},
+    these are finite-table predictors of the kind actually built in the
+    Alpha machines the paper profiles: a bimodal predictor (21164-style)
+    and a tournament predictor combining local and global components
+    (21264-style). *)
+
+type t
+
+val bimodal : entries:int -> t
+(** Array of 2-bit saturating counters indexed by pc. *)
+
+val gshare : entries:int -> history_bits:int -> t
+(** 2-bit counters indexed by pc xor global history. *)
+
+val local : entries:int -> history_bits:int -> t
+(** Two-level: per-pc history indexing a shared pattern table. *)
+
+val tournament : entries:int -> history_bits:int -> t
+(** 21264-style: a chooser of 2-bit counters selects between the local and
+    gshare components per branch. *)
+
+val predict_update : t -> pc:int -> taken:bool -> bool
+(** Returns the prediction made before learning from the actual outcome. *)
+
+val predictions : t -> int
+val mispredictions : t -> int
+val miss_rate : t -> float

@@ -1,0 +1,102 @@
+type t = {
+  name : string;
+  line_shift : int;
+  set_shift : int;
+  set_mask : int;
+  assoc : int;
+  n_sets : int;
+  tags : int array;  (* n_sets * assoc; -1 = invalid *)
+  stamps : int array;  (* LRU timestamps, parallel to [tags] *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+  line_bytes : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let create ~name ~size_bytes ~line_bytes ~assoc =
+  if not (is_pow2 line_bytes) then invalid_arg "Cache.create: line size must be a power of two";
+  if assoc <= 0 then invalid_arg "Cache.create: assoc must be positive";
+  if size_bytes < line_bytes * assoc then
+    invalid_arg "Cache.create: size must cover at least one set";
+  let n_sets = size_bytes / (line_bytes * assoc) in
+  if not (is_pow2 n_sets) then invalid_arg "Cache.create: set count must be a power of two";
+  {
+    name;
+    line_shift = log2 line_bytes;
+    set_shift = log2 n_sets;
+    set_mask = n_sets - 1;
+    assoc;
+    n_sets;
+    tags = Array.make (n_sets * assoc) (-1);
+    stamps = Array.make (n_sets * assoc) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+    line_bytes;
+  }
+
+let name t = t.name
+let sets t = t.n_sets
+let line_bytes t = t.line_bytes
+let assoc t = t.assoc
+
+let find t addr =
+  let line = addr lsr t.line_shift in
+  let set = line land t.set_mask in
+  let tag = line lsr t.set_shift in
+  let base = set * t.assoc in
+  let rec go i = if i >= t.assoc then -1 else if t.tags.(base + i) = tag then base + i else go (i + 1) in
+  (go 0, base, tag)
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let idx, base, tag = find t addr in
+  if idx >= 0 then begin
+    t.stamps.(idx) <- t.clock;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* replace LRU way *)
+    let victim = ref base in
+    for i = 1 to t.assoc - 1 do
+      if t.stamps.(base + i) < t.stamps.(!victim) then victim := base + i
+    done;
+    t.tags.(!victim) <- tag;
+    t.stamps.(!victim) <- t.clock;
+    false
+  end
+
+let probe t addr =
+  let idx, _, _ = find t addr in
+  idx >= 0
+
+let install t addr =
+  t.clock <- t.clock + 1;
+  let idx, base, tag = find t addr in
+  if idx >= 0 then t.stamps.(idx) <- t.clock
+  else begin
+    let victim = ref base in
+    for i = 1 to t.assoc - 1 do
+      if t.stamps.(base + i) < t.stamps.(!victim) then victim := base + i
+    done;
+    t.tags.(!victim) <- tag;
+    t.stamps.(!victim) <- t.clock
+  end
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_counters t =
+  t.accesses <- 0;
+  t.misses <- 0

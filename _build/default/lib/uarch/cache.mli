@@ -1,0 +1,38 @@
+(** Set-associative cache model with true-LRU replacement.
+
+    Tracks hit/miss counts only (no data), which is all the
+    hardware-performance-counter substitute needs. *)
+
+type t
+
+val create : name:string -> size_bytes:int -> line_bytes:int -> assoc:int -> t
+(** [line_bytes] and the resulting set count [size_bytes / (line_bytes *
+    assoc)] must be powers of two (the total size need not be — e.g. the
+    21164's 96KB 3-way L2 has 512 sets); [assoc] must be positive.
+    Raises [Invalid_argument] otherwise. *)
+
+val name : t -> string
+val sets : t -> int
+val line_bytes : t -> int
+val assoc : t -> int
+
+val access : t -> int -> bool
+(** [access t addr] touches the line containing [addr]; returns [true] on
+    hit.  On miss the LRU way of the set is replaced. *)
+
+val probe : t -> int -> bool
+(** Like {!access} but without updating any state or counts. *)
+
+val install : t -> int -> unit
+(** Insert the line containing the address without touching the hit/miss
+    counters (prefetches and fills from other agents).  Replaces the LRU
+    way if the line is absent; refreshes recency if present. *)
+
+val accesses : t -> int
+val misses : t -> int
+
+val miss_rate : t -> float
+(** [misses / accesses]; 0 before any access. *)
+
+val reset_counters : t -> unit
+(** Clears hit/miss counts, keeping cache contents (for warm-up discard). *)

@@ -1,0 +1,113 @@
+module Opcode = Mica_isa.Opcode
+module Reg = Mica_isa.Reg
+module Instr = Mica_isa.Instr
+
+type config = {
+  width : int;
+  window : int;
+  mispredict_penalty : int;
+  l1_latency : int;
+  l2_latency : int;
+  mem_latency : int;
+}
+
+let default_config =
+  { width = 4; window = 64; mispredict_penalty = 7; l1_latency = 3; l2_latency = 13; mem_latency = 100 }
+
+type t = {
+  cfg : config;
+  l1d : Cache.t;
+  l1i : Cache.t;
+  l2 : Cache.t;
+  pred : Branch_pred.t;
+  reg_ready : int array;
+  completions : int array;  (* window ring *)
+  mutable head : int;
+  mutable filled : int;
+  mutable fetch_num : int;  (* fetch progress in instruction slots; cycle = fetch_num / width *)
+  mutable last_cycle : int;
+  mutable instrs : int;
+  mutable cond_branches : int;
+  mutable mispredicts : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    l1d = Cache.create ~name:"L1D" ~size_bytes:(64 * 1024) ~line_bytes:64 ~assoc:2;
+    l1i = Cache.create ~name:"L1I" ~size_bytes:(64 * 1024) ~line_bytes:64 ~assoc:2;
+    l2 = Cache.create ~name:"L2" ~size_bytes:(2 * 1024 * 1024) ~line_bytes:64 ~assoc:4;
+    pred = Branch_pred.tournament ~entries:1024 ~history_bits:10;
+    reg_ready = Array.make Reg.count 0;
+    completions = Array.make config.window 0;
+    head = 0;
+    filled = 0;
+    fetch_num = 0;
+    last_cycle = 0;
+    instrs = 0;
+    cond_branches = 0;
+    mispredicts = 0;
+  }
+
+let load_latency t addr =
+  if Cache.access t.l1d addr then t.cfg.l1_latency
+  else if Cache.access t.l2 addr then t.cfg.l2_latency
+  else t.cfg.mem_latency
+
+let redirect_fetch t cycle =
+  let num = cycle * t.cfg.width in
+  if num > t.fetch_num then t.fetch_num <- num
+
+let sink t =
+  Mica_trace.Sink.make ~name:"ooo" (fun (ins : Instr.t) ->
+      t.instrs <- t.instrs + 1;
+      let fetch_cycle = t.fetch_num / t.cfg.width in
+      t.fetch_num <- t.fetch_num + 1;
+      (* instruction-fetch miss delays the front end *)
+      if not (Cache.access t.l1i ins.pc) then begin
+        let lat = if Cache.access t.l2 ins.pc then t.cfg.l2_latency else t.cfg.mem_latency in
+        redirect_fetch t (fetch_cycle + lat)
+      end;
+      let ready_src r = if Reg.carries_dependency r then t.reg_ready.(r) else 0 in
+      let deps =
+        let a = ready_src ins.src1 and b = ready_src ins.src2 in
+        if a > b then a else b
+      in
+      let window_free = if t.filled < t.cfg.window then 0 else t.completions.(t.head) in
+      let issue = max fetch_cycle (max deps window_free) in
+      let latency =
+        match ins.op with
+        | Opcode.Load -> load_latency t ins.addr
+        | Opcode.Store ->
+          (* stores retire off the critical path but still occupy the cache *)
+          ignore (load_latency t ins.addr : int);
+          1
+        | op -> Opcode.latency op
+      in
+      let completion = issue + latency in
+      t.completions.(t.head) <- completion;
+      t.head <- (t.head + 1) mod t.cfg.window;
+      if t.filled < t.cfg.window then t.filled <- t.filled + 1;
+      if Reg.carries_dependency ins.dst then t.reg_ready.(ins.dst) <- completion;
+      if completion > t.last_cycle then t.last_cycle <- completion;
+      if Opcode.is_cond_branch ins.op then begin
+        t.cond_branches <- t.cond_branches + 1;
+        let pred = Branch_pred.predict_update t.pred ~pc:ins.pc ~taken:ins.taken in
+        if pred <> ins.taken then begin
+          t.mispredicts <- t.mispredicts + 1;
+          redirect_fetch t (completion + t.cfg.mispredict_penalty)
+        end
+      end)
+
+type result = { instructions : int; cycles : int; ipc : float; branch_mispredict_rate : float }
+
+let result t =
+  let cycles = max 1 t.last_cycle in
+  {
+    instructions = t.instrs;
+    cycles;
+    ipc = float_of_int t.instrs /. float_of_int cycles;
+    branch_mispredict_rate =
+      (if t.cond_branches = 0 then 0.0
+       else float_of_int t.mispredicts /. float_of_int t.cond_branches);
+  }

@@ -1,0 +1,54 @@
+type t = {
+  page_shift : int;
+  pages : int array;  (* -1 = invalid *)
+  stamps : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ~entries ~page_bytes =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  if page_bytes <= 0 || page_bytes land (page_bytes - 1) <> 0 then
+    invalid_arg "Tlb.create: page_bytes must be a power of two";
+  let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+  {
+    page_shift = log2 page_bytes 0;
+    pages = Array.make entries (-1);
+    stamps = Array.make entries 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let page = addr lsr t.page_shift in
+  let n = Array.length t.pages in
+  let hit = ref (-1) in
+  for i = 0 to n - 1 do
+    if t.pages.(i) = page then hit := i
+  done;
+  if !hit >= 0 then begin
+    t.stamps.(!hit) <- t.clock;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let victim = ref 0 in
+    for i = 1 to n - 1 do
+      if t.stamps.(i) < t.stamps.(!victim) then victim := i
+    done;
+    t.pages.(!victim) <- page;
+    t.stamps.(!victim) <- t.clock;
+    false
+  end
+
+let accesses t = t.accesses
+let misses t = t.misses
+let miss_rate t = if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_counters t =
+  t.accesses <- 0;
+  t.misses <- 0

@@ -1,0 +1,15 @@
+(** Fully-associative translation lookaside buffer with LRU replacement. *)
+
+type t
+
+val create : entries:int -> page_bytes:int -> t
+(** [page_bytes] must be a power of two; [entries] positive. *)
+
+val access : t -> int -> bool
+(** [access t addr] translates the page containing [addr]; returns [true]
+    on TLB hit. *)
+
+val accesses : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+val reset_counters : t -> unit

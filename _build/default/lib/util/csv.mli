@@ -1,0 +1,20 @@
+(** Minimal CSV reading and writing.
+
+    Handles the subset of CSV the library emits: comma separation, optional
+    double-quoting when a field contains a comma, quote or newline, quotes
+    escaped by doubling.  Sufficient for round-tripping our own datasets. *)
+
+val escape_field : string -> string
+(** Quote a field if needed. *)
+
+val write_row : out_channel -> string list -> unit
+val write_rows : out_channel -> string list list -> unit
+
+val to_file : string -> string list list -> unit
+(** [to_file path rows] writes all rows to [path]. *)
+
+val parse_line : string -> string list
+(** Parse one physical line (no embedded newlines supported on input). *)
+
+val of_file : string -> string list list
+(** Read all rows of [path], skipping blank lines. *)

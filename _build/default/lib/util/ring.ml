@@ -1,0 +1,33 @@
+type t = { data : int array; mutable head : int; (* next write slot *) mutable len : int }
+
+let create ~capacity =
+  assert (capacity > 0);
+  { data = Array.make capacity 0; head = 0; len = 0 }
+
+let capacity t = Array.length t.data
+let length t = t.len
+let is_full t = t.len = Array.length t.data
+
+let push t x =
+  let cap = Array.length t.data in
+  t.data.(t.head) <- x;
+  t.head <- (t.head + 1) mod cap;
+  if t.len < cap then t.len <- t.len + 1
+
+let get t i =
+  assert (i >= 0 && i < t.len);
+  let cap = Array.length t.data in
+  t.data.((t.head - 1 - i + (2 * cap)) mod cap)
+
+let oldest t =
+  assert (t.len > 0);
+  get t (t.len - 1)
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done

@@ -1,0 +1,30 @@
+(** Fixed-capacity circular buffer of integers.
+
+    Used by trace analyzers that need a sliding window over recent dynamic
+    instructions (e.g. register dependency tracking) without allocation on
+    the hot path. *)
+
+type t
+
+val create : capacity:int -> t
+(** [create ~capacity] makes an empty ring holding at most [capacity]
+    elements.  Requires [capacity > 0]. *)
+
+val capacity : t -> int
+val length : t -> int
+val is_full : t -> bool
+
+val push : t -> int -> unit
+(** [push t x] appends [x]; if full, the oldest element is evicted. *)
+
+val get : t -> int -> int
+(** [get t i] is the [i]-th most recent element; [get t 0] is the newest.
+    Requires [0 <= i < length t]. *)
+
+val oldest : t -> int
+(** The element that would be evicted next.  Requires non-empty. *)
+
+val clear : t -> unit
+
+val iter : t -> (int -> unit) -> unit
+(** Iterates newest to oldest. *)

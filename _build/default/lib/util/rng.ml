@@ -1,0 +1,163 @@
+(* xoshiro256** with SplitMix64 seeding.  See Blackman & Vigna,
+   "Scrambled linear pseudorandom number generators". *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* SplitMix64 step: used only for seeding and [split]. *)
+let splitmix64 state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed =
+  let st = ref seed in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let hash_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let of_string s = create ~seed:(hash_string s)
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create ~seed:(bits64 t)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+(* Non-negative 62-bit int from the high bits. *)
+let bits_int t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t n =
+  assert (n > 0);
+  (* Rejection to avoid modulo bias. *)
+  let bound = 0x3FFF_FFFF_FFFF_FFFF / n * n in
+  let rec go () =
+    let v = bits_int t in
+    if v < bound then v mod n else go ()
+  in
+  go ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  (* 53 uniform mantissa bits. *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (v *. 0x1.0p-53)
+
+let bool t = Int64.compare (bits64 t) 0L < 0
+
+let bernoulli t ~p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else float t 1.0 < p
+
+let geometric t ~p =
+  assert (p > 0. && p <= 1.);
+  if p >= 1. then 0
+  else
+    let u = 1.0 -. float t 1.0 in
+    (* inverse CDF; [u] in (0,1] so log is finite *)
+    int_of_float (Float.of_int 0 +. floor (log u /. log (1. -. p)))
+
+let gaussian t ~mu ~sigma =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let exponential t ~mean =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0. then u else nonzero ()
+  in
+  -.mean *. log (nonzero ())
+
+(* Zipf sampling by rejection (Devroye); exact for s > 0, fast for small n too. *)
+let zipf t ~n ~s =
+  assert (n > 0);
+  if n = 1 then 0
+  else begin
+    let nf = float_of_int n in
+    if abs_float (s -. 1.0) < 1e-9 then begin
+      (* harmonic case: invert H(x) = ln(1+x) approximately, then reject *)
+      let hn = log (nf +. 1.0) in
+      let rec go () =
+        let u = float t 1.0 in
+        let x = exp (u *. hn) -. 1.0 in
+        let k = int_of_float x in
+        if k < n then k else go ()
+      in
+      go ()
+    end
+    else begin
+      let one_minus_s = 1.0 -. s in
+      (* CDF of the continuous envelope over [0, n] *)
+      let hx x = ((x +. 1.0) ** one_minus_s -. 1.0) /. one_minus_s in
+      let hn = hx nf in
+      let rec go () =
+        let u = float t 1.0 *. hn in
+        let x = ((u *. one_minus_s) +. 1.0) ** (1.0 /. one_minus_s) -. 1.0 in
+        let k = int_of_float x in
+        if k >= 0 && k < n then begin
+          (* acceptance: ratio of true pmf to envelope slice; the envelope is
+             within a constant factor so accept with ratio test *)
+          let pk = (float_of_int k +. 1.0) ** -.s in
+          let env = hx (float_of_int k +. 1.0) -. hx (float_of_int k) in
+          if float t 1.0 *. env <= pk then k else go ()
+        end
+        else go ()
+      in
+      go ()
+    end
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_weighted t choices =
+  let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 choices in
+  assert (total > 0.);
+  let r = float t total in
+  let rec go i acc =
+    if i = Array.length choices - 1 then snd choices.(i)
+    else
+      let w, x = choices.(i) in
+      let acc = acc +. w in
+      if r < acc then x else go (i + 1) acc
+  in
+  go 0 0.0

@@ -1,0 +1,1 @@
+lib/workloads/families.ml: Float List Mica_trace Option Printf

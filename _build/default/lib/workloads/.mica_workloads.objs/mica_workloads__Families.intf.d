@@ -1,0 +1,1 @@
+lib/workloads/families.mli: Mica_trace

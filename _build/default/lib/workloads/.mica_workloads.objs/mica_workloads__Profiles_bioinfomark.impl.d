@@ -1,0 +1,1 @@
+lib/workloads/profiles_bioinfomark.ml: Families Printf Suite Workload

@@ -1,0 +1,1 @@
+lib/workloads/profiles_biometrics.ml: Families Mica_trace Printf Suite Workload

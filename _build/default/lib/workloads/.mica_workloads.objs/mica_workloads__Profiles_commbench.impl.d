@@ -1,0 +1,1 @@
+lib/workloads/profiles_commbench.ml: Families Printf Suite Workload

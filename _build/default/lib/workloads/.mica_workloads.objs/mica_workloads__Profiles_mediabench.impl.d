@@ -1,0 +1,1 @@
+lib/workloads/profiles_mediabench.ml: Families Printf Suite Workload

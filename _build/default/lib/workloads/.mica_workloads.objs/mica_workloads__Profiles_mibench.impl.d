@@ -1,0 +1,1 @@
+lib/workloads/profiles_mibench.ml: Families Printf Suite Workload

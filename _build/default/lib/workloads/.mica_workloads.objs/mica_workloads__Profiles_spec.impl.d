@@ -1,0 +1,1 @@
+lib/workloads/profiles_spec.ml: Families Printf Suite Workload

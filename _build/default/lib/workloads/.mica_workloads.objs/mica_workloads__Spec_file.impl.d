@@ -1,0 +1,1 @@
+lib/workloads/spec_file.ml: Buffer In_channel Int64 List Mica_trace Option Printf String

@@ -1,0 +1,1 @@
+lib/workloads/spec_file.mli: Mica_trace

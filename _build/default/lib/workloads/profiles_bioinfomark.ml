@@ -1,0 +1,42 @@
+(* BioInfoMark: bioinformatics workloads (Li & Li, 2005).  Sequence-database
+   searching, multiple alignment, gene prediction, HMM profiling,
+   phylogenetics, protein structure prediction. *)
+
+open Families
+
+let suite = Suite.BioInfoMark
+
+let w ~program ?input ~icnt model =
+  Workload.make ~suite ~program ?input ~icount_millions:icnt model
+
+let nm program input = Printf.sprintf "BioInfoMark/%s/%s" program input
+
+let all =
+  [
+    (* BLAST is the paper's canonical isolated benchmark: its distinguishing
+       trait is a working set far larger than anything in SPEC. *)
+    w ~program:"blast" ~input:"protein" ~icnt:81_092
+      (seq_search ~name:(nm "blast" "protein") ~data_mb:192 ~hit_bias:0.25 ());
+    w ~program:"ce" ~input:"ce" ~icnt:4_816
+      (dynamic_prog ~name:(nm "ce" "ce") ~data_kb:2048 ~fp:0.18 ());
+    w ~program:"clustalw" ~input:"clustalw" ~icnt:884_859
+      (dynamic_prog ~name:(nm "clustalw" "clustalw") ~data_kb:4096 ~carried:0.30 ());
+    w ~program:"fasta" ~input:"fasta34" ~icnt:759_654
+      (seq_search ~name:(nm "fasta" "fasta34") ~data_mb:48 ~hit_bias:0.30 ());
+    w ~program:"glimmer" ~input:"004663" ~icnt:26_610
+      (dynamic_prog ~name:(nm "glimmer" "004663") ~data_kb:1024 ~carried:0.20 ());
+    w ~program:"hmmer" ~input:"build" ~icnt:321
+      (dynamic_prog ~name:(nm "hmmer" "build") ~data_kb:512 ~fp:0.20 ());
+    w ~program:"hmmer" ~input:"calibrate" ~icnt:43_048
+      (dynamic_prog ~name:(nm "hmmer" "calibrate") ~data_kb:768 ~fp:0.25 ());
+    w ~program:"hmmer" ~input:"search (artemia)" ~icnt:47
+      (seq_search ~name:(nm "hmmer" "search-artemia") ~data_mb:8 ~hit_bias:0.25 ());
+    w ~program:"hmmer" ~input:"search (sprot)" ~icnt:1_785_862
+      (seq_search ~name:(nm "hmmer" "search-sprot") ~data_mb:96 ~hit_bias:0.22 ());
+    w ~program:"phylip" ~input:"dnapenny" ~icnt:184_557
+      (tree_search ~name:(nm "phylip" "dnapenny") ~data_kb:2048 ());
+    w ~program:"phylip" ~input:"promlk" ~icnt:557_514
+      (tree_search ~name:(nm "phylip" "promlk") ~data_kb:4096 ~fp:0.30 ());
+    w ~program:"predator" ~input:"predator" ~icnt:804_859
+      (dynamic_prog ~name:(nm "predator" "predator") ~data_kb:16384 ~fp:0.25 ~carried:0.15 ());
+  ]

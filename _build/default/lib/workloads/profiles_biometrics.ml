@@ -1,0 +1,51 @@
+(* BioMetricsWorkload: biometric workloads (Cho et al., IISWC 2005).
+   The csu face-recognition suite (dense linear algebra over image
+   subspaces) plus the speak speaker-verification decoder. *)
+
+open Families
+
+module K = Mica_trace.Kernel
+
+let suite = Suite.BioMetricsWorkload
+
+let w ~program ?input ~icnt model =
+  Workload.make ~suite ~program ?input ~icount_millions:icnt model
+
+let nm program input = Printf.sprintf "BioMetricsWorkload/%s/%s" program input
+
+(* The csu face-recognition codes are dominated by inner products of image
+   vectors against subspace bases: tall-skinny matrix-vector products whose
+   accumulator chains serialize execution (very low ILP), sweeping large
+   image galleries with long, perfectly predictable inner loops.  The
+   paper finds csu dissimilar from everything in SPEC (its cluster 14), so
+   the model is deliberately distinctive rather than generic dense FP. *)
+let csu_subspace ~name ~data_kb ?(div = 0.01) () =
+  single ~name
+    (kernel ~name ~body:26
+       ~mix:{ K.load = 0.36; store = 0.04; branch = 0.04; int_mul = 0.0; fp = 0.42 }
+       ~loads:[ (0.55, K.Seq { stride = 8 }); (0.45, K.Strided { stride = 10240 }) ]
+       ~stores:[ (0.8, K.Fixed); (0.2, K.Seq { stride = 8 }) ]
+       ~data_kb ~code:96 ~regions:1 ~call_prob:0.01 ~trip:512 ~dep_p:0.6 ~carried:0.45
+       ~hot:0.02
+       ~branches:[ (1.0, K.Loop_like { period = 64 }) ]
+       ~fp_mul:0.5 ~fp_div:div ())
+
+let all =
+  [
+    w ~program:"csu" ~input:"Bayesian (project)" ~icnt:403_313
+      (csu_subspace ~name:(nm "csu" "bayesian-project") ~data_kb:16384 ());
+    w ~program:"csu" ~input:"Bayesian (train)" ~icnt:28_158
+      (csu_subspace ~name:(nm "csu" "bayesian-train") ~data_kb:8192 ~div:0.04 ());
+    w ~program:"csu" ~input:"PreprocessNormalize" ~icnt:4_059
+      (fp_stream ~name:(nm "csu" "preprocess-normalize") ~data_mb:2 ());
+    w ~program:"csu" ~input:"SubspaceProject (LDA)" ~icnt:6_054
+      (csu_subspace ~name:(nm "csu" "subspace-project-lda") ~data_kb:4096 ());
+    w ~program:"csu" ~input:"SubspaceProject (PCA)" ~icnt:6_098
+      (csu_subspace ~name:(nm "csu" "subspace-project-pca") ~data_kb:4096 ());
+    w ~program:"csu" ~input:"SubspaceTrain (LDA)" ~icnt:51_297
+      (csu_subspace ~name:(nm "csu" "subspace-train-lda") ~data_kb:12288 ~div:0.05 ());
+    w ~program:"csu" ~input:"SubspaceTrain (PCA)" ~icnt:41_729
+      (csu_subspace ~name:(nm "csu" "subspace-train-pca") ~data_kb:12288 ());
+    w ~program:"speak" ~input:"decode" ~icnt:46_648
+      (speech_synth ~name:(nm "speak" "decode") ~data_kb:768 ~fp:0.25 ());
+  ]

@@ -1,0 +1,40 @@
+(* CommBench: telecommunication / network-processor workloads (Wolf &
+   Franklin, ISPASS 2000).  Header-processing applications (drr, frag, rtr,
+   tcp) and payload-processing applications (cast, jpeg, reed, zip). *)
+
+open Families
+
+let suite = Suite.CommBench
+
+let w ~program ?input ~icnt model =
+  Workload.make ~suite ~program ?input ~icount_millions:icnt model
+
+let nm program input = Printf.sprintf "CommBench/%s/%s" program input
+
+let all =
+  [
+    w ~program:"cast" ~input:"decode" ~icnt:130
+      (table_crypto ~name:(nm "cast" "decode") ~table_kb:8 ());
+    w ~program:"cast" ~input:"encode" ~icnt:130
+      (table_crypto ~name:(nm "cast" "encode") ~table_kb:8 ());
+    w ~program:"drr" ~input:"drr" ~icnt:235
+      (pointer_network ~name:(nm "drr" "drr") ~data_kb:256 ~chase:0.35 ());
+    w ~program:"frag" ~input:"frag" ~icnt:49
+      (pointer_network ~name:(nm "frag" "frag") ~data_kb:128 ~chase:0.15 ~branch_bias:0.55 ());
+    w ~program:"jpeg" ~input:"decode" ~icnt:238
+      (block_codec ~name:(nm "jpeg" "decode") ~data_kb:512 ~imul:0.07 ());
+    w ~program:"jpeg" ~input:"encode" ~icnt:339
+      (block_codec ~name:(nm "jpeg" "encode") ~data_kb:512 ~imul:0.08 ());
+    w ~program:"reed" ~input:"decode" ~icnt:1_298
+      (table_crypto ~name:(nm "reed" "decode") ~table_kb:4 ());
+    w ~program:"reed" ~input:"encode" ~icnt:912
+      (table_crypto ~name:(nm "reed" "encode") ~table_kb:2 ());
+    w ~program:"rtr" ~input:"rtr" ~icnt:1_137
+      (pointer_network ~name:(nm "rtr" "rtr") ~data_kb:4096 ~chase:0.50 ());
+    w ~program:"tcp" ~input:"tcp" ~icnt:58
+      (pointer_network ~name:(nm "tcp" "tcp") ~data_kb:96 ~chase:0.25 ());
+    w ~program:"zip" ~input:"decode" ~icnt:50
+      (bitstream_codec ~name:(nm "zip" "decode") ~data_kb:256 ~table_kb:64 ());
+    w ~program:"zip" ~input:"encode" ~icnt:322
+      (bitstream_codec ~name:(nm "zip" "encode") ~data_kb:256 ~table_kb:64 ~branch_bias:0.5 ());
+  ]

@@ -1,0 +1,40 @@
+(* MediaBench: multimedia workloads (Lee et al., MICRO 1997).  Wavelet
+   image coding, ADPCM-family voice coding, PostScript interpretation,
+   3D rendering and MPEG-2 video. *)
+
+open Families
+
+let suite = Suite.MediaBench
+
+let w ~program ?input ~icnt model =
+  Workload.make ~suite ~program ?input ~icount_millions:icnt model
+
+let nm program input = Printf.sprintf "MediaBench/%s/%s" program input
+
+let all =
+  [
+    w ~program:"epic" ~input:"test1" ~icnt:205
+      (dsp_transform ~name:(nm "epic" "test1") ~data_kb:256 ~fp:0.26 ());
+    w ~program:"epic" ~input:"test2" ~icnt:2_296
+      (dsp_transform ~name:(nm "epic" "test2") ~data_kb:1024 ~fp:0.26 ());
+    w ~program:"unepic" ~input:"test1" ~icnt:35
+      (dsp_transform ~name:(nm "unepic" "test1") ~data_kb:128 ~fp:0.22 ());
+    w ~program:"unepic" ~input:"test2" ~icnt:876
+      (dsp_transform ~name:(nm "unepic" "test2") ~data_kb:512 ~fp:0.22 ());
+    w ~program:"g721" ~input:"decode" ~icnt:323
+      (tiny_dsp_loop ~name:(nm "g721" "decode") ~data_kb:8 ());
+    w ~program:"g721" ~input:"encode" ~icnt:343
+      (tiny_dsp_loop ~name:(nm "g721" "encode") ~data_kb:8 ());
+    w ~program:"ghostscript" ~input:"gs" ~icnt:868
+      (interpreter ~name:(nm "ghostscript" "gs") ~data_mb:4 ~code_k:16 ());
+    w ~program:"mesa" ~input:"mipmap" ~icnt:32
+      (sw_render ~name:(nm "mesa" "mipmap") ~data_mb:4 ());
+    w ~program:"mesa" ~input:"osdemo" ~icnt:10
+      (sw_render ~name:(nm "mesa" "osdemo") ~data_mb:6 ());
+    w ~program:"mesa" ~input:"texgen" ~icnt:86
+      (sw_render ~name:(nm "mesa" "texgen") ~data_mb:8 ());
+    w ~program:"mpeg2" ~input:"decode" ~icnt:149
+      (block_codec ~name:(nm "mpeg2" "decode") ~data_kb:1024 ~imul:0.08 ());
+    w ~program:"mpeg2" ~input:"encode" ~icnt:1_528
+      (block_codec ~name:(nm "mpeg2" "encode") ~data_kb:2048 ~imul:0.10 ());
+  ]

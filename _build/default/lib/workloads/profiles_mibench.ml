@@ -1,0 +1,81 @@
+(* MiBench: free embedded benchmarks (Guthaus et al., WWC 2001).  Telecom,
+   security, consumer, office and automotive categories; the paper uses the
+   large inputs throughout. *)
+
+open Families
+
+let suite = Suite.MiBench
+
+let w ~program ?input ~icnt model =
+  Workload.make ~suite ~program ?input ~icount_millions:icnt model
+
+let nm program input = Printf.sprintf "MiBench/%s/%s" program input
+
+let all =
+  [
+    w ~program:"CRC32" ~input:"large" ~icnt:612
+      (tiny_dsp_loop ~name:(nm "CRC32" "large") ~data_kb:16 ~stride:1 ());
+    w ~program:"FFT" ~input:"fft (large)" ~icnt:237
+      (dsp_transform ~name:(nm "FFT" "fft") ~data_kb:512 ~fp:0.32 ());
+    w ~program:"FFT" ~input:"fftinv (large)" ~icnt:217
+      (dsp_transform ~name:(nm "FFT" "fftinv") ~data_kb:512 ~fp:0.32 ());
+    (* The paper singles adpcm out as isolated (cluster 6): a minuscule,
+       perfectly predictable integer kernel. *)
+    w ~program:"adpcm" ~input:"rawcaudio" ~icnt:758
+      (tiny_dsp_loop ~name:(nm "adpcm" "rawcaudio") ~data_kb:2 ~stride:1 ());
+    w ~program:"adpcm" ~input:"rawdaudio" ~icnt:639
+      (tiny_dsp_loop ~name:(nm "adpcm" "rawdaudio") ~data_kb:2 ~stride:1 ());
+    w ~program:"basicmath" ~input:"large" ~icnt:1_523
+      (fp_dense ~name:(nm "basicmath" "large") ~data_kb:64 ~fp:0.30 ~div:0.10 ());
+    w ~program:"bitcount" ~input:"large" ~icnt:681
+      (bit_kernel ~name:(nm "bitcount" "large") ~data_kb:4 ());
+    w ~program:"blowfish" ~input:"decode" ~icnt:495
+      (table_crypto ~name:(nm "blowfish" "decode") ~table_kb:4 ());
+    w ~program:"blowfish" ~input:"encode" ~icnt:498
+      (table_crypto ~name:(nm "blowfish" "encode") ~table_kb:4 ());
+    w ~program:"dijkstra" ~input:"large" ~icnt:252
+      (pointer_network ~name:(nm "dijkstra" "large") ~data_kb:512 ~chase:0.40 ());
+    w ~program:"ghostscript" ~input:"large" ~icnt:868
+      (interpreter ~name:(nm "ghostscript" "large") ~data_mb:4 ~code_k:16 ());
+    w ~program:"ispell" ~input:"large" ~icnt:1_027
+      (interpreter ~name:(nm "ispell" "large") ~data_mb:2 ~code_k:6 ~branch_bias:0.45 ());
+    w ~program:"jpeg" ~input:"cjpeg" ~icnt:121
+      (block_codec ~name:(nm "jpeg" "cjpeg") ~data_kb:512 ~imul:0.08 ());
+    w ~program:"jpeg" ~input:"djpeg" ~icnt:24
+      (block_codec ~name:(nm "jpeg" "djpeg") ~data_kb:512 ~imul:0.07 ());
+    w ~program:"lame" ~input:"large" ~icnt:1_199
+      (dsp_transform ~name:(nm "lame" "large") ~data_kb:1024 ~fp:0.30 ());
+    w ~program:"mad" ~input:"large" ~icnt:345
+      (dsp_transform ~name:(nm "mad" "large") ~data_kb:512 ~fp:0.15 ());
+    w ~program:"patricia" ~input:"large" ~icnt:399
+      (pointer_network ~name:(nm "patricia" "large") ~data_kb:1024 ~chase:0.50 ());
+    w ~program:"pgp" ~input:"decode" ~icnt:111
+      (bitstream_codec ~name:(nm "pgp" "decode") ~data_kb:512 ~table_kb:32 ());
+    w ~program:"pgp" ~input:"encode" ~icnt:48
+      (bitstream_codec ~name:(nm "pgp" "encode") ~data_kb:512 ~table_kb:32 ());
+    w ~program:"qsort" ~input:"large" ~icnt:512
+      (sort_kernel ~name:(nm "qsort" "large") ~data_kb:2048 ());
+    w ~program:"rsynth" ~input:"say (large)" ~icnt:775
+      (speech_synth ~name:(nm "rsynth" "say") ~data_kb:512 ());
+    w ~program:"sha" ~input:"large" ~icnt:114
+      (tiny_dsp_loop ~name:(nm "sha" "large") ~data_kb:16 ());
+    w ~program:"susan" ~input:"corners (large)" ~icnt:29
+      (block_codec ~name:(nm "susan" "corners") ~data_kb:256 ~imul:0.05 ());
+    w ~program:"susan" ~input:"edges (large)" ~icnt:73
+      (block_codec ~name:(nm "susan" "edges") ~data_kb:256 ~imul:0.05 ());
+    w ~program:"susan" ~input:"smoothing (large)" ~icnt:300
+      (block_codec ~name:(nm "susan" "smoothing") ~data_kb:512 ~imul:0.04 ~row_stride:2048 ());
+    (* tiff's inputs diverge (paper cluster 3): conversion is streaming,
+       dithering is a serial error-diffusion recurrence, median is
+       sort-like. *)
+    w ~program:"tiff" ~input:"2bw" ~icnt:143
+      (block_codec ~name:(nm "tiff" "2bw") ~data_kb:4096 ~imul:0.03 ~row_stride:8192 ());
+    w ~program:"tiff" ~input:"2rgba" ~icnt:268
+      (block_codec ~name:(nm "tiff" "2rgba") ~data_kb:8192 ~imul:0.02 ~row_stride:8192 ());
+    w ~program:"tiff" ~input:"dither" ~icnt:1_228
+      (dynamic_prog ~name:(nm "tiff" "dither") ~data_kb:2048 ~carried:0.40 ());
+    w ~program:"tiff" ~input:"median" ~icnt:763
+      (sort_kernel ~name:(nm "tiff" "median") ~data_kb:1024 ());
+    w ~program:"typeset" ~input:"lout" ~icnt:609
+      (interpreter ~name:(nm "typeset" "lout") ~data_mb:4 ~code_k:10 ());
+  ]

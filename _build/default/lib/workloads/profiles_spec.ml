@@ -1,0 +1,122 @@
+(* SPEC CPU2000: the general-purpose reference suite the paper compares the
+   emerging suites against — 26 programs, 48 program/input rows. *)
+
+open Families
+
+let suite = Suite.SpecCpu2000
+
+let w ~program ?input ~icnt model =
+  Workload.make ~suite ~program ?input ~icount_millions:icnt model
+
+let nm program input = Printf.sprintf "SPEC2000/%s/%s" program input
+
+let integer =
+  [
+    w ~program:"bzip2" ~input:"graphic" ~icnt:157_003
+      (bitstream_codec ~name:(nm "bzip2" "graphic") ~data_kb:4096 ~table_kb:256
+         ~branch_bias:0.42 ());
+    w ~program:"bzip2" ~input:"program" ~icnt:136_389
+      (bitstream_codec ~name:(nm "bzip2" "program") ~data_kb:4096 ~table_kb:256
+         ~branch_bias:0.45 ());
+    w ~program:"bzip2" ~input:"source" ~icnt:122_267
+      (bitstream_codec ~name:(nm "bzip2" "source") ~data_kb:4096 ~table_kb:256
+         ~branch_bias:0.48 ());
+    w ~program:"crafty" ~input:"ref" ~icnt:194_311
+      (interpreter ~name:(nm "crafty" "ref") ~data_mb:2 ~code_k:6 ~branch_bias:0.45 ());
+    w ~program:"eon" ~input:"cook" ~icnt:100_552 (raytracer ~name:(nm "eon" "cook") ~data_mb:4 ());
+    w ~program:"eon" ~input:"kajiya" ~icnt:131_268
+      (raytracer ~name:(nm "eon" "kajiya") ~data_mb:6 ());
+    w ~program:"eon" ~input:"rush" ~icnt:73_139 (raytracer ~name:(nm "eon" "rush") ~data_mb:8 ());
+    w ~program:"gap" ~input:"ref" ~icnt:310_323
+      (interpreter ~name:(nm "gap" "ref") ~data_mb:8 ~code_k:10 ());
+    w ~program:"gcc" ~input:"166" ~icnt:46_614
+      (interpreter ~name:(nm "gcc" "166") ~data_mb:6 ~code_k:16 ());
+    w ~program:"gcc" ~input:"200" ~icnt:106_339
+      (interpreter ~name:(nm "gcc" "200") ~data_mb:8 ~code_k:16 ());
+    w ~program:"gcc" ~input:"expr" ~icnt:11_847
+      (interpreter ~name:(nm "gcc" "expr") ~data_mb:4 ~code_k:16 ());
+    w ~program:"gcc" ~input:"integrate" ~icnt:13_019
+      (interpreter ~name:(nm "gcc" "integrate") ~data_mb:4 ~code_k:16 ());
+    w ~program:"gcc" ~input:"scilab" ~icnt:60_784
+      (interpreter ~name:(nm "gcc" "scilab") ~data_mb:8 ~code_k:16 ());
+    w ~program:"gzip" ~input:"graphic" ~icnt:113_400
+      (bitstream_codec ~name:(nm "gzip" "graphic") ~data_kb:1024 ~table_kb:64
+         ~branch_bias:0.42 ());
+    w ~program:"gzip" ~input:"log" ~icnt:42_506
+      (bitstream_codec ~name:(nm "gzip" "log") ~data_kb:1024 ~table_kb:64 ~branch_bias:0.38 ());
+    w ~program:"gzip" ~input:"program" ~icnt:161_726
+      (bitstream_codec ~name:(nm "gzip" "program") ~data_kb:1024 ~table_kb:64
+         ~branch_bias:0.44 ());
+    w ~program:"gzip" ~input:"random" ~icnt:91_961
+      (bitstream_codec ~name:(nm "gzip" "random") ~data_kb:1024 ~table_kb:64
+         ~branch_bias:0.52 ());
+    w ~program:"gzip" ~input:"source" ~icnt:84_366
+      (bitstream_codec ~name:(nm "gzip" "source") ~data_kb:1024 ~table_kb:64
+         ~branch_bias:0.46 ());
+    (* mcf: the canonical pointer-chasing outlier (paper cluster 4). *)
+    w ~program:"mcf" ~input:"ref" ~icnt:59_800
+      (graph_optimizer ~name:(nm "mcf" "ref") ~data_mb:48 ~chase:0.55 ());
+    w ~program:"parser" ~input:"ref" ~icnt:530_784
+      (interpreter ~name:(nm "parser" "ref") ~data_mb:8 ~code_k:8 ~branch_bias:0.48 ());
+    w ~program:"perlbmk" ~input:"splitmail.535" ~icnt:69_857
+      (interpreter ~name:(nm "perlbmk" "splitmail.535") ~data_mb:6 ~code_k:12 ());
+    w ~program:"perlbmk" ~input:"splitmail.704" ~icnt:73_966
+      (interpreter ~name:(nm "perlbmk" "splitmail.704") ~data_mb:6 ~code_k:12 ());
+    w ~program:"perlbmk" ~input:"splitmail.850" ~icnt:142_509
+      (interpreter ~name:(nm "perlbmk" "splitmail.850") ~data_mb:6 ~code_k:12 ());
+    w ~program:"perlbmk" ~input:"splitmail.957" ~icnt:122_893
+      (interpreter ~name:(nm "perlbmk" "splitmail.957") ~data_mb:6 ~code_k:12 ());
+    w ~program:"perlbmk" ~input:"diffmail" ~icnt:43_327
+      (interpreter ~name:(nm "perlbmk" "diffmail") ~data_mb:4 ~code_k:12 ());
+    w ~program:"perlbmk" ~input:"makerand" ~icnt:2_055
+      (interpreter ~name:(nm "perlbmk" "makerand") ~data_mb:1 ~code_k:12 ~branch_bias:0.52 ());
+    w ~program:"perlbmk" ~input:"perfect" ~icnt:29_791
+      (interpreter ~name:(nm "perlbmk" "perfect") ~data_mb:4 ~code_k:12 ());
+    w ~program:"twolf" ~input:"ref" ~icnt:397_222
+      (graph_optimizer ~name:(nm "twolf" "ref") ~data_mb:8 ~chase:0.45 ());
+    w ~program:"vortex" ~input:"ref1" ~icnt:129_793
+      (oo_database ~name:(nm "vortex" "ref1") ~data_mb:12 ());
+    w ~program:"vortex" ~input:"ref2" ~icnt:151_475
+      (oo_database ~name:(nm "vortex" "ref2") ~data_mb:12 ());
+    w ~program:"vortex" ~input:"ref3" ~icnt:145_113
+      (oo_database ~name:(nm "vortex" "ref3") ~data_mb:12 ());
+    w ~program:"vpr" ~input:"place" ~icnt:117_001
+      (graph_optimizer ~name:(nm "vpr" "place") ~data_mb:6 ~chase:0.40 ());
+    w ~program:"vpr" ~input:"route" ~icnt:82_351
+      (graph_optimizer ~name:(nm "vpr" "route") ~data_mb:6 ~chase:0.50 ());
+  ]
+
+let floating_point =
+  [
+    w ~program:"ammp" ~input:"ref" ~icnt:388_534
+      (fp_dense ~name:(nm "ammp" "ref") ~data_kb:8192 ~fp:0.35 ());
+    w ~program:"applu" ~input:"ref" ~icnt:336_798
+      (fp_stencil ~name:(nm "applu" "ref") ~data_mb:24 ());
+    w ~program:"apsi" ~input:"ref" ~icnt:361_955
+      (fp_stencil ~name:(nm "apsi" "ref") ~data_mb:16 ~stride:4096 ());
+    w ~program:"art" ~input:"ref-110" ~icnt:77_067
+      (fp_stream ~name:(nm "art" "ref-110") ~data_mb:4 ());
+    w ~program:"art" ~input:"ref-470" ~icnt:84_660
+      (fp_stream ~name:(nm "art" "ref-470") ~data_mb:4 ());
+    w ~program:"equake" ~input:"ref" ~icnt:158_071
+      (fp_stencil ~name:(nm "equake" "ref") ~data_mb:12 ());
+    w ~program:"facerec" ~input:"ref" ~icnt:249_735
+      (fp_dense ~name:(nm "facerec" "ref") ~data_kb:4096 ());
+    w ~program:"fma3d" ~input:"ref" ~icnt:312_960
+      (fp_dense ~name:(nm "fma3d" "ref") ~data_kb:16384 ~fp:0.36 ());
+    w ~program:"galgel" ~input:"ref" ~icnt:326_916
+      (fp_dense ~name:(nm "galgel" "ref") ~data_kb:8192 ());
+    w ~program:"lucas" ~input:"ref" ~icnt:134_753
+      (fp_stencil ~name:(nm "lucas" "ref") ~data_mb:32 ~fp:0.42 ());
+    w ~program:"mesa" ~input:"ref" ~icnt:314_449 (sw_render ~name:(nm "mesa" "ref") ~data_mb:8 ());
+    w ~program:"mgrid" ~input:"ref" ~icnt:440_934
+      (fp_stencil ~name:(nm "mgrid" "ref") ~data_mb:28 ~stride:8192 ());
+    w ~program:"sixtrack" ~input:"ref" ~icnt:452_446
+      (fp_dense ~name:(nm "sixtrack" "ref") ~data_kb:24576 ());
+    w ~program:"swim" ~input:"ref" ~icnt:221_868
+      (fp_stencil ~name:(nm "swim" "ref") ~data_mb:30 ~stride:4096 ());
+    w ~program:"wupwise" ~input:"ref" ~icnt:337_770
+      (fp_stencil ~name:(nm "wupwise" "ref") ~data_mb:20 ());
+  ]
+
+let all = integer @ floating_point

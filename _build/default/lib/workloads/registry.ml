@@ -1,0 +1,47 @@
+let all =
+  Profiles_bioinfomark.all @ Profiles_biometrics.all @ Profiles_commbench.all
+  @ Profiles_mediabench.all @ Profiles_mibench.all @ Profiles_spec.all
+
+let count = List.length all
+
+let () = assert (count = 122)
+
+let by_suite suite = List.filter (fun w -> w.Workload.suite = suite) all
+
+let lower = String.lowercase_ascii
+
+let find needle =
+  let n = lower needle in
+  let matches f = List.filter (fun w -> lower (f w) = n) all in
+  match matches Workload.id with
+  | [ w ] -> Some w
+  | _ :: _ :: _ -> None
+  | [] -> (
+    let by_program_input =
+      matches (fun w ->
+          if w.Workload.input = "" then w.Workload.program
+          else Printf.sprintf "%s/%s" w.Workload.program w.Workload.input)
+    in
+    match by_program_input with
+    | [ w ] -> Some w
+    | _ :: _ :: _ -> None
+    | [] -> (
+      match matches Workload.label with
+      | [ w ] -> Some w
+      | _ :: _ :: _ -> None
+      | [] -> (
+        match matches (fun w -> w.Workload.program) with [ w ] -> Some w | _ -> None)))
+
+let find_exn needle = match find needle with Some w -> w | None -> raise Not_found
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  end
+
+let matching needle =
+  let n = lower needle in
+  List.filter (fun w -> contains ~needle:n (lower (Workload.id w))) all

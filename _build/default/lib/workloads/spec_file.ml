@@ -1,0 +1,289 @@
+module K = Mica_trace.Kernel
+module P = Mica_trace.Program
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Parse_error (line, msg))) fmt
+
+let float_field line name v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> fail line "%s expects a number, got %S" name v
+
+let int_field line name v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> fail line "%s expects an integer, got %S" name v
+
+(* pattern tokens: fixed:W | seq:STRIDE:W | strided:STRIDE:W | random:W | chase:W *)
+let parse_mem_pattern line token =
+  match String.split_on_char ':' token with
+  | [ "fixed"; w ] -> (float_field line "fixed weight" w, K.Fixed)
+  | [ "seq"; stride; w ] ->
+    (float_field line "seq weight" w, K.Seq { stride = int_field line "seq stride" stride })
+  | [ "strided"; stride; w ] ->
+    ( float_field line "strided weight" w,
+      K.Strided { stride = int_field line "strided stride" stride } )
+  | [ "random"; w ] -> (float_field line "random weight" w, K.Random)
+  | [ "chase"; w ] -> (float_field line "chase weight" w, K.Chase)
+  | _ -> fail line "unknown memory pattern %S" token
+
+(* branch tokens: loop:P:W | periodic:P:T:W | biased:PROB:W | history:D:W *)
+let parse_branch_kind line token =
+  match String.split_on_char ':' token with
+  | [ "loop"; p; w ] ->
+    (float_field line "loop weight" w, K.Loop_like { period = int_field line "loop period" p })
+  | [ "periodic"; p; t; w ] ->
+    ( float_field line "periodic weight" w,
+      K.Periodic
+        {
+          period = int_field line "periodic period" p;
+          taken_in_period = int_field line "periodic taken" t;
+        } )
+  | [ "biased"; prob; w ] ->
+    ( float_field line "biased weight" w,
+      K.Biased { taken_prob = float_field line "biased prob" prob } )
+  | [ "history"; d; w ] ->
+    (float_field line "history weight" w, K.History { depth = int_field line "history depth" d })
+  | _ -> fail line "unknown branch kind %S" token
+
+type building = {
+  mutable name : string option;
+  mutable seed : int64 option;
+  mutable phases : (string * int * (float * K.spec) list) list;  (* reverse order *)
+  mutable current_phase : (string * int) option;
+  mutable phase_kernels : (float * K.spec) list;  (* reverse order *)
+  mutable current_kernel : (float * K.spec) option;
+}
+
+let default_phase_length = 50_000
+
+let flush_kernel b =
+  match b.current_kernel with
+  | None -> ()
+  | Some (w, spec) ->
+    b.phase_kernels <- (w, spec) :: b.phase_kernels;
+    b.current_kernel <- None
+
+let flush_phase b =
+  flush_kernel b;
+  (match (b.current_phase, b.phase_kernels) with
+  | None, [] -> ()
+  | None, kernels -> b.phases <- ("main", default_phase_length, List.rev kernels) :: b.phases
+  | Some (name, len), kernels -> b.phases <- (name, len, List.rev kernels) :: b.phases);
+  b.current_phase <- None;
+  b.phase_kernels <- []
+
+let with_kernel b line f =
+  match b.current_kernel with
+  | Some (w, spec) -> b.current_kernel <- Some (w, f spec)
+  | None -> fail line "kernel field outside a [kernel ...] section"
+
+let tokens s =
+  List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim s))
+
+let parse_line b lineno raw =
+  let line =
+    match String.index_opt raw '#' with Some i -> String.sub raw 0 i | None -> raw
+  in
+  let line = String.trim line in
+  if line = "" then ()
+  else if String.length line > 1 && line.[0] = '[' then begin
+    if line.[String.length line - 1] <> ']' then fail lineno "unterminated section header";
+    let inner = String.sub line 1 (String.length line - 2) in
+    match tokens inner with
+    | [ "phase"; name; len ] ->
+      flush_phase b;
+      b.current_phase <- Some (name, int_field lineno "phase length" len)
+    | [ "kernel"; name; weight ] ->
+      flush_kernel b;
+      let w = float_field lineno "kernel weight" weight in
+      if w <= 0.0 then fail lineno "kernel weight must be positive";
+      b.current_kernel <- Some (w, { K.default with K.name })
+    | _ -> fail lineno "unknown section %S (expected [phase NAME LENGTH] or [kernel NAME WEIGHT])" inner
+  end
+  else
+    match tokens line with
+    | [ "name"; n ] -> b.name <- Some n
+    | [ "seed"; s ] -> (
+      match Int64.of_string_opt s with
+      | Some v -> b.seed <- Some v
+      | None -> fail lineno "seed expects an integer, got %S" s)
+    | "name" :: _ | "seed" :: _ -> fail lineno "name/seed expect exactly one value"
+    | [ "body"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.body_slots = int_field lineno "body" v })
+    | [ "mix"; l; s; br; im; fp ] ->
+      with_kernel b lineno (fun k ->
+          {
+            k with
+            K.mix =
+              {
+                K.load = float_field lineno "mix load" l;
+                store = float_field lineno "mix store" s;
+                branch = float_field lineno "mix branch" br;
+                int_mul = float_field lineno "mix int_mul" im;
+                fp = float_field lineno "mix fp" fp;
+              };
+          })
+    | [ "data_kb"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.data_bytes = 1024 * int_field lineno "data_kb" v })
+    | [ "code"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.helper_instrs = int_field lineno "code" v })
+    | [ "regions"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.helper_regions = int_field lineno "regions" v })
+    | [ "call_prob"; v ] ->
+      with_kernel b lineno (fun k ->
+          { k with K.helper_call_prob = float_field lineno "call_prob" v })
+    | [ "zipf"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.helper_zipf_s = float_field lineno "zipf" v })
+    | [ "trip"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.trip_count = int_field lineno "trip" v })
+    | [ "dep_p"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.dep_geom_p = float_field lineno "dep_p" v })
+    | [ "carried"; v ] ->
+      with_kernel b lineno (fun k ->
+          { k with K.loop_carried_frac = float_field lineno "carried" v })
+    | [ "hot"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.hot_value_frac = float_field lineno "hot" v })
+    | [ "imm"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.imm_frac = float_field lineno "imm" v })
+    | [ "skip"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.branch_skip_max = int_field lineno "skip" v })
+    | [ "fp_mul"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.fp_mul_frac = float_field lineno "fp_mul" v })
+    | [ "fp_div"; v ] ->
+      with_kernel b lineno (fun k -> { k with K.fp_div_frac = float_field lineno "fp_div" v })
+    | "loads" :: pats when pats <> [] ->
+      let parsed = List.map (parse_mem_pattern lineno) pats in
+      with_kernel b lineno (fun k -> { k with K.load_patterns = parsed })
+    | "stores" :: pats when pats <> [] ->
+      let parsed = List.map (parse_mem_pattern lineno) pats in
+      with_kernel b lineno (fun k -> { k with K.store_patterns = parsed })
+    | "branches" :: kinds when kinds <> [] ->
+      let parsed = List.map (parse_branch_kind lineno) kinds in
+      with_kernel b lineno (fun k -> { k with K.branch_kinds = parsed })
+    | key :: _ -> fail lineno "unknown directive %S" key
+    | [] -> ()
+
+let parse text =
+  let b =
+    {
+      name = None;
+      seed = None;
+      phases = [];
+      current_phase = None;
+      phase_kernels = [];
+      current_kernel = None;
+    }
+  in
+  try
+    List.iteri (fun i line -> parse_line b (i + 1) line) (String.split_on_char '\n' text);
+    flush_phase b;
+    let name = Option.value b.name ~default:"custom-workload" in
+    let phases =
+      List.rev_map
+        (fun (ph_name, ph_length, ph_kernels) -> { P.ph_name; P.ph_length; P.ph_kernels })
+        b.phases
+    in
+    if phases = [] then Error "spec defines no kernels"
+    else begin
+      let program = P.make ~name ?seed:b.seed phases in
+      match P.validate program with Ok () -> Ok program | Error msg -> Error msg
+    end
+  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+(* ---------------- printer ---------------- *)
+
+let mem_pattern_to_token (w, p) =
+  match (p : K.mem_pattern) with
+  | K.Fixed -> Printf.sprintf "fixed:%g" w
+  | K.Seq { stride } -> Printf.sprintf "seq:%d:%g" stride w
+  | K.Strided { stride } -> Printf.sprintf "strided:%d:%g" stride w
+  | K.Random -> Printf.sprintf "random:%g" w
+  | K.Chase -> Printf.sprintf "chase:%g" w
+
+let branch_kind_to_token (w, k) =
+  match (k : K.branch_kind) with
+  | K.Loop_like { period } -> Printf.sprintf "loop:%d:%g" period w
+  | K.Periodic { period; taken_in_period } -> Printf.sprintf "periodic:%d:%d:%g" period taken_in_period w
+  | K.Biased { taken_prob } -> Printf.sprintf "biased:%g:%g" taken_prob w
+  | K.History { depth } -> Printf.sprintf "history:%d:%g" depth w
+
+let kernel_to_text buf (weight, (k : K.spec)) =
+  Buffer.add_string buf (Printf.sprintf "[kernel %s %g]\n" k.K.name weight);
+  Buffer.add_string buf (Printf.sprintf "body %d\n" k.K.body_slots);
+  Buffer.add_string buf
+    (Printf.sprintf "mix %g %g %g %g %g\n" k.K.mix.K.load k.K.mix.K.store k.K.mix.K.branch
+       k.K.mix.K.int_mul k.K.mix.K.fp);
+  Buffer.add_string buf (Printf.sprintf "data_kb %d\n" (k.K.data_bytes / 1024));
+  Buffer.add_string buf (Printf.sprintf "code %d\n" k.K.helper_instrs);
+  Buffer.add_string buf (Printf.sprintf "regions %d\n" k.K.helper_regions);
+  Buffer.add_string buf (Printf.sprintf "call_prob %g\n" k.K.helper_call_prob);
+  Buffer.add_string buf (Printf.sprintf "zipf %g\n" k.K.helper_zipf_s);
+  Buffer.add_string buf (Printf.sprintf "trip %d\n" k.K.trip_count);
+  Buffer.add_string buf (Printf.sprintf "dep_p %g\n" k.K.dep_geom_p);
+  Buffer.add_string buf (Printf.sprintf "carried %g\n" k.K.loop_carried_frac);
+  Buffer.add_string buf (Printf.sprintf "hot %g\n" k.K.hot_value_frac);
+  Buffer.add_string buf (Printf.sprintf "imm %g\n" k.K.imm_frac);
+  Buffer.add_string buf (Printf.sprintf "skip %d\n" k.K.branch_skip_max);
+  Buffer.add_string buf (Printf.sprintf "fp_mul %g\n" k.K.fp_mul_frac);
+  Buffer.add_string buf (Printf.sprintf "fp_div %g\n" k.K.fp_div_frac);
+  if k.K.load_patterns <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "loads %s\n"
+         (String.concat " " (List.map mem_pattern_to_token k.K.load_patterns)));
+  if k.K.store_patterns <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "stores %s\n"
+         (String.concat " " (List.map mem_pattern_to_token k.K.store_patterns)));
+  if k.K.branch_kinds <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "branches %s\n"
+         (String.concat " " (List.map branch_kind_to_token k.K.branch_kinds)))
+
+let to_text (p : P.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "name %s\n" p.P.name);
+  Buffer.add_string buf (Printf.sprintf "seed %Ld\n" p.P.seed);
+  List.iter
+    (fun (ph : P.phase) ->
+      Buffer.add_string buf (Printf.sprintf "\n[phase %s %d]\n" ph.P.ph_name ph.P.ph_length);
+      List.iter
+        (fun k ->
+          Buffer.add_char buf '\n';
+          kernel_to_text buf k)
+        ph.P.ph_kernels)
+    p.P.phases;
+  Buffer.contents buf
+
+let example =
+  {|# A streaming hash-join workload: a probe kernel over a 32MB table
+# mixed with a sequential 64MB relation scan.
+name hash-join
+seed 7
+
+[phase join 50000]
+
+[kernel probe 0.6]
+body 30
+mix 0.33 0.08 0.14 0.01 0.0
+data_kb 32768
+trip 16
+dep_p 0.45
+loads random:0.6 chase:0.2 seq:8:0.2
+stores random:0.7 fixed:0.3
+branches biased:0.35:0.5 loop:12:0.5
+
+[kernel scan 0.4]
+body 20
+mix 0.30 0.05 0.08 0 0
+data_kb 65536
+trip 256
+loads seq:8:0.95 fixed:0.05
+stores fixed:1.0
+|}

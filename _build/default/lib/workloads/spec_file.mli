@@ -1,0 +1,49 @@
+(** Plain-text workload specifications.
+
+    Lets a user describe a custom workload model in a small line-based
+    format and obtain a {!Mica_trace.Program.t}, without writing OCaml —
+    the input to [mica place].
+
+    Format (one directive per line, [#] starts a comment):
+
+    {v
+    name my-workload
+    seed 42                      # optional; default derives from name
+
+    [phase main 50000]           # phase with a dynamic-instruction length
+    [kernel probe 0.6]           # kernel with its weight inside the phase
+    body 30
+    mix 0.33 0.08 0.14 0.01 0.0  # load store branch int_mul fp
+    data_kb 32768
+    trip 16
+    dep_p 0.45
+    loads random:0.6 chase:0.2 seq:8:0.2
+    stores random:0.7 fixed:0.3
+    branches biased:0.35:0.5 loop:12:0.5
+
+    [kernel scan 0.4]
+    body 20
+    mix 0.30 0.05 0.08 0 0
+    data_kb 65536
+    loads seq:8:0.95 fixed:0.05
+    v}
+
+    Memory patterns: [fixed:W], [seq:STRIDE:W], [strided:STRIDE:W],
+    [random:W], [chase:W] (W = mixture weight).  Branch kinds:
+    [loop:PERIOD:W], [periodic:PERIOD:TAKEN:W], [biased:PROB:W],
+    [history:DEPTH:W].  Unspecified kernel fields keep
+    {!Mica_trace.Kernel.default} values.  Kernels before any [[phase]]
+    line go into an implicit phase of 50,000 instructions. *)
+
+val parse : string -> (Mica_trace.Program.t, string) result
+(** Parse a spec from its text.  Errors carry a line number. *)
+
+val to_text : Mica_trace.Program.t -> string
+(** Render a program model back to spec text.  [parse (to_text p)] yields a
+    program with the same name, seed, phases and kernel parameters. *)
+
+val load : string -> (Mica_trace.Program.t, string) result
+(** Parse a spec file from disk. *)
+
+val example : string
+(** A complete example spec (used in documentation and tests). *)

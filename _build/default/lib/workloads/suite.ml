@@ -1,0 +1,31 @@
+type t =
+  | BioInfoMark
+  | BioMetricsWorkload
+  | CommBench
+  | MediaBench
+  | MiBench
+  | SpecCpu2000
+
+let all = [ BioInfoMark; BioMetricsWorkload; CommBench; MediaBench; MiBench; SpecCpu2000 ]
+
+let name = function
+  | BioInfoMark -> "BioInfoMark"
+  | BioMetricsWorkload -> "BioMetricsWorkload"
+  | CommBench -> "CommBench"
+  | MediaBench -> "MediaBench"
+  | MiBench -> "MiBench"
+  | SpecCpu2000 -> "SPEC2000"
+
+let of_name s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun t -> String.lowercase_ascii (name t) = s) all
+
+let domain = function
+  | BioInfoMark -> "bioinformatics"
+  | BioMetricsWorkload -> "biometrics"
+  | CommBench -> "telecommunication"
+  | MediaBench -> "multimedia"
+  | MiBench -> "embedded"
+  | SpecCpu2000 -> "general purpose"
+
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,19 @@
+(** The six benchmark suites of Table I. *)
+
+type t =
+  | BioInfoMark  (** bioinformatics *)
+  | BioMetricsWorkload  (** biometrics *)
+  | CommBench  (** telecommunication / network processing *)
+  | MediaBench  (** multimedia *)
+  | MiBench  (** embedded *)
+  | SpecCpu2000  (** general purpose *)
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+(** Case-insensitive lookup by {!name}. *)
+
+val domain : t -> string
+(** Human-readable workload domain, e.g. "bioinformatics". *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type t = {
+  suite : Suite.t;
+  program : string;
+  input : string;
+  icount_millions : int;
+  model : Mica_trace.Program.t;
+}
+
+let make ~suite ~program ?(input = "") ~icount_millions model =
+  { suite; program; input; icount_millions; model }
+
+let id t =
+  if t.input = "" then Printf.sprintf "%s/%s" (Suite.name t.suite) t.program
+  else Printf.sprintf "%s/%s/%s" (Suite.name t.suite) t.program t.input
+
+let label t = if t.input = "" then t.program else Printf.sprintf "%s.%s" t.program t.input
+
+let pp fmt t = Format.pp_print_string fmt (id t)

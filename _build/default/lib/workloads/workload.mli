@@ -1,0 +1,28 @@
+(** A benchmark workload: Table I metadata plus its synthetic program model.
+
+    The [icount_millions] field is the paper's reported dynamic instruction
+    count; it is metadata (reproduced in the Table I experiment), not the
+    length of the generated trace — all workloads are characterized over
+    the same configurable trace length so that their measured rates are
+    directly comparable (see DESIGN.md). *)
+
+type t = {
+  suite : Suite.t;
+  program : string;  (** benchmark name, e.g. "bzip2" *)
+  input : string;  (** input name, e.g. "graphic"; "" when the paper lists none *)
+  icount_millions : int;  (** Table I dynamic instruction count, in millions *)
+  model : Mica_trace.Program.t;  (** the synthetic stand-in *)
+}
+
+val make :
+  suite:Suite.t -> program:string -> ?input:string -> icount_millions:int ->
+  Mica_trace.Program.t -> t
+
+val id : t -> string
+(** Unique identifier ["suite/program/input"] (or ["suite/program"] when the
+    input is empty). *)
+
+val label : t -> string
+(** Short display label ["program.input"] (or ["program"]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/t_analysis.ml: Alcotest Array Float Fun List Mica_analysis Mica_isa Mica_trace Mica_util Tutil

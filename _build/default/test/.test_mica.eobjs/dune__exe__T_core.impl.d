@@ -1,0 +1,1 @@
+test/t_core.ml: Alcotest Array Filename Fun List Mica_core Mica_select Mica_stats Mica_util Mica_workloads Printf String Sys Tutil

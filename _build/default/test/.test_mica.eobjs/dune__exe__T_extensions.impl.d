@@ -1,0 +1,1 @@
+test/t_extensions.ml: Alcotest Array Float Fun List Mica_analysis Mica_core Mica_select Mica_stats Mica_trace Mica_uarch Mica_util Mica_workloads Printf String Tutil

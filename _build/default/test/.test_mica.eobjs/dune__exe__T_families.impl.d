@@ -1,0 +1,1 @@
+test/t_families.ml: Alcotest Array Float List Mica_analysis Mica_stats Mica_trace Mica_workloads

@@ -1,0 +1,1 @@
+test/t_fuzz.ml: Alcotest Array Filename Float Fun Gen List Mica_analysis Mica_isa Mica_trace Mica_uarch Mica_workloads Printf QCheck2 Sys Tutil

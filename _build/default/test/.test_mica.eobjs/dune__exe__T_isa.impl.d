@@ -1,0 +1,1 @@
+test/t_isa.ml: Alcotest Fun List Mica_isa String Tutil

@@ -1,0 +1,1 @@
+test/t_rng.ml: Alcotest Array Fun Hashtbl Int64 Mica_stats Mica_util Option QCheck2 Tutil

@@ -1,0 +1,1 @@
+test/t_select.ml: Alcotest Array Fun List Mica_select Mica_stats Mica_util Tutil

@@ -1,0 +1,1 @@
+test/t_stats.ml: Alcotest Array Float List Mica_stats Mica_util Tutil

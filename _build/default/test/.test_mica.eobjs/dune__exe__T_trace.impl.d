@@ -1,0 +1,1 @@
+test/t_trace.ml: Alcotest Array Filename Fun List Mica_analysis Mica_isa Mica_trace Mica_util Option Printf QCheck2 Result Sys Tutil

@@ -1,0 +1,1 @@
+test/t_uarch.ml: Alcotest Array Float List Mica_isa Mica_trace Mica_uarch Mica_util Mica_workloads QCheck2 Tutil

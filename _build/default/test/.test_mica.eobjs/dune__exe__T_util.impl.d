@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Filename Fun List Mica_util QCheck2 String Sys Tutil

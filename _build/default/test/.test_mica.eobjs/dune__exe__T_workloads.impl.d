@@ -1,0 +1,1 @@
+test/t_workloads.ml: Alcotest List Mica_analysis Mica_trace Mica_workloads

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest List Mica_isa Mica_trace QCheck2 QCheck_alcotest

@@ -1,0 +1,382 @@
+module C = Mica_core
+module S = Mica_stats
+module W = Mica_workloads
+
+let feq = Tutil.feq
+
+(* ---------------- dataset ---------------- *)
+
+let sample_dataset () =
+  C.Dataset.create ~names:[| "a"; "b"; "c" |] ~features:[| "x"; "y" |]
+    [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |]
+
+let test_dataset_basics () =
+  let ds = sample_dataset () in
+  Alcotest.(check int) "rows" 3 (C.Dataset.rows ds);
+  Alcotest.(check int) "cols" 2 (C.Dataset.cols ds);
+  Alcotest.(check (option int)) "row index" (Some 1) (C.Dataset.row_index ds "b");
+  Alcotest.(check (option int)) "feature index" (Some 1) (C.Dataset.feature_index ds "y");
+  Alcotest.(check (array feq)) "row_exn" [| 3.0; 4.0 |] (C.Dataset.row_exn ds "b")
+
+let test_dataset_create_mismatch () =
+  try
+    ignore (C.Dataset.create ~names:[| "a" |] ~features:[| "x" |] [| [| 1.0 |]; [| 2.0 |] |]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_dataset_select () =
+  let ds = sample_dataset () in
+  let sub = C.Dataset.select_features ds [| 1 |] in
+  Alcotest.(check (array string)) "feature kept" [| "y" |] sub.C.Dataset.features;
+  Alcotest.check feq "value kept" 4.0 sub.C.Dataset.data.(1).(0);
+  let rows = C.Dataset.select_rows ds [| 2; 0 |] in
+  Alcotest.(check (array string)) "rows reordered" [| "c"; "a" |] rows.C.Dataset.names
+
+let test_dataset_append () =
+  let ds = sample_dataset () in
+  let more =
+    C.Dataset.create ~names:[| "d" |] ~features:[| "x"; "y" |] [| [| 7.0; 8.0 |] |]
+  in
+  let both = C.Dataset.append_rows ds more in
+  Alcotest.(check int) "4 rows" 4 (C.Dataset.rows both);
+  let bad = C.Dataset.create ~names:[| "e" |] ~features:[| "z"; "w" |] [| [| 0.0; 0.0 |] |] in
+  try
+    ignore (C.Dataset.append_rows ds bad);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_dataset_csv_roundtrip () =
+  let ds = sample_dataset () in
+  let path = Filename.temp_file "mica_ds" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      C.Dataset.to_csv ds path;
+      let back = C.Dataset.of_csv path in
+      Alcotest.(check (array string)) "names" ds.C.Dataset.names back.C.Dataset.names;
+      Alcotest.(check (array string)) "features" ds.C.Dataset.features back.C.Dataset.features;
+      Array.iteri
+        (fun i row ->
+          Array.iteri (fun j v -> Alcotest.check feq "value" v back.C.Dataset.data.(i).(j)) row)
+        ds.C.Dataset.data)
+
+(* ---------------- space ---------------- *)
+
+let test_space_distances () =
+  let ds = sample_dataset () in
+  let sp = C.Space.of_dataset ds in
+  Alcotest.(check int) "n" 3 (C.Space.n sp);
+  Alcotest.check feq "self distance" 0.0 (C.Space.distance sp 1 1);
+  Alcotest.check feq "symmetric" (C.Space.distance sp 0 2) (C.Space.distance sp 2 0);
+  Alcotest.check feq "by name matches by index" (C.Space.distance sp 0 1)
+    (C.Space.distance_by_name sp "a" "b");
+  (* rows are collinear and evenly spaced: d(a,c) = 2 d(a,b) *)
+  Alcotest.check feq "collinear" (2.0 *. C.Space.distance sp 0 1) (C.Space.distance sp 0 2);
+  Alcotest.check feq "max distance" (C.Space.distance sp 0 2) (C.Space.max_distance sp)
+
+let test_space_nearest () =
+  let ds = sample_dataset () in
+  let sp = C.Space.of_dataset ds in
+  match C.Space.nearest sp 0 ~k:2 with
+  | [ (j1, d1); (j2, d2) ] ->
+    Alcotest.(check int) "nearest is b" 1 j1;
+    Alcotest.(check int) "then c" 2 j2;
+    Alcotest.(check bool) "sorted" true (d1 <= d2)
+  | _ -> Alcotest.fail "expected two neighbours"
+
+let test_space_place () =
+  let ds = sample_dataset () in
+  let sp = C.Space.of_dataset ds in
+  (* placing an existing observation reproduces its normalized row *)
+  let z = C.Space.place sp [| 3.0; 4.0 |] in
+  Alcotest.(check (array feq)) "place matches" sp.C.Space.normalized.(1) z;
+  let d = C.Space.distances_from sp [| 3.0; 4.0 |] in
+  Alcotest.check feq "distance to itself" 0.0 d.(1)
+
+(* ---------------- classify ---------------- *)
+
+let test_classify_quadrants () =
+  (* hpc max 10 -> threshold 2; mica max 100 -> threshold 20 *)
+  let hpc = [| 1.0; 3.0; 1.0; 10.0 |] in
+  let mica = [| 10.0; 30.0; 50.0; 100.0 |] in
+  let c = C.Classify.classify ~hpc_distances:hpc ~mica_distances:mica () in
+  Alcotest.(check int) "tn" 1 c.C.Classify.true_neg;
+  Alcotest.(check int) "tp" 2 c.C.Classify.true_pos;
+  Alcotest.(check int) "fp" 1 c.C.Classify.false_pos;
+  Alcotest.(check int) "fn" 0 c.C.Classify.false_neg;
+  let f = C.Classify.fractions c in
+  Alcotest.check feq "fractions sum to 1" 1.0
+    (f.C.Classify.f_true_pos +. f.C.Classify.f_true_neg +. f.C.Classify.f_false_pos
+    +. f.C.Classify.f_false_neg)
+
+let test_classify_threshold_sensitivity () =
+  let hpc = [| 1.0; 10.0 |] and mica = [| 1.0; 10.0 |] in
+  let strict = C.Classify.classify ~hpc_distances:hpc ~mica_distances:mica ~frac:0.9 () in
+  Alcotest.(check int) "high threshold: one large pair" 1 strict.C.Classify.true_pos;
+  Alcotest.(check int) "and one small pair" 1 strict.C.Classify.true_neg
+
+let test_classify_errors () =
+  (try
+     ignore (C.Classify.classify ~hpc_distances:[| 1.0 |] ~mica_distances:[||] ());
+     Alcotest.fail "length mismatch accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (C.Classify.classify ~hpc_distances:[||] ~mica_distances:[||] ());
+    Alcotest.fail "empty accepted"
+  with Invalid_argument _ -> ()
+
+(* ---------------- case study ---------------- *)
+
+let test_case_study_normalization () =
+  let ds = sample_dataset () in
+  let cmp = C.Case_study.compare_in ds ~a:"a" ~b:"c" in
+  (* max of column x is 5: a=0.2, c=1.0 *)
+  Alcotest.check feq "a normalized" 0.2 cmp.C.Case_study.a.(0);
+  Alcotest.check feq "c normalized" 1.0 cmp.C.Case_study.b.(0)
+
+let test_case_study_render () =
+  let ds = sample_dataset () in
+  let cmp = C.Case_study.compare_in ds ~a:"a" ~b:"b" in
+  let s = C.Case_study.render cmp in
+  Alcotest.(check bool) "mentions features" true (String.length s > 10)
+
+let test_case_study_unknown () =
+  let ds = sample_dataset () in
+  try
+    ignore (C.Case_study.compare_in ds ~a:"nope" ~b:"a");
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* ---------------- clustering ---------------- *)
+
+let blob_dataset () =
+  let rng = Mica_util.Rng.create ~seed:55L in
+  let data =
+    Array.init 30 (fun i ->
+        let c = if i < 15 then 0.0 else 8.0 in
+        [|
+          c +. Mica_util.Rng.gaussian rng ~mu:0.0 ~sigma:0.2;
+          c +. Mica_util.Rng.gaussian rng ~mu:0.0 ~sigma:0.2;
+        |])
+  in
+  C.Dataset.create
+    ~names:(Array.init 30 (Printf.sprintf "w%d"))
+    ~features:[| "f1"; "f2" |] data
+
+let test_clustering_two_blobs () =
+  let ds = blob_dataset () in
+  let c = C.Clustering.cluster ~k_max:6 ds in
+  Alcotest.(check int) "two clusters found" 2 c.C.Clustering.k;
+  (match C.Clustering.cluster_of c "w0" with
+  | Some c0 ->
+    for i = 1 to 14 do
+      Alcotest.(check (option int)) "first blob intact" (Some c0)
+        (C.Clustering.cluster_of c (Printf.sprintf "w%d" i))
+    done
+  | None -> Alcotest.fail "w0 missing");
+  let sorted = C.Clustering.sorted_clusters c in
+  Alcotest.(check int) "partition" 30
+    (List.fold_left (fun acc (_, m) -> acc + Array.length m) 0 sorted)
+
+let test_clustering_members () =
+  let ds = blob_dataset () in
+  let c = C.Clustering.cluster ~k_max:4 ds in
+  let all = List.concat_map (fun (cid, _) -> Array.to_list (C.Clustering.members c cid))
+      (C.Clustering.sorted_clusters c) in
+  Alcotest.(check int) "members cover dataset" 30 (List.length (List.sort_uniq compare all))
+
+(* ---------------- kiviat ---------------- *)
+
+let test_kiviat_text () =
+  let s = C.Kiviat.text ~axes:[| "a"; "b" |] ~values:[| 0.0; 1.0 |] in
+  Alcotest.(check bool) "two lines" true
+    (List.length (String.split_on_char '\n' (String.trim s)) = 2)
+
+let test_kiviat_compact () =
+  let s = C.Kiviat.text_compact ~values:[| 0.0; 0.5; 1.0 |] in
+  Alcotest.(check bool) "non-empty" true (String.length s > 0)
+
+let test_kiviat_svg () =
+  let plots =
+    [
+      { C.Kiviat.p_label = "w1"; p_values = [| 0.5; 0.5; 0.5 |]; p_cluster = 0 };
+      { C.Kiviat.p_label = "w2"; p_values = [| 1.0; 0.0; 1.0 |]; p_cluster = 1 };
+    ]
+  in
+  let svg = C.Kiviat.svg_grid ~title:"t" ~axes:[| "a"; "b"; "c" |] plots in
+  let contains needle =
+    let n = String.length needle and h = String.length svg in
+    let rec go i = i + n <= h && (String.sub svg i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "svg root" true (contains "<svg");
+  Alcotest.(check bool) "polygons drawn" true (contains "<polygon");
+  Alcotest.(check bool) "cluster headers" true (contains "Cluster 2");
+  Alcotest.(check bool) "closed" true (contains "</svg>")
+
+let test_kiviat_svg_escapes () =
+  let plots = [ { C.Kiviat.p_label = "a<b&c"; p_values = [| 0.5 |]; p_cluster = 0 } ] in
+  let svg = C.Kiviat.svg_grid ~title:"x\"y" ~axes:[| "a" |] plots in
+  let contains needle =
+    let n = String.length needle and h = String.length svg in
+    let rec go i = i + n <= h && (String.sub svg i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "label escaped" true (contains "a&lt;b&amp;c");
+  Alcotest.(check bool) "title escaped" true (contains "x&quot;y")
+
+(* ---------------- pipeline ---------------- *)
+
+let small_config dir =
+  { C.Pipeline.default_config with C.Pipeline.icount = 3_000; cache_dir = dir }
+
+let test_pipeline_characterize () =
+  let w = W.Registry.find_exn "MiBench/sha/large" in
+  let mica, hpc = C.Pipeline.characterize (small_config None) w in
+  Alcotest.(check int) "47 chars" 47 (Array.length mica);
+  Alcotest.(check int) "7 counters" 7 (Array.length hpc)
+
+let test_pipeline_datasets_shape () =
+  let ws = [ W.Registry.find_exn "MiBench/sha/large"; W.Registry.find_exn "SPEC2000/mcf/ref" ] in
+  let mica, hpc = C.Pipeline.datasets ~config:(small_config None) ws in
+  Alcotest.(check int) "2 rows" 2 (C.Dataset.rows mica);
+  Alcotest.(check int) "47 cols" 47 (C.Dataset.cols mica);
+  Alcotest.(check int) "7 cols" 7 (C.Dataset.cols hpc);
+  Alcotest.(check string) "row order preserved" "MiBench/sha/large" mica.C.Dataset.names.(0)
+
+let test_pipeline_cache_roundtrip () =
+  let dir = Filename.temp_file "mica_cache" "" in
+  Sys.remove dir;
+  let config = small_config (Some dir) in
+  let ws = [ W.Registry.find_exn "MiBench/sha/large" ] in
+  let mica1, _ = C.Pipeline.datasets ~config ws in
+  (* second load must come from cache and be identical *)
+  let mica2, _ = C.Pipeline.datasets ~config ws in
+  Alcotest.(check bool) "cached results identical" true
+    (mica1.C.Dataset.data = mica2.C.Dataset.data);
+  Alcotest.(check bool) "cache file exists" true
+    (Sys.file_exists (Filename.concat dir (Printf.sprintf "mica-%s-3000.csv" C.Pipeline.model_version)))
+
+let test_pipeline_parallel_matches_serial () =
+  let ws =
+    [
+      W.Registry.find_exn "MiBench/sha/large"; W.Registry.find_exn "SPEC2000/mcf/ref";
+      W.Registry.find_exn "CommBench/tcp/tcp"; W.Registry.find_exn "SPEC2000/swim/ref";
+    ]
+  in
+  let serial = { (small_config None) with C.Pipeline.jobs = 1 } in
+  let parallel = { (small_config None) with C.Pipeline.jobs = 3 } in
+  let m1, h1 = C.Pipeline.datasets ~config:serial ws in
+  let m2, h2 = C.Pipeline.datasets ~config:parallel ws in
+  Alcotest.(check bool) "MICA identical across domain counts" true
+    (m1.C.Dataset.data = m2.C.Dataset.data);
+  Alcotest.(check bool) "HPC identical across domain counts" true
+    (h1.C.Dataset.data = h2.C.Dataset.data);
+  Alcotest.(check (array string)) "row order preserved" m1.C.Dataset.names m2.C.Dataset.names
+
+let test_pipeline_deterministic () =
+  let w = W.Registry.find_exn "CommBench/tcp/tcp" in
+  let a, ha = C.Pipeline.characterize (small_config None) w in
+  let b, hb = C.Pipeline.characterize (small_config None) w in
+  Alcotest.(check bool) "MICA deterministic" true (a = b);
+  Alcotest.(check bool) "HPC deterministic" true (ha = hb)
+
+(* ---------------- experiments on a reduced context ---------------- *)
+
+let mini_context () =
+  let names =
+    [
+      "MiBench/sha/large"; "MiBench/adpcm/rawcaudio"; "SPEC2000/mcf/ref";
+      "SPEC2000/swim/ref"; "SPEC2000/gcc/166"; "BioInfoMark/blast/protein";
+      "CommBench/rtr/rtr"; "MediaBench/g721/decode"; "SPEC2000/bzip2/graphic";
+      "MiBench/qsort/large";
+    ]
+  in
+  C.Experiments.Context.load
+    ~config:{ C.Pipeline.default_config with C.Pipeline.icount = 3_000; cache_dir = None }
+    ~workloads:(List.map W.Registry.find_exn names) ()
+
+let test_experiments_fig1_table3 () =
+  let ctx = mini_context () in
+  let f1 = C.Experiments.fig1 ctx in
+  Alcotest.(check int) "45 pairs" 45 (Array.length f1.C.Experiments.points);
+  Alcotest.(check bool) "correlation in [-1,1]" true
+    (f1.C.Experiments.correlation >= -1.0 && f1.C.Experiments.correlation <= 1.0);
+  let counts = C.Experiments.table3 ctx in
+  Alcotest.(check int) "quadrants partition pairs" 45
+    (counts.C.Classify.true_pos + counts.C.Classify.true_neg + counts.C.Classify.false_pos
+    + counts.C.Classify.false_neg)
+
+let test_experiments_selection_and_roc () =
+  let ctx = mini_context () in
+  let ga_config =
+    { Mica_select.Genetic.default_config with
+      Mica_select.Genetic.population = 16; max_generations = 30; stall_generations = 10 }
+  in
+  let ga = C.Experiments.run_ga ~config:ga_config ctx in
+  Alcotest.(check bool) "ga selected something" true
+    (Array.length ga.Mica_select.Genetic.selected > 0);
+  let ce = C.Experiments.run_ce ctx in
+  Alcotest.(check int) "ce runs to 1" 46 (List.length ce);
+  let entries = C.Experiments.fig4 ctx ~ga ~ce in
+  List.iter
+    (fun (e : C.Experiments.roc_entry) ->
+      let auc = e.C.Experiments.curve.S.Roc.auc in
+      if auc < 0.0 || auc > 1.0 then Alcotest.failf "AUC %f out of range" auc)
+    entries;
+  let f5 = C.Experiments.fig5 ctx ~ga in
+  Array.iter
+    (fun (_, rho) ->
+      if rho < -1.0 || rho > 1.0 then Alcotest.fail "rho out of range")
+    f5.C.Experiments.ce_points
+
+let test_experiments_fig6 () =
+  let ctx = mini_context () in
+  let f6 = C.Experiments.fig6 ~k_max:6 ctx ~selected:[| 0; 6; 19; 43 |] in
+  Alcotest.(check int) "plot per workload" 10 (List.length f6.C.Experiments.plots);
+  Alcotest.(check int) "axes match selection" 4 (Array.length f6.C.Experiments.axes);
+  List.iter
+    (fun (p : C.Kiviat.plot) ->
+      Array.iter
+        (fun v -> if v < 0.0 || v > 1.0 then Alcotest.fail "kiviat value out of unit range")
+        p.C.Kiviat.p_values)
+    f6.C.Experiments.plots
+
+let test_experiments_renderers () =
+  Alcotest.(check bool) "table1 text" true (String.length (C.Experiments.render_table1 ()) > 1000);
+  Alcotest.(check bool) "table2 text" true (String.length (C.Experiments.render_table2 ()) > 500)
+
+let suite =
+  ( "core",
+    [
+      Alcotest.test_case "dataset basics" `Quick test_dataset_basics;
+      Alcotest.test_case "dataset mismatch" `Quick test_dataset_create_mismatch;
+      Alcotest.test_case "dataset select" `Quick test_dataset_select;
+      Alcotest.test_case "dataset append" `Quick test_dataset_append;
+      Alcotest.test_case "dataset csv roundtrip" `Quick test_dataset_csv_roundtrip;
+      Alcotest.test_case "space distances" `Quick test_space_distances;
+      Alcotest.test_case "space nearest" `Quick test_space_nearest;
+      Alcotest.test_case "space place" `Quick test_space_place;
+      Alcotest.test_case "classify quadrants" `Quick test_classify_quadrants;
+      Alcotest.test_case "classify threshold" `Quick test_classify_threshold_sensitivity;
+      Alcotest.test_case "classify errors" `Quick test_classify_errors;
+      Alcotest.test_case "case study normalization" `Quick test_case_study_normalization;
+      Alcotest.test_case "case study render" `Quick test_case_study_render;
+      Alcotest.test_case "case study unknown" `Quick test_case_study_unknown;
+      Alcotest.test_case "clustering two blobs" `Quick test_clustering_two_blobs;
+      Alcotest.test_case "clustering members" `Quick test_clustering_members;
+      Alcotest.test_case "kiviat text" `Quick test_kiviat_text;
+      Alcotest.test_case "kiviat compact" `Quick test_kiviat_compact;
+      Alcotest.test_case "kiviat svg" `Quick test_kiviat_svg;
+      Alcotest.test_case "kiviat svg escapes" `Quick test_kiviat_svg_escapes;
+      Alcotest.test_case "pipeline characterize" `Quick test_pipeline_characterize;
+      Alcotest.test_case "pipeline datasets" `Quick test_pipeline_datasets_shape;
+      Alcotest.test_case "pipeline cache" `Quick test_pipeline_cache_roundtrip;
+      Alcotest.test_case "pipeline deterministic" `Quick test_pipeline_deterministic;
+      Alcotest.test_case "pipeline parallel = serial" `Quick
+        test_pipeline_parallel_matches_serial;
+      Alcotest.test_case "experiments fig1/table3" `Slow test_experiments_fig1_table3;
+      Alcotest.test_case "experiments selection/roc" `Slow test_experiments_selection_and_roc;
+      Alcotest.test_case "experiments fig6" `Slow test_experiments_fig6;
+      Alcotest.test_case "experiments renderers" `Quick test_experiments_renderers;
+    ] )

@@ -1,0 +1,76 @@
+(* Golden regression tests: exact characteristic vectors for three
+   contrasting workloads at a fixed trace length, pinned at model version
+   "v3".  Any change to the generator, the workload profiles or an analyzer
+   that alters measured behaviour will fail here — bump
+   Mica_core.Pipeline.model_version and regenerate the constants when the
+   change is intentional (see the generator snippet in the repo history /
+   DESIGN.md determinism notes). *)
+
+let golden_icount = 5_000
+
+let golden =
+  [
+    ("MiBench/sha/large",
+     [|
+        0.2094; 0.1046; 0.157; 0.529;
+        0.; 0.; 6.32911392405; 9.52380952381;
+        18.5873605948; 18.5873605948; 1.581; 2.14030335861;
+        0.330675778284; 0.467096937484; 0.66755251835; 0.769045811187;
+        0.868134649456; 1.; 1.; 196.;
+        4.; 3.; 1.; 0.;
+        1.; 1.; 1.; 1.;
+        0.; 0.; 0.; 0.;
+        0.250478011472; 0.; 1.; 1.;
+        1.; 1.; 0.; 0.;
+        0.; 0.; 1.; 0.0229591836735;
+        0.0420918367347; 0.0229591836735; 0.0420918367347;
+     |]);
+    ("SPEC2000/mcf/ref",
+     [|
+        0.3436; 0.0638; 0.1768; 0.4158;
+        0.; 0.; 10.6837606838; 19.6078431373;
+        21.4592274678; 21.5517241379; 1.432; 1.87516460363;
+        0.193820224719; 0.45393258427; 0.551123595506; 0.629634831461;
+        0.679775280899; 0.924157303371; 0.931741573034; 1792.;
+        1031.; 4.; 1.; 0.;
+        0.; 0.; 0.0046783625731; 0.0315789473684;
+        0.; 0.; 0.; 0.;
+        0.; 0.712933753943; 0.712933753943; 0.712933753943;
+        0.712933753943; 0.716088328076; 0.421383647799; 0.421383647799;
+        0.421383647799; 0.421383647799; 0.421383647799; 0.2313860252;
+        0.234822451317; 0.184421534937; 0.201603665521;
+     |]);
+    ("SPEC2000/swim/ref",
+     [|
+        0.277; 0.1274; 0.0424; 0.191;
+        0.; 0.3622; 5.21920668058; 5.21920668058;
+        5.21920668058; 5.21920668058; 1.6168; 1.9173693086;
+        0.13481593165; 0.255057167986; 0.415881392135; 0.641663525569;
+        0.921221258952; 0.989320266365; 0.990074129916; 1232.;
+        964.; 7.; 1.; 0.;
+        0.617067833698; 0.617067833698; 0.617067833698; 1.;
+        0.; 0.; 0.; 0.;
+        0.; 0.; 0.334389857369; 0.334389857369;
+        0.334389857369; 1.; 0.; 0.;
+        0.; 0.; 0.; 0.0283018867925;
+        0.0283018867925; 0.0283018867925; 0.0283018867925;
+     |]);
+  ]
+
+let test_golden (name, expected) () =
+  let w = Mica_workloads.Registry.find_exn name in
+  let v = Mica_analysis.Analyzer.analyze w.Mica_workloads.Workload.model ~icount:golden_icount in
+  Alcotest.(check int) "vector length" (Array.length expected) (Array.length v);
+  Array.iteri
+    (fun i x ->
+      if Float.abs (x -. expected.(i)) > 1e-9 +. (1e-9 *. Float.abs expected.(i)) then
+        Alcotest.failf "%s: characteristic %d drifted: %.12g <> %.12g (pinned)" name i x
+          expected.(i))
+    v
+
+let suite =
+  ( "golden",
+    List.map
+      (fun ((name, _) as case) ->
+        Alcotest.test_case ("pinned vector " ^ name) `Quick (test_golden case))
+      golden )

@@ -1,0 +1,197 @@
+module Rng = Mica_util.Rng
+
+let test_determinism () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create ~seed:1L and b = Rng.create ~seed:2L in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_of_string_stable () =
+  let a = Rng.of_string "bzip2" and b = Rng.of_string "bzip2" in
+  Alcotest.(check int64) "name-derived seeds equal" (Rng.bits64 a) (Rng.bits64 b);
+  let c = Rng.of_string "blast" in
+  Alcotest.(check bool) "different names differ" true (Rng.bits64 a <> Rng.bits64 c)
+
+let test_copy_and_split () =
+  let a = Rng.create ~seed:7L in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  let a = Rng.create ~seed:7L in
+  let child = Rng.split a in
+  (* the child must not replay the parent's stream *)
+  let parent_next = Rng.bits64 a and child_next = Rng.bits64 child in
+  Alcotest.(check bool) "split independent" true (parent_next <> child_next)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:3L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "Rng.int out of range"
+  done
+
+let test_int_covers () =
+  let rng = Rng.create ~seed:5L in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  Alcotest.(check bool) "all residues reached" true (Array.for_all Fun.id seen)
+
+let test_int_in () =
+  let rng = Rng.create ~seed:11L in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.fail "int_in out of range"
+  done
+
+let test_float_range () =
+  let rng = Rng.create ~seed:13L in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "float out of range"
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create ~seed:17L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng ~p:0.0);
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng ~p:1.0)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Rng.create ~seed:19L in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_geometric () =
+  let rng = Rng.create ~seed:23L in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    let v = Rng.geometric rng ~p:0.5 in
+    if v < 0 then Alcotest.fail "geometric negative";
+    sum := !sum + v
+  done;
+  (* mean of geometric(0.5) counting failures is (1-p)/p = 1 *)
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 1" true (abs_float (mean -. 1.0) < 0.1);
+  Alcotest.(check int) "p=1 is always 0" 0 (Rng.geometric rng ~p:1.0)
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:29L in
+  let n = 50_000 in
+  let acc = Mica_stats.Descriptive.running_create () in
+  for _ = 1 to n do
+    Mica_stats.Descriptive.running_add acc (Rng.gaussian rng ~mu:3.0 ~sigma:2.0)
+  done;
+  Alcotest.(check bool) "mean near 3"
+    true
+    (abs_float (Mica_stats.Descriptive.running_mean acc -. 3.0) < 0.1);
+  Alcotest.(check bool) "stddev near 2"
+    true
+    (abs_float (Mica_stats.Descriptive.running_stddev acc -. 2.0) < 0.1)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:31L in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:4.0
+  done;
+  Alcotest.(check bool) "mean near 4" true (abs_float ((!sum /. float_of_int n) -. 4.0) < 0.2)
+
+let test_zipf_support_and_skew () =
+  let rng = Rng.create ~seed:37L in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.zipf rng ~n:10 ~s:1.2 in
+    if v < 0 || v >= 10 then Alcotest.fail "zipf out of range";
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(4));
+  Alcotest.(check bool) "rank 0 beats rank 9" true (counts.(0) > counts.(9))
+
+let test_zipf_harmonic_case () =
+  let rng = Rng.create ~seed:41L in
+  for _ = 1 to 1_000 do
+    let v = Rng.zipf rng ~n:5 ~s:1.0 in
+    if v < 0 || v >= 5 then Alcotest.fail "zipf s=1 out of range"
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:43L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_pick_weighted () =
+  let rng = Rng.create ~seed:47L in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 10_000 do
+    let v = Rng.pick_weighted rng [| (0.9, "a"); (0.1, "b"); (0.0, "c") |] in
+    Hashtbl.replace counts v (1 + Option.value (Hashtbl.find_opt counts v) ~default:0)
+  done;
+  let get k = Option.value (Hashtbl.find_opt counts k) ~default:0 in
+  Alcotest.(check int) "zero-weight never chosen" 0 (get "c");
+  Alcotest.(check bool) "weights respected" true (get "a" > 7 * get "b")
+
+let test_hash_string () =
+  Alcotest.(check bool) "distinct strings hash apart"
+    true
+    (Rng.hash_string "foo" <> Rng.hash_string "bar");
+  Alcotest.(check int64) "hash is stable" (Rng.hash_string "foo") (Rng.hash_string "foo")
+
+let prop_int_bound =
+  Tutil.qcheck_case "Rng.int always in [0,n)"
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let prop_geometric_non_negative =
+  Tutil.qcheck_case "geometric is non-negative"
+    QCheck2.Gen.(pair (float_range 0.01 1.0) (int_bound 10_000))
+    (fun (p, seed) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      Rng.geometric rng ~p >= 0)
+
+let suite =
+  ( "rng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "different seeds" `Quick test_different_seeds;
+      Alcotest.test_case "of_string stable" `Quick test_of_string_stable;
+      Alcotest.test_case "copy and split" `Quick test_copy_and_split;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "int covers residues" `Quick test_int_covers;
+      Alcotest.test_case "int_in bounds" `Quick test_int_in;
+      Alcotest.test_case "float range" `Quick test_float_range;
+      Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+      Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+      Alcotest.test_case "geometric" `Quick test_geometric;
+      Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+      Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+      Alcotest.test_case "zipf support and skew" `Quick test_zipf_support_and_skew;
+      Alcotest.test_case "zipf harmonic case" `Quick test_zipf_harmonic_case;
+      Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+      Alcotest.test_case "pick_weighted" `Quick test_pick_weighted;
+      Alcotest.test_case "hash_string" `Quick test_hash_string;
+      prop_int_bound;
+      prop_geometric_non_negative;
+    ] )

@@ -1,0 +1,197 @@
+module Select = Mica_select
+module S = Mica_stats
+module Rng = Mica_util.Rng
+
+(* A synthetic dataset with known structure: 3 informative independent
+   columns, plus redundant copies and pure-noise columns of tiny scale.
+   After z-scoring, the informative columns (and their copies) carry the
+   distance structure. *)
+let synthetic_data rng =
+  Array.init 40 (fun _ ->
+      let a = Rng.gaussian rng ~mu:0.0 ~sigma:1.0 in
+      let b = Rng.gaussian rng ~mu:0.0 ~sigma:1.0 in
+      let c = Rng.gaussian rng ~mu:0.0 ~sigma:1.0 in
+      [|
+        a;
+        b;
+        c;
+        a +. (0.01 *. Rng.gaussian rng ~mu:0.0 ~sigma:1.0);  (* copy of a *)
+        b +. (0.01 *. Rng.gaussian rng ~mu:0.0 ~sigma:1.0);  (* copy of b *)
+        Rng.gaussian rng ~mu:0.0 ~sigma:1.0;  (* independent noise *)
+      |])
+
+let make_fitness rng =
+  let data = synthetic_data rng in
+  let normalized = S.Normalize.zscore data in
+  (data, Select.Fitness.create normalized)
+
+(* ---------------- fitness ---------------- *)
+
+let test_fitness_full_set_rho_one () =
+  let rng = Rng.create ~seed:1L in
+  let _, fit = make_fitness rng in
+  let all = Array.init (Select.Fitness.n_characteristics fit) Fun.id in
+  Alcotest.check Tutil.feq_loose "full subset reproduces distances exactly" 1.0
+    (Select.Fitness.rho fit all)
+
+let test_fitness_empty_subset () =
+  let rng = Rng.create ~seed:2L in
+  let _, fit = make_fitness rng in
+  Alcotest.check Tutil.feq "empty rho" 0.0 (Select.Fitness.rho fit [||]);
+  Alcotest.check Tutil.feq "empty fitness" 0.0 (Select.Fitness.paper_fitness fit [||])
+
+let test_fitness_counts () =
+  let rng = Rng.create ~seed:3L in
+  let _, fit = make_fitness rng in
+  Alcotest.(check int) "N" 6 (Select.Fitness.n_characteristics fit);
+  Alcotest.(check int) "pairs" (40 * 39 / 2) (Select.Fitness.n_pairs fit)
+
+let test_fitness_subset_distances_match_manual () =
+  let rng = Rng.create ~seed:4L in
+  let data, fit = make_fitness rng in
+  let normalized = S.Normalize.zscore data in
+  let manual = S.Distance.condensed (S.Matrix.select_columns normalized [| 0; 2 |]) in
+  let via_fitness = Select.Fitness.distances_for fit [| 0; 2 |] in
+  Array.iteri
+    (fun i d -> Alcotest.check Tutil.feq_loose "distance matches" d via_fitness.(i))
+    manual
+
+let test_fitness_paper_formula () =
+  let rng = Rng.create ~seed:5L in
+  let _, fit = make_fitness rng in
+  let subset = [| 0; 1; 2 |] in
+  let expected = Select.Fitness.rho fit subset *. (1.0 -. (3.0 /. 6.0)) in
+  Alcotest.check Tutil.feq "f = rho * (1 - n/N)" expected
+    (Select.Fitness.paper_fitness fit subset)
+
+let test_fitness_informative_beats_noise () =
+  let rng = Rng.create ~seed:6L in
+  let _, fit = make_fitness rng in
+  let informative = Select.Fitness.rho fit [| 0; 1; 2 |] in
+  let noise_only = Select.Fitness.rho fit [| 5 |] in
+  Alcotest.(check bool) "informative subset correlates better" true
+    (informative > noise_only +. 0.2)
+
+(* ---------------- correlation elimination ---------------- *)
+
+let test_ce_removes_redundant_first () =
+  let rng = Rng.create ~seed:7L in
+  let data, fit = make_fitness rng in
+  let steps = Select.Correlation_elimination.run ~data fit in
+  (* the first removals must be among the correlated pairs {0,3} and {1,4} *)
+  match steps with
+  | first :: second :: _ ->
+    let removed = [ first.Select.Correlation_elimination.removed;
+                    second.Select.Correlation_elimination.removed ] in
+    List.iter
+      (fun r ->
+        if not (List.mem r [ 0; 1; 3; 4 ]) then
+          Alcotest.failf "removed uncorrelated column %d first" r)
+      removed
+  | _ -> Alcotest.fail "expected at least two steps"
+
+let test_ce_runs_to_target () =
+  let rng = Rng.create ~seed:8L in
+  let data, fit = make_fitness rng in
+  let steps = Select.Correlation_elimination.run ~down_to:2 ~data fit in
+  Alcotest.(check int) "4 removals from 6 to 2" 4 (List.length steps);
+  let last = List.nth steps 3 in
+  Alcotest.(check int) "2 remain" 2
+    (Array.length last.Select.Correlation_elimination.remaining)
+
+let test_ce_remaining_consistent () =
+  let rng = Rng.create ~seed:9L in
+  let data, fit = make_fitness rng in
+  let steps = Select.Correlation_elimination.run ~data fit in
+  (* each step's remaining set excludes all removed-so-far *)
+  let removed = ref [] in
+  List.iter
+    (fun (s : Select.Correlation_elimination.step) ->
+      removed := s.Select.Correlation_elimination.removed :: !removed;
+      Array.iter
+        (fun r ->
+          if List.mem r !removed then Alcotest.fail "removed column still in remaining")
+        s.Select.Correlation_elimination.remaining)
+    steps
+
+let test_ce_subset_of_size () =
+  let rng = Rng.create ~seed:10L in
+  let data, fit = make_fitness rng in
+  let steps = Select.Correlation_elimination.run ~data fit in
+  Alcotest.(check int) "size-3 subset" 3
+    (Array.length (Select.Correlation_elimination.subset_of_size steps 3));
+  try
+    ignore (Select.Correlation_elimination.subset_of_size steps 99);
+    Alcotest.fail "expected Not_found"
+  with Not_found -> ()
+
+(* ---------------- genetic algorithm ---------------- *)
+
+let ga_config =
+  { Select.Genetic.default_config with
+    Select.Genetic.population = 24; max_generations = 80; stall_generations = 20 }
+
+let test_ga_finds_compact_accurate_subset () =
+  let rng = Rng.create ~seed:11L in
+  let _, fit = make_fitness rng in
+  let ga = Select.Genetic.run ~config:ga_config ~rng:(Rng.create ~seed:12L) fit in
+  Alcotest.(check bool) "rho high" true (ga.Select.Genetic.rho > 0.8);
+  Alcotest.(check bool) "subset compact" true (Array.length ga.Select.Genetic.selected <= 4);
+  (* it must not pick both a column and its near-copy *)
+  let sel = Array.to_list ga.Select.Genetic.selected in
+  Alcotest.(check bool) "no redundant pair" false
+    (List.mem 0 sel && List.mem 3 sel || (List.mem 1 sel && List.mem 4 sel))
+
+let test_ga_deterministic_given_seed () =
+  let rng = Rng.create ~seed:13L in
+  let _, fit = make_fitness rng in
+  let run () = Select.Genetic.run ~config:ga_config ~rng:(Rng.create ~seed:14L) fit in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same selection" true
+    (a.Select.Genetic.selected = b.Select.Genetic.selected);
+  Alcotest.check Tutil.feq "same fitness" a.Select.Genetic.fitness b.Select.Genetic.fitness
+
+let test_ga_history_non_decreasing () =
+  let rng = Rng.create ~seed:15L in
+  let _, fit = make_fitness rng in
+  let ga = Select.Genetic.run ~config:ga_config ~rng:(Rng.create ~seed:16L) fit in
+  let h = ga.Select.Genetic.best_history in
+  for i = 0 to Array.length h - 2 do
+    if h.(i) > h.(i + 1) +. 1e-12 then Alcotest.fail "best fitness regressed"
+  done
+
+let test_ga_fitness_matches_selection () =
+  let rng = Rng.create ~seed:17L in
+  let _, fit = make_fitness rng in
+  let ga = Select.Genetic.run ~config:ga_config ~rng:(Rng.create ~seed:18L) fit in
+  Alcotest.check Tutil.feq_loose "reported fitness consistent"
+    (Select.Fitness.paper_fitness fit ga.Select.Genetic.selected)
+    ga.Select.Genetic.fitness
+
+let test_ga_selected_sorted_unique () =
+  let rng = Rng.create ~seed:19L in
+  let _, fit = make_fitness rng in
+  let ga = Select.Genetic.run ~config:ga_config ~rng:(Rng.create ~seed:20L) fit in
+  let sel = Array.to_list ga.Select.Genetic.selected in
+  Alcotest.(check (list int)) "sorted unique" (List.sort_uniq compare sel) sel
+
+let suite =
+  ( "select",
+    [
+      Alcotest.test_case "fitness full set" `Quick test_fitness_full_set_rho_one;
+      Alcotest.test_case "fitness empty" `Quick test_fitness_empty_subset;
+      Alcotest.test_case "fitness counts" `Quick test_fitness_counts;
+      Alcotest.test_case "fitness subset distances" `Quick
+        test_fitness_subset_distances_match_manual;
+      Alcotest.test_case "fitness paper formula" `Quick test_fitness_paper_formula;
+      Alcotest.test_case "fitness informative" `Quick test_fitness_informative_beats_noise;
+      Alcotest.test_case "ce redundant first" `Quick test_ce_removes_redundant_first;
+      Alcotest.test_case "ce to target" `Quick test_ce_runs_to_target;
+      Alcotest.test_case "ce consistent" `Quick test_ce_remaining_consistent;
+      Alcotest.test_case "ce subset_of_size" `Quick test_ce_subset_of_size;
+      Alcotest.test_case "ga finds subset" `Quick test_ga_finds_compact_accurate_subset;
+      Alcotest.test_case "ga deterministic" `Quick test_ga_deterministic_given_seed;
+      Alcotest.test_case "ga history monotone" `Quick test_ga_history_non_decreasing;
+      Alcotest.test_case "ga fitness consistent" `Quick test_ga_fitness_matches_selection;
+      Alcotest.test_case "ga selection canonical" `Quick test_ga_selected_sorted_unique;
+    ] )

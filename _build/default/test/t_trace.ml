@@ -1,0 +1,375 @@
+module K = Mica_trace.Kernel
+module P = Mica_trace.Program
+module G = Mica_trace.Generator
+module Sink = Mica_trace.Sink
+module Opcode = Mica_isa.Opcode
+module Instr = Mica_isa.Instr
+module Rng = Mica_util.Rng
+module Trace_io = Mica_trace.Trace_io
+
+(* ---------------- Sink ---------------- *)
+
+let test_sink_counter () =
+  let sink, read = Sink.counter () in
+  Tutil.run_sink sink [ Tutil.alu (); Tutil.alu (); Tutil.alu () ];
+  Alcotest.(check int) "counted" 3 (read ())
+
+let test_sink_fanout () =
+  let s1, r1 = Sink.counter () in
+  let s2, r2 = Sink.counter () in
+  let fan = Sink.fanout [ s1; s2 ] in
+  Tutil.run_sink fan [ Tutil.alu (); Tutil.alu () ];
+  Alcotest.(check int) "first sees all" 2 (r1 ());
+  Alcotest.(check int) "second sees all" 2 (r2 ())
+
+let test_sink_sample () =
+  let s, r = Sink.counter () in
+  let sampled = Sink.sample ~every:3 s in
+  Tutil.run_sink sampled (List.init 10 (fun _ -> Tutil.alu ()));
+  Alcotest.(check int) "every third" 4 (r ())
+
+let test_sink_collect () =
+  let sink, read = Sink.collect ~limit:2 () in
+  let a = Tutil.alu ~pc:0x10 () and b = Tutil.alu ~pc:0x20 () and c = Tutil.alu ~pc:0x30 () in
+  Tutil.run_sink sink [ a; b; c ];
+  let got = read () in
+  Alcotest.(check int) "limited" 2 (List.length got);
+  Alcotest.(check int) "in order" 0x10 (List.hd got).Instr.pc
+
+(* ---------------- Kernel validation ---------------- *)
+
+let expect_invalid spec name =
+  match K.validate spec with
+  | Ok () -> Alcotest.failf "%s should be invalid" name
+  | Error _ -> ()
+
+let test_kernel_validate () =
+  Alcotest.(check bool) "default valid" true (K.validate K.default = Ok ());
+  expect_invalid { K.default with K.body_slots = 2 } "tiny body";
+  expect_invalid
+    { K.default with K.mix = { K.default.K.mix with K.load = 0.9; store = 0.5 } }
+    "over-full mix";
+  expect_invalid { K.default with K.dep_geom_p = 0.0 } "zero dep_geom_p";
+  expect_invalid { K.default with K.trip_count = 0 } "zero trip";
+  expect_invalid { K.default with K.data_bytes = 8 } "tiny data";
+  expect_invalid { K.default with K.helper_call_prob = 1.5 } "probability over 1";
+  expect_invalid
+    { K.default with K.fp_mul_frac = 0.8; fp_div_frac = 0.5 }
+    "fp split over 1";
+  expect_invalid
+    { K.default with K.load_patterns = [] }
+    "no load patterns with loads in mix"
+
+let test_kernel_instantiate_structure () =
+  let rng = Rng.create ~seed:1L in
+  let inst = K.instantiate K.default ~rng ~code_base:0x1000 ~data_base:0x100000 in
+  Alcotest.(check int) "body size" K.default.K.body_slots (Array.length inst.K.i_body);
+  Alcotest.(check int) "loop pc after body" (0x1000 + (4 * K.default.K.body_slots))
+    inst.K.i_loop_pc;
+  (* slot pcs are sequential *)
+  Array.iteri
+    (fun i slot ->
+      Alcotest.(check int) "slot pc" (0x1000 + (4 * i)) slot.K.s_pc)
+    inst.K.i_body;
+  (* memory slots carry state, branch slots carry state *)
+  Array.iter
+    (fun slot ->
+      (match slot.K.s_op with
+      | Opcode.Load | Opcode.Store ->
+        if slot.K.s_mem = None then Alcotest.fail "mem slot without state"
+      | _ -> if slot.K.s_mem <> None then Alcotest.fail "non-mem slot with state");
+      match slot.K.s_op with
+      | Opcode.Branch -> if slot.K.s_br = None then Alcotest.fail "branch without state"
+      | _ -> if slot.K.s_br <> None then Alcotest.fail "non-branch with state")
+    inst.K.i_body;
+  Alcotest.(check int) "helper regions" K.default.K.helper_regions
+    (Array.length inst.K.i_helpers)
+
+let test_kernel_mix_rounding () =
+  let spec = { K.default with K.body_slots = 100 } in
+  let rng = Rng.create ~seed:2L in
+  let inst = K.instantiate spec ~rng ~code_base:0x1000 ~data_base:0x100000 in
+  let count pred = Array.length (Array.of_list (List.filter pred (Array.to_list inst.K.i_body))) in
+  let loads = count (fun s -> s.K.s_op = Opcode.Load) in
+  let stores = count (fun s -> s.K.s_op = Opcode.Store) in
+  Alcotest.(check int) "load slots match mix" 25 loads;
+  Alcotest.(check int) "store slots match mix" 10 stores
+
+let test_kernel_chase_self_dependence () =
+  let spec =
+    {
+      K.default with
+      K.name = "chase";
+      load_patterns = [ (1.0, K.Chase) ];
+      mix = { K.default.K.mix with K.load = 0.3 };
+    }
+  in
+  let rng = Rng.create ~seed:3L in
+  let inst = K.instantiate spec ~rng ~code_base:0x1000 ~data_base:0x100000 in
+  Array.iter
+    (fun slot ->
+      if slot.K.s_op = Opcode.Load && not (Mica_isa.Reg.is_none slot.K.s_dst) then
+        Alcotest.(check int) "chase load reads its own output" slot.K.s_dst slot.K.s_src1)
+    inst.K.i_body
+
+let test_kernel_code_bytes () =
+  Alcotest.(check int) "code bytes"
+    ((K.default.K.body_slots + 1 + K.default.K.helper_instrs) * 4)
+    (K.code_bytes K.default)
+
+let test_kernel_invalid_instantiate_raises () =
+  let rng = Rng.create ~seed:4L in
+  Alcotest.check_raises "invalid spec raises"
+    (Invalid_argument "kernel \"default\": trip_count must be positive")
+    (fun () ->
+      ignore
+        (K.instantiate { K.default with K.trip_count = 0 } ~rng ~code_base:0 ~data_base:0))
+
+(* ---------------- Program ---------------- *)
+
+let test_program_validate () =
+  let p = P.make ~name:"empty" [] in
+  Alcotest.(check bool) "no phases invalid" true (Result.is_error (P.validate p));
+  let p =
+    P.make ~name:"zero-len" [ { P.ph_name = "a"; ph_kernels = [ (1.0, K.default) ]; ph_length = 0 } ]
+  in
+  Alcotest.(check bool) "zero length invalid" true (Result.is_error (P.validate p));
+  let p =
+    P.make ~name:"neg-weight"
+      [ { P.ph_name = "a"; ph_kernels = [ (-1.0, K.default) ]; ph_length = 10 } ]
+  in
+  Alcotest.(check bool) "negative weight invalid" true (Result.is_error (P.validate p));
+  Alcotest.(check bool) "single valid" true
+    (Result.is_ok (P.validate (P.single ~name:"ok" K.default)))
+
+let test_program_seed_derived_from_name () =
+  let a = P.single ~name:"abc" K.default and b = P.single ~name:"abc" K.default in
+  Alcotest.(check int64) "same name same seed" a.P.seed b.P.seed;
+  let c = P.single ~name:"xyz" K.default in
+  Alcotest.(check bool) "different name different seed" true (a.P.seed <> c.P.seed)
+
+let test_program_kernels () =
+  let p = P.single ~name:"k" K.default in
+  Alcotest.(check int) "one kernel" 1 (List.length (P.kernels p))
+
+(* ---------------- Generator ---------------- *)
+
+let test_generator_exact_icount () =
+  let p = P.single ~name:"count" K.default in
+  let sink, read = Sink.counter () in
+  let n = G.run p ~icount:12_345 ~sink in
+  Alcotest.(check int) "returns icount" 12_345 n;
+  Alcotest.(check int) "sink saw icount" 12_345 (read ())
+
+let test_generator_zero_icount () =
+  let p = P.single ~name:"zero" K.default in
+  let sink, read = Sink.counter () in
+  Alcotest.(check int) "zero" 0 (G.run p ~icount:0 ~sink);
+  Alcotest.(check int) "nothing emitted" 0 (read ())
+
+let test_generator_deterministic () =
+  let p = P.single ~name:"det" K.default in
+  let a = G.preview p ~n:500 and b = G.preview p ~n:500 in
+  Alcotest.(check bool) "identical traces" true (a = b)
+
+let test_generator_different_names_differ () =
+  let a = G.preview (P.single ~name:"one" K.default) ~n:200 in
+  let b = G.preview (P.single ~name:"two" K.default) ~n:200 in
+  Alcotest.(check bool) "traces differ" true (a <> b)
+
+let test_generator_invalid_program () =
+  let p = P.make ~name:"bad" [] in
+  let sink, _ = Sink.counter () in
+  (try
+     ignore (G.run p ~icount:10 ~sink);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_generator_stream_well_formed () =
+  let p = P.single ~name:"wf" K.default in
+  let instrs = G.preview p ~n:5_000 in
+  List.iter
+    (fun (i : Instr.t) ->
+      if i.Instr.pc <= 0 then Alcotest.fail "non-positive pc";
+      if Opcode.is_mem i.Instr.op && i.Instr.addr <= 0 then Alcotest.fail "mem op without address";
+      if Opcode.is_control i.Instr.op && i.Instr.taken && i.Instr.target <= 0 then
+        Alcotest.fail "taken control without target";
+      if (not (Opcode.is_mem i.Instr.op)) && i.Instr.addr <> 0 then
+        Alcotest.fail "non-mem op with address")
+    instrs
+
+let test_generator_control_flow_consistent () =
+  (* After a not-taken branch or a sequential instruction the next pc is
+     pc+4; after a taken control transfer it is the target. *)
+  let p = P.single ~name:"cfc" K.default in
+  let instrs = Array.of_list (G.preview p ~n:2_000) in
+  for i = 0 to Array.length instrs - 2 do
+    let cur = instrs.(i) and next = instrs.(i + 1) in
+    Alcotest.(check int)
+      (Printf.sprintf "pc chain at %d" i)
+      (Instr.next_pc cur) next.Instr.pc
+  done
+
+let test_generator_loop_branch_pattern () =
+  (* the loop back-edge is taken trip_count-1 times, then falls through *)
+  let spec = { K.default with K.helper_call_prob = 0.0; trip_count = 4 } in
+  let p = P.single ~name:"loop" spec in
+  let instrs = G.preview p ~n:2_000 in
+  let loop_pc = ref None in
+  (* find the highest branch pc: that's the back edge *)
+  List.iter
+    (fun (i : Instr.t) ->
+      if i.Instr.op = Opcode.Branch then
+        match !loop_pc with
+        | None -> loop_pc := Some i.Instr.pc
+        | Some p when i.Instr.pc > p -> loop_pc := Some i.Instr.pc
+        | Some _ -> ())
+    instrs;
+  let loop_pc = Option.get !loop_pc in
+  let outcomes =
+    List.filter_map
+      (fun (i : Instr.t) -> if i.Instr.pc = loop_pc then Some i.Instr.taken else None)
+      instrs
+  in
+  (* pattern: T T T N repeating *)
+  List.iteri
+    (fun idx taken ->
+      let expected = idx mod 4 <> 3 in
+      if taken <> expected then Alcotest.failf "back edge outcome %d wrong" idx)
+    outcomes
+
+let test_generator_phase_interleaving () =
+  let k1 = { K.default with K.name = "k1" } in
+  let k2 = { K.default with K.name = "k2" } in
+  let p =
+    P.make ~name:"phases"
+      [
+        { P.ph_name = "a"; ph_kernels = [ (1.0, k1) ]; ph_length = 500 };
+        { P.ph_name = "b"; ph_kernels = [ (1.0, k2) ]; ph_length = 500 };
+      ]
+  in
+  let instrs = G.preview p ~n:3_000 in
+  let code_regions =
+    List.sort_uniq compare (List.map (fun (i : Instr.t) -> i.Instr.pc land 0x7F00_0000) instrs)
+  in
+  Alcotest.(check bool) "two code regions visited" true (List.length code_regions >= 2)
+
+let prop_generator_icount =
+  Tutil.qcheck_case ~count:20 "generator emits exactly icount"
+    QCheck2.Gen.(int_range 1 5_000)
+    (fun n ->
+      let p = P.single ~name:"prop" K.default in
+      let sink, read = Sink.counter () in
+      G.run p ~icount:n ~sink = n && read () = n)
+
+(* ---------------- trace IO ---------------- *)
+
+let test_trace_io_line_roundtrip () =
+  let samples =
+    [
+      Tutil.load ~pc:0x40 ~src1:3 ~dst:7 ~addr:0xdeadbeef ();
+      Tutil.branch ~pc:0x44 ~src1:1 ~taken:true ~target:0x80 ();
+      Tutil.alu ~pc:0x48 ~src1:1 ~src2:2 ~dst:3 ();
+      Instr.make ~pc:0x4C ~op:Opcode.Return ~src1:26 ~taken:true ~target:0x100 ();
+    ]
+  in
+  List.iter
+    (fun i ->
+      let line = Trace_io.instr_to_line i in
+      let back = Trace_io.instr_of_line line in
+      if back <> i then Alcotest.failf "line roundtrip failed for %s" line)
+    samples
+
+let test_trace_io_bad_line () =
+  (try
+     ignore (Trace_io.instr_of_line "not a trace line");
+     Alcotest.fail "garbage accepted"
+   with Failure _ -> ());
+  try
+    ignore (Trace_io.instr_of_line "40 bogus_op 1 2 3 0 T 0");
+    Alcotest.fail "bad opcode accepted"
+  with Failure _ -> ()
+
+let roundtrip_file ~binary =
+  let p = P.single ~name:"trace-io" K.default in
+  let path = Filename.temp_file "mica_trace" (if binary then ".bin" else ".txt") in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let written =
+        if binary then Trace_io.write_binary ~path p ~icount:2_000
+        else Trace_io.write_text ~path p ~icount:2_000
+      in
+      Alcotest.(check int) "written" 2_000 written;
+      let collected, read = Sink.collect ~limit:2_000 () in
+      let n =
+        if binary then Trace_io.replay_binary ~path ~sink:collected
+        else Trace_io.replay_text ~path ~sink:collected
+      in
+      Alcotest.(check int) "replayed" 2_000 n;
+      let original = G.preview p ~n:2_000 in
+      Alcotest.(check bool) "identical instruction stream" true (read () = original))
+
+let test_trace_io_text_file () = roundtrip_file ~binary:false
+let test_trace_io_binary_file () = roundtrip_file ~binary:true
+
+let test_trace_io_binary_rejects_garbage () =
+  let path = Filename.temp_file "mica_trace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "NOTATRACE_______";
+      close_out oc;
+      let sink, _ = Sink.counter () in
+      try
+        ignore (Trace_io.replay_binary ~path ~sink);
+        Alcotest.fail "garbage accepted"
+      with Failure _ -> ())
+
+let test_trace_io_analysis_equivalence () =
+  (* analyzing a replayed trace gives the same characteristics as live *)
+  let p = P.single ~name:"trace-io-analysis" K.default in
+  let live = Mica_analysis.Analyzer.analyze p ~icount:3_000 in
+  let path = Filename.temp_file "mica_trace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      ignore (Trace_io.write_binary ~path p ~icount:3_000 : int);
+      let analyzer = Mica_analysis.Analyzer.create () in
+      ignore (Trace_io.replay_binary ~path ~sink:(Mica_analysis.Analyzer.sink analyzer) : int);
+      Alcotest.(check bool) "same vector" true (Mica_analysis.Analyzer.vector analyzer = live))
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "sink counter" `Quick test_sink_counter;
+      Alcotest.test_case "sink fanout" `Quick test_sink_fanout;
+      Alcotest.test_case "sink sample" `Quick test_sink_sample;
+      Alcotest.test_case "sink collect" `Quick test_sink_collect;
+      Alcotest.test_case "kernel validate" `Quick test_kernel_validate;
+      Alcotest.test_case "kernel instantiate structure" `Quick test_kernel_instantiate_structure;
+      Alcotest.test_case "kernel mix rounding" `Quick test_kernel_mix_rounding;
+      Alcotest.test_case "kernel chase self-dependence" `Quick test_kernel_chase_self_dependence;
+      Alcotest.test_case "kernel code bytes" `Quick test_kernel_code_bytes;
+      Alcotest.test_case "invalid instantiate raises" `Quick test_kernel_invalid_instantiate_raises;
+      Alcotest.test_case "program validate" `Quick test_program_validate;
+      Alcotest.test_case "program seeds" `Quick test_program_seed_derived_from_name;
+      Alcotest.test_case "program kernels" `Quick test_program_kernels;
+      Alcotest.test_case "generator exact icount" `Quick test_generator_exact_icount;
+      Alcotest.test_case "generator zero icount" `Quick test_generator_zero_icount;
+      Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+      Alcotest.test_case "generator name-seeded" `Quick test_generator_different_names_differ;
+      Alcotest.test_case "generator rejects invalid" `Quick test_generator_invalid_program;
+      Alcotest.test_case "stream well-formed" `Quick test_generator_stream_well_formed;
+      Alcotest.test_case "control flow consistent" `Quick test_generator_control_flow_consistent;
+      Alcotest.test_case "loop branch pattern" `Quick test_generator_loop_branch_pattern;
+      Alcotest.test_case "phase interleaving" `Quick test_generator_phase_interleaving;
+      prop_generator_icount;
+      Alcotest.test_case "trace io line roundtrip" `Quick test_trace_io_line_roundtrip;
+      Alcotest.test_case "trace io bad line" `Quick test_trace_io_bad_line;
+      Alcotest.test_case "trace io text file" `Quick test_trace_io_text_file;
+      Alcotest.test_case "trace io binary file" `Quick test_trace_io_binary_file;
+      Alcotest.test_case "trace io rejects garbage" `Quick test_trace_io_binary_rejects_garbage;
+      Alcotest.test_case "trace io analysis equivalence" `Quick test_trace_io_analysis_equivalence;
+    ] )

@@ -1,0 +1,362 @@
+module U = Mica_uarch
+module Opcode = Mica_isa.Opcode
+module Instr = Mica_isa.Instr
+
+(* ---------------- cache ---------------- *)
+
+let test_cache_geometry () =
+  let c = U.Cache.create ~name:"c" ~size_bytes:8192 ~line_bytes:32 ~assoc:1 in
+  Alcotest.(check int) "sets" 256 (U.Cache.sets c);
+  Alcotest.(check int) "line" 32 (U.Cache.line_bytes c);
+  let l2 = U.Cache.create ~name:"l2" ~size_bytes:(96 * 1024) ~line_bytes:64 ~assoc:3 in
+  Alcotest.(check int) "21164 L2 sets" 512 (U.Cache.sets l2)
+
+let test_cache_invalid_geometry () =
+  (try
+     ignore (U.Cache.create ~name:"bad" ~size_bytes:1000 ~line_bytes:33 ~assoc:1);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (U.Cache.create ~name:"bad" ~size_bytes:64 ~line_bytes:64 ~assoc:2);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_cache_hit_miss () =
+  let c = U.Cache.create ~name:"c" ~size_bytes:1024 ~line_bytes:32 ~assoc:1 in
+  Alcotest.(check bool) "cold miss" false (U.Cache.access c 0x100);
+  Alcotest.(check bool) "hit same line" true (U.Cache.access c 0x110);
+  Alcotest.(check bool) "miss next line" false (U.Cache.access c 0x120);
+  Alcotest.(check int) "accesses" 3 (U.Cache.accesses c);
+  Alcotest.(check int) "misses" 2 (U.Cache.misses c)
+
+let test_cache_direct_mapped_conflict () =
+  let c = U.Cache.create ~name:"c" ~size_bytes:1024 ~line_bytes:32 ~assoc:1 in
+  (* addresses 1024 apart map to the same set in a 1KB direct-mapped cache *)
+  ignore (U.Cache.access c 0x0);
+  ignore (U.Cache.access c 0x400);
+  Alcotest.(check bool) "conflict evicted" false (U.Cache.access c 0x0)
+
+let test_cache_associativity_absorbs_conflict () =
+  let c = U.Cache.create ~name:"c" ~size_bytes:2048 ~line_bytes:32 ~assoc:2 in
+  ignore (U.Cache.access c 0x0);
+  ignore (U.Cache.access c 0x400);
+  Alcotest.(check bool) "both ways live" true (U.Cache.access c 0x0);
+  Alcotest.(check bool) "second way too" true (U.Cache.access c 0x400)
+
+let test_cache_lru () =
+  let c = U.Cache.create ~name:"c" ~size_bytes:2048 ~line_bytes:32 ~assoc:2 in
+  (* three conflicting lines in a 2-way set: LRU must be evicted *)
+  ignore (U.Cache.access c 0x0);
+  ignore (U.Cache.access c 0x400);
+  ignore (U.Cache.access c 0x0);
+  (* touch 0x0 so 0x400 is LRU *)
+  ignore (U.Cache.access c 0x800);
+  (* evicts 0x400 *)
+  Alcotest.(check bool) "MRU survives" true (U.Cache.access c 0x0);
+  Alcotest.(check bool) "LRU evicted" false (U.Cache.access c 0x400)
+
+let test_cache_probe_no_side_effect () =
+  let c = U.Cache.create ~name:"c" ~size_bytes:1024 ~line_bytes:32 ~assoc:1 in
+  Alcotest.(check bool) "probe cold" false (U.Cache.probe c 0x100);
+  Alcotest.(check int) "probe not counted" 0 (U.Cache.accesses c);
+  ignore (U.Cache.access c 0x100);
+  Alcotest.(check bool) "probe warm" true (U.Cache.probe c 0x100)
+
+let test_cache_reset_counters () =
+  let c = U.Cache.create ~name:"c" ~size_bytes:1024 ~line_bytes:32 ~assoc:1 in
+  ignore (U.Cache.access c 0x100);
+  U.Cache.reset_counters c;
+  Alcotest.(check int) "reset" 0 (U.Cache.accesses c);
+  Alcotest.(check bool) "contents kept" true (U.Cache.access c 0x100)
+
+let prop_cache_miss_rate_bounds =
+  Tutil.qcheck_case ~count:50 "miss rate in [0,1]"
+    QCheck2.Gen.(list_size (int_range 1 200) (int_bound 100_000))
+    (fun addrs ->
+      let c = U.Cache.create ~name:"p" ~size_bytes:512 ~line_bytes:32 ~assoc:2 in
+      List.iter (fun a -> ignore (U.Cache.access c a)) addrs;
+      let r = U.Cache.miss_rate c in
+      r >= 0.0 && r <= 1.0)
+
+(* ---------------- tlb ---------------- *)
+
+let test_tlb_basic () =
+  let t = U.Tlb.create ~entries:2 ~page_bytes:8192 in
+  Alcotest.(check bool) "cold" false (U.Tlb.access t 0x0);
+  Alcotest.(check bool) "same page" true (U.Tlb.access t 0x1FFF);
+  Alcotest.(check bool) "new page" false (U.Tlb.access t 0x2000);
+  Alcotest.(check bool) "both resident" true (U.Tlb.access t 0x0)
+
+let test_tlb_lru_eviction () =
+  let t = U.Tlb.create ~entries:2 ~page_bytes:8192 in
+  ignore (U.Tlb.access t 0x0000);
+  ignore (U.Tlb.access t 0x2000);
+  ignore (U.Tlb.access t 0x0000);
+  (* 0x2000 now LRU *)
+  ignore (U.Tlb.access t 0x4000);
+  (* evicts 0x2000 *)
+  Alcotest.(check bool) "MRU kept" true (U.Tlb.access t 0x0000);
+  Alcotest.(check bool) "LRU gone" false (U.Tlb.access t 0x2000)
+
+let test_tlb_invalid () =
+  try
+    ignore (U.Tlb.create ~entries:0 ~page_bytes:8192);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* ---------------- branch predictors ---------------- *)
+
+let drive pred outcomes =
+  List.iter (fun (pc, taken) -> ignore (U.Branch_pred.predict_update pred ~pc ~taken)) outcomes
+
+let test_bimodal_learns_bias () =
+  let p = U.Branch_pred.bimodal ~entries:256 in
+  drive p (List.init 1_000 (fun _ -> (0x100, true)));
+  Alcotest.(check bool) "constant branch learned" true (U.Branch_pred.miss_rate p < 0.02)
+
+let test_bimodal_cannot_learn_alternation () =
+  let p = U.Branch_pred.bimodal ~entries:256 in
+  drive p (List.init 1_000 (fun i -> (0x100, i mod 2 = 0)));
+  Alcotest.(check bool) "alternation defeats bimodal" true (U.Branch_pred.miss_rate p > 0.4)
+
+let test_local_learns_alternation () =
+  let p = U.Branch_pred.local ~entries:256 ~history_bits:8 in
+  drive p (List.init 2_000 (fun i -> (0x100, i mod 2 = 0)));
+  Alcotest.(check bool) "local history learns alternation" true (U.Branch_pred.miss_rate p < 0.1)
+
+let test_gshare_learns_global_pattern () =
+  let p = U.Branch_pred.gshare ~entries:1024 ~history_bits:8 in
+  drive p (List.init 4_000 (fun i -> (0x100, i mod 4 < 2)));
+  Alcotest.(check bool) "gshare learns period-4 pattern" true (U.Branch_pred.miss_rate p < 0.1)
+
+let test_tournament_tracks_best () =
+  (* alternating pattern: local component wins, tournament should approach it *)
+  let t = U.Branch_pred.tournament ~entries:1024 ~history_bits:8 in
+  drive t (List.init 4_000 (fun i -> (0x100, i mod 2 = 0)));
+  Alcotest.(check bool) "tournament learns via best component" true
+    (U.Branch_pred.miss_rate t < 0.15)
+
+let test_predictor_counts () =
+  let p = U.Branch_pred.bimodal ~entries:64 in
+  drive p [ (0x4, true); (0x4, true) ];
+  Alcotest.(check int) "predictions counted" 2 (U.Branch_pred.predictions p)
+
+(* ---------------- timing models ---------------- *)
+
+let run_model sink instrs = List.iter sink.Mica_trace.Sink.on_instr instrs
+
+let straight_line_trace n =
+  List.init n (fun i -> Tutil.alu ~pc:(0x1000 + (4 * (i mod 64))) ~dst:(i mod 8) ())
+
+let test_inorder_ipc_bounds () =
+  let m = U.Inorder.create () in
+  run_model (U.Inorder.sink m) (straight_line_trace 10_000);
+  let r = U.Inorder.result m in
+  Alcotest.(check int) "instruction count" 10_000 r.U.Inorder.instructions;
+  Alcotest.(check bool) "IPC within issue width" true
+    (r.U.Inorder.ipc > 0.0 && r.U.Inorder.ipc <= 2.0);
+  (* cache-resident ALU code should run near full width *)
+  Alcotest.(check bool) "near peak on easy code" true (r.U.Inorder.ipc > 1.8)
+
+let test_inorder_misses_hurt () =
+  let easy = U.Inorder.create () in
+  run_model (U.Inorder.sink easy) (straight_line_trace 5_000);
+  let hard = U.Inorder.create () in
+  (* loads striding far apart: every access misses *)
+  run_model (U.Inorder.sink hard)
+    (List.init 5_000 (fun i -> Tutil.load ~pc:0x1000 ~dst:1 ~addr:(i * 8192) ()));
+  let e = (U.Inorder.result easy).U.Inorder.ipc in
+  let h = (U.Inorder.result hard).U.Inorder.ipc in
+  Alcotest.(check bool) "misses lower IPC" true (h < e /. 4.0)
+
+let test_inorder_counter_rates () =
+  let m = U.Inorder.create () in
+  run_model (U.Inorder.sink m)
+    (List.init 1_000 (fun i -> Tutil.load ~pc:0x1000 ~dst:1 ~addr:(i * 65536) ()));
+  let r = U.Inorder.result m in
+  Alcotest.(check bool) "thrashing L1D" true (r.U.Inorder.l1d_miss_rate > 0.9);
+  Alcotest.(check bool) "thrashing DTLB" true (r.U.Inorder.dtlb_miss_rate > 0.9);
+  Alcotest.(check bool) "I-stream resident" true (r.U.Inorder.l1i_miss_rate < 0.05)
+
+let test_ooo_ipc_bounds () =
+  let m = U.Ooo.create () in
+  run_model (U.Ooo.sink m) (straight_line_trace 10_000);
+  let r = U.Ooo.result m in
+  Alcotest.(check bool) "IPC within width" true (r.U.Ooo.ipc > 0.0 && r.U.Ooo.ipc <= 4.0);
+  Alcotest.(check bool) "wide on independent code" true (r.U.Ooo.ipc > 3.0)
+
+let test_ooo_beats_inorder_on_ilp () =
+  let trace = straight_line_trace 10_000 in
+  let io = U.Inorder.create () and oo = U.Ooo.create () in
+  run_model (U.Inorder.sink io) trace;
+  run_model (U.Ooo.sink oo) trace;
+  Alcotest.(check bool) "4-wide OOO > 2-wide in-order" true
+    ((U.Ooo.result oo).U.Ooo.ipc > (U.Inorder.result io).U.Inorder.ipc)
+
+let test_ooo_serial_dependency_limits () =
+  let m = U.Ooo.create () in
+  run_model (U.Ooo.sink m)
+    (List.init 10_000 (fun i -> Tutil.alu ~pc:(0x1000 + (4 * (i mod 64))) ~src1:1 ~dst:1 ()));
+  let r = U.Ooo.result m in
+  Alcotest.(check bool) "serial chain caps IPC near 1" true (r.U.Ooo.ipc < 1.2)
+
+let test_ooo_mispredicts_hurt () =
+  let rng = Mica_util.Rng.create ~seed:5L in
+  let random_branches =
+    List.init 10_000 (fun i ->
+        if i mod 4 = 0 then Tutil.branch ~pc:0x1000 ~taken:(Mica_util.Rng.bool rng) ~target:0x2000 ()
+        else Tutil.alu ~pc:(0x1004 + (4 * (i mod 16))) ())
+  in
+  let m = U.Ooo.create () in
+  run_model (U.Ooo.sink m) random_branches;
+  let r = U.Ooo.result m in
+  Alcotest.(check bool) "random branches mispredict" true
+    (r.U.Ooo.branch_mispredict_rate > 0.3);
+  Alcotest.(check bool) "mispredicts throttle IPC" true (r.U.Ooo.ipc < 2.5)
+
+(* ---------------- hw counters ---------------- *)
+
+let test_hw_counters_shape () =
+  let p = Tutil.tiny_program "hw-shape" in
+  let r = U.Hw_counters.measure p ~icount:10_000 in
+  let v = U.Hw_counters.to_vector r in
+  Alcotest.(check int) "7 metrics" U.Hw_counters.count (Array.length v);
+  Array.iteri
+    (fun i x -> if Float.is_nan x then Alcotest.failf "counter %d is NaN" i)
+    v;
+  Alcotest.(check bool) "rates in [0,1]" true
+    (List.for_all
+       (fun x -> x >= 0.0 && x <= 1.0)
+       [
+         r.U.Hw_counters.branch_mispredict_rate;
+         r.U.Hw_counters.l1d_miss_rate;
+         r.U.Hw_counters.l1i_miss_rate;
+         r.U.Hw_counters.l2_miss_rate;
+         r.U.Hw_counters.dtlb_miss_rate;
+       ])
+
+let test_hw_counters_deterministic () =
+  let p = Tutil.tiny_program "hw-det" in
+  let a = U.Hw_counters.to_vector (U.Hw_counters.measure p ~icount:10_000) in
+  let b = U.Hw_counters.to_vector (U.Hw_counters.measure p ~icount:10_000) in
+  Alcotest.(check bool) "deterministic" true (a = b)
+
+(* ---------------- configurable machines ---------------- *)
+
+let test_machine_presets_run () =
+  let p = Tutil.tiny_program "machine-presets" in
+  List.iter
+    (fun cfg ->
+      let r = U.Machine.measure cfg p ~icount:5_000 in
+      let v = U.Machine.to_vector r in
+      Alcotest.(check int) "6 metrics" 6 (Array.length v);
+      Array.iter (fun x -> if Float.is_nan x then Alcotest.fail "NaN metric") v;
+      if r.U.Machine.ipc <= 0.0 then Alcotest.failf "%s ipc <= 0" cfg.U.Machine.name)
+    U.Machine.presets
+
+let test_machine_ipc_respects_width () =
+  let p = Tutil.tiny_program "machine-width" in
+  List.iter
+    (fun cfg ->
+      let r = U.Machine.measure cfg p ~icount:5_000 in
+      let peak =
+        match cfg.U.Machine.core with
+        | U.Machine.In_order { issue_width } -> float_of_int issue_width
+        | U.Machine.Out_of_order { width; _ } -> float_of_int width
+      in
+      if r.U.Machine.ipc > peak +. 1e-9 then
+        Alcotest.failf "%s ipc %.2f exceeds width %.0f" cfg.U.Machine.name r.U.Machine.ipc peak)
+    U.Machine.presets
+
+let test_machine_matches_canonical_models () =
+  (* the ev56 preset and the standalone Inorder model agree on the trace *)
+  let p = Tutil.tiny_program "machine-agree" in
+  let preset = U.Machine.measure U.Machine.ev56 p ~icount:10_000 in
+  let io = U.Inorder.create () in
+  let (_ : int) = Mica_trace.Generator.run p ~icount:10_000 ~sink:(U.Inorder.sink io) in
+  let canon = U.Inorder.result io in
+  Alcotest.check Tutil.feq_loose "same ipc" canon.U.Inorder.ipc preset.U.Machine.ipc;
+  Alcotest.check Tutil.feq_loose "same l1d" canon.U.Inorder.l1d_miss_rate
+    preset.U.Machine.l1d_miss_rate
+
+let test_machine_measure_all_isolated () =
+  (* fanned-out machines give the same result as individual runs *)
+  let p = Tutil.tiny_program "machine-fanout" in
+  let together = U.Machine.measure_all [ U.Machine.ev56; U.Machine.embedded ] p ~icount:5_000 in
+  let alone =
+    [ U.Machine.measure U.Machine.ev56 p ~icount:5_000;
+      U.Machine.measure U.Machine.embedded p ~icount:5_000 ]
+  in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "identical results" true
+        (U.Machine.to_vector a = U.Machine.to_vector b))
+    together alone
+
+let test_machine_bigger_cache_fewer_misses () =
+  let w = Mica_workloads.Registry.find_exn "SPEC2000/gcc/166" in
+  let small = U.Machine.measure U.Machine.ev56 w.Mica_workloads.Workload.model ~icount:30_000 in
+  let big = U.Machine.measure U.Machine.wide w.Mica_workloads.Workload.model ~icount:30_000 in
+  Alcotest.(check bool) "64KB L1D misses less than 8KB" true
+    (big.U.Machine.l1d_miss_rate < small.U.Machine.l1d_miss_rate)
+
+
+let test_machine_prefetch_helps_streaming () =
+  (* sequential sweep: next-line prefetching halves (or better) the L1D
+     miss rate; on pointer-style random access it must not help *)
+  let stream = List.init 4_000 (fun i -> Tutil.load ~pc:0x1000 ~dst:1 ~addr:(0x100000 + (i * 8)) ()) in
+  let base = { U.Machine.ev56 with U.Machine.name = "nopf" } in
+  let pf = { base with U.Machine.name = "pf"; prefetch_next_line = true } in
+  let run cfg trace =
+    let t = U.Machine.create cfg in
+    List.iter (U.Machine.sink t).Mica_trace.Sink.on_instr trace;
+    (U.Machine.result t).U.Machine.l1d_miss_rate
+  in
+  let no_pf = run base stream and with_pf = run pf stream in
+  Alcotest.(check bool) "prefetch cuts streaming misses" true (with_pf < no_pf /. 1.8);
+  let rng = Mica_util.Rng.create ~seed:3L in
+  let random =
+    List.init 4_000 (fun _ ->
+        Tutil.load ~pc:0x1000 ~dst:1 ~addr:(0x100000 + (Mica_util.Rng.int rng 65536 * 64)) ())
+  in
+  let no_pf_r = run base random and with_pf_r = run pf random in
+  Alcotest.(check bool) "prefetch useless on random access" true
+    (with_pf_r > no_pf_r -. 0.05)
+
+let suite =
+  ( "uarch",
+    [
+      Alcotest.test_case "machine presets run" `Quick test_machine_presets_run;
+      Alcotest.test_case "machine ipc within width" `Quick test_machine_ipc_respects_width;
+      Alcotest.test_case "machine matches canonical" `Quick test_machine_matches_canonical_models;
+      Alcotest.test_case "machine fanout isolated" `Quick test_machine_measure_all_isolated;
+      Alcotest.test_case "machine cache scaling" `Quick test_machine_bigger_cache_fewer_misses;
+      Alcotest.test_case "machine prefetcher" `Quick test_machine_prefetch_helps_streaming;
+      Alcotest.test_case "cache geometry" `Quick test_cache_geometry;
+      Alcotest.test_case "cache invalid geometry" `Quick test_cache_invalid_geometry;
+      Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+      Alcotest.test_case "cache direct-mapped conflict" `Quick test_cache_direct_mapped_conflict;
+      Alcotest.test_case "cache associativity" `Quick test_cache_associativity_absorbs_conflict;
+      Alcotest.test_case "cache LRU" `Quick test_cache_lru;
+      Alcotest.test_case "cache probe" `Quick test_cache_probe_no_side_effect;
+      Alcotest.test_case "cache reset" `Quick test_cache_reset_counters;
+      prop_cache_miss_rate_bounds;
+      Alcotest.test_case "tlb basics" `Quick test_tlb_basic;
+      Alcotest.test_case "tlb LRU" `Quick test_tlb_lru_eviction;
+      Alcotest.test_case "tlb invalid" `Quick test_tlb_invalid;
+      Alcotest.test_case "bimodal learns bias" `Quick test_bimodal_learns_bias;
+      Alcotest.test_case "bimodal vs alternation" `Quick test_bimodal_cannot_learn_alternation;
+      Alcotest.test_case "local learns alternation" `Quick test_local_learns_alternation;
+      Alcotest.test_case "gshare learns pattern" `Quick test_gshare_learns_global_pattern;
+      Alcotest.test_case "tournament" `Quick test_tournament_tracks_best;
+      Alcotest.test_case "predictor counts" `Quick test_predictor_counts;
+      Alcotest.test_case "inorder IPC bounds" `Quick test_inorder_ipc_bounds;
+      Alcotest.test_case "inorder misses hurt" `Quick test_inorder_misses_hurt;
+      Alcotest.test_case "inorder counter rates" `Quick test_inorder_counter_rates;
+      Alcotest.test_case "ooo IPC bounds" `Quick test_ooo_ipc_bounds;
+      Alcotest.test_case "ooo beats inorder" `Quick test_ooo_beats_inorder_on_ilp;
+      Alcotest.test_case "ooo serial limit" `Quick test_ooo_serial_dependency_limits;
+      Alcotest.test_case "ooo mispredicts hurt" `Quick test_ooo_mispredicts_hurt;
+      Alcotest.test_case "hw counters shape" `Quick test_hw_counters_shape;
+      Alcotest.test_case "hw counters deterministic" `Quick test_hw_counters_deterministic;
+    ] )

@@ -1,0 +1,89 @@
+module Ring = Mica_util.Ring
+module Csv = Mica_util.Csv
+
+(* ---------------- Ring ---------------- *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check int) "empty length" 0 (Ring.length r);
+  Alcotest.(check bool) "not full" false (Ring.is_full r);
+  Ring.push r 1;
+  Ring.push r 2;
+  Alcotest.(check int) "length 2" 2 (Ring.length r);
+  Alcotest.(check int) "newest" 2 (Ring.get r 0);
+  Alcotest.(check int) "older" 1 (Ring.get r 1);
+  Alcotest.(check int) "oldest" 1 (Ring.oldest r)
+
+let test_ring_eviction () =
+  let r = Ring.create ~capacity:3 in
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool) "full" true (Ring.is_full r);
+  Alcotest.(check int) "newest is 5" 5 (Ring.get r 0);
+  Alcotest.(check int) "oldest is 3" 3 (Ring.oldest r);
+  let collected = ref [] in
+  Ring.iter r (fun x -> collected := x :: !collected);
+  Alcotest.(check (list int)) "iter newest->oldest" [ 3; 4; 5 ] !collected
+
+let test_ring_clear () =
+  let r = Ring.create ~capacity:2 in
+  Ring.push r 9;
+  Ring.clear r;
+  Alcotest.(check int) "cleared" 0 (Ring.length r)
+
+let prop_ring_model =
+  Tutil.qcheck_case "ring matches list model"
+    QCheck2.Gen.(pair (int_range 1 16) (list (int_bound 1000)))
+    (fun (cap, xs) ->
+      let r = Ring.create ~capacity:cap in
+      List.iter (Ring.push r) xs;
+      let expected =
+        let rec last_n n l = if List.length l <= n then l else last_n n (List.tl l) in
+        List.rev (last_n cap xs)
+      in
+      let actual = List.init (Ring.length r) (Ring.get r) in
+      actual = expected)
+
+(* ---------------- Csv ---------------- *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape_field "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape_field "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape_field "a\"b")
+
+let test_csv_parse () =
+  Alcotest.(check (list string)) "simple" [ "a"; "b"; "c" ] (Csv.parse_line "a,b,c");
+  Alcotest.(check (list string)) "quoted comma" [ "a,b"; "c" ] (Csv.parse_line "\"a,b\",c");
+  Alcotest.(check (list string)) "escaped quote" [ "a\"b" ] (Csv.parse_line "\"a\"\"b\"");
+  Alcotest.(check (list string)) "empty fields" [ ""; ""; "" ] (Csv.parse_line ",,")
+
+let test_csv_file_roundtrip () =
+  let path = Filename.temp_file "mica_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let rows = [ [ "name"; "x,y"; "q\"q" ]; [ "1"; "2"; "3" ] ] in
+      Csv.to_file path rows;
+      Alcotest.(check (list (list string))) "roundtrip" rows (Csv.of_file path))
+
+let prop_csv_roundtrip =
+  let field_gen =
+    QCheck2.Gen.(string_size ~gen:(oneofl [ 'a'; 'b'; ','; '"'; ' '; 'z' ]) (int_range 0 8))
+  in
+  Tutil.qcheck_case "csv line roundtrip"
+    QCheck2.Gen.(list_size (int_range 1 6) field_gen)
+    (fun fields ->
+      let line = String.concat "," (List.map Csv.escape_field fields) in
+      Csv.parse_line line = fields)
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "ring basics" `Quick test_ring_basic;
+      Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+      Alcotest.test_case "ring clear" `Quick test_ring_clear;
+      prop_ring_model;
+      Alcotest.test_case "csv escaping" `Quick test_csv_escape;
+      Alcotest.test_case "csv parsing" `Quick test_csv_parse;
+      Alcotest.test_case "csv file roundtrip" `Quick test_csv_file_roundtrip;
+      prop_csv_roundtrip;
+    ] )

@@ -1,0 +1,20 @@
+(* Test entry point: aggregates the per-layer suites. *)
+
+let () =
+  Alcotest.run "mica"
+    [
+      T_rng.suite;
+      T_util.suite;
+      T_isa.suite;
+      T_trace.suite;
+      T_analysis.suite;
+      T_uarch.suite;
+      T_stats.suite;
+      T_select.suite;
+      T_workloads.suite;
+      T_core.suite;
+      T_extensions.suite;
+      T_families.suite;
+      T_fuzz.suite;
+      T_golden.suite;
+    ]

@@ -1,0 +1,33 @@
+(* Shared helpers for the test suites. *)
+
+module Instr = Mica_isa.Instr
+module Opcode = Mica_isa.Opcode
+
+let feq = Alcotest.float 1e-9
+let feq_loose = Alcotest.float 1e-6
+
+(* Feed a list of instructions to a sink, in order. *)
+let run_sink sink instrs = List.iter sink.Mica_trace.Sink.on_instr instrs
+
+(* Instruction constructors with compact names for hand-built traces. *)
+let alu ?(pc = 0x1000) ?(src1 = -1) ?(src2 = -1) ?(dst = -1) () =
+  Instr.make ~pc ~op:Opcode.Int_alu ~src1 ~src2 ~dst ()
+
+let load ?(pc = 0x1000) ?(src1 = -1) ~dst ~addr () =
+  Instr.make ~pc ~op:Opcode.Load ~src1 ~dst ~addr ()
+
+let store ?(pc = 0x1000) ?(src1 = -1) ?(src2 = -1) ~addr () =
+  Instr.make ~pc ~op:Opcode.Store ~src1 ~src2 ~addr ()
+
+let branch ?(pc = 0x1000) ?(src1 = -1) ~taken ?(target = 0x2000) () =
+  Instr.make ~pc ~op:Opcode.Branch ~src1 ~taken ~target ()
+
+let fp ?(pc = 0x1000) ?(src1 = -1) ?(src2 = -1) ?(dst = -1) () =
+  Instr.make ~pc ~op:Opcode.Fp_add ~src1 ~src2 ~dst ()
+
+(* A small deterministic workload program for integration tests. *)
+let tiny_program name =
+  Mica_trace.Program.single ~name { Mica_trace.Kernel.default with Mica_trace.Kernel.name }
+
+let qcheck_case ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
