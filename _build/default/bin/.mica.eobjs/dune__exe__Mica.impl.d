@@ -1,1 +1,1 @@
-bin/mica.ml: Arg Array Cmd Cmdliner Filename Fun List Logs Logs_fmt Mica_analysis Mica_core Mica_select Mica_stats Mica_trace Mica_uarch Mica_workloads Printf Sys Term
+bin/mica.ml: Arg Array Cmd Cmdliner Filename Fun List Logs Logs_fmt Mica_analysis Mica_core Mica_select Mica_stats Mica_trace Mica_uarch Mica_verify Mica_workloads Printf Sys Term

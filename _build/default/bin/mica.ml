@@ -11,7 +11,8 @@
      select-ga     run the genetic algorithm feature selection
      select-ce     run correlation elimination
      cluster       Figure 6-style clustering on key characteristics
-     kiviat        kiviat plot of one workload over selected characteristics *)
+     kiviat        kiviat plot of one workload over selected characteristics
+     verify        oracle suite: invariants, reference analyzers, metamorphic laws *)
 
 open Cmdliner
 
@@ -542,6 +543,39 @@ let simpoint_cmd =
        ~doc:"Validate SimPoint-style sampled simulation on one workload.")
     Term.(const run $ config_term $ workload_arg 0 $ interval)
 
+(* ---------------- verify ---------------- *)
+
+let verify_cmd =
+  let quick =
+    let doc = "Reduced trace lengths (CI-friendly; well under 30 seconds)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let workload_names =
+    let doc =
+      "Verify these workloads instead of the default contrasting trio (repeatable)."
+    in
+    Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
+  in
+  let run verbose quick names =
+    setup_logs verbose;
+    let workloads =
+      match names with [] -> None | names -> Some (List.map resolve names)
+    in
+    let report =
+      Mica_verify.Suite.run
+        ~level:(if quick then Mica_verify.Suite.Quick else Mica_verify.Suite.Full)
+        ?workloads ()
+    in
+    print_string (Mica_verify.Suite.render report);
+    if not (Mica_verify.Suite.passed report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the oracle suite: stream invariants, naive reference analyzers and \
+          metamorphic pipeline laws.  Exits nonzero on any violation.")
+    Term.(const run $ verbose $ quick $ workload_names)
+
 (* ---------------- export ---------------- *)
 
 let export_cmd =
@@ -599,6 +633,7 @@ let main =
       machines_cmd;
       locality_cmd;
       simpoint_cmd;
+      verify_cmd;
       export_cmd;
     ]
 

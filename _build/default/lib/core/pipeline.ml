@@ -35,6 +35,9 @@ let cache_path config kind =
     (fun dir -> Filename.concat dir (Printf.sprintf "%s-%s-%d.csv" kind model_version config.icount))
     config.cache_dir
 
+(* A cache file is an optimization, never a dependency: anything wrong with
+   it (corrupt CSV, truncated rows, unreadable file) means the rows are
+   recomputed, not crashed on. *)
 let load_cache path =
   if Sys.file_exists path then begin
     try
@@ -42,7 +45,7 @@ let load_cache path =
       let tbl = Hashtbl.create (Dataset.rows ds) in
       Array.iteri (fun i name -> Hashtbl.replace tbl name ds.Dataset.data.(i)) ds.Dataset.names;
       tbl
-    with Failure _ -> Hashtbl.create 16
+    with Failure _ | Sys_error _ | Invalid_argument _ -> Hashtbl.create 16
   end
   else Hashtbl.create 16
 

@@ -17,13 +17,17 @@ let counter () =
   (make ~name:"counter" (fun _ -> incr n), fun () -> !n)
 
 let sample ~every sink =
-  assert (every > 0);
-  let k = ref 0 in
-  make ~name:(sink.name ^ "/sampled") (fun ins ->
-      if !k = 0 then sink.on_instr ins;
-      k := (!k + 1) mod every)
+  if every <= 0 then invalid_arg "Sink.sample: every must be positive";
+  if every = 1 then sink (* identity, not a renamed wrapper *)
+  else begin
+    let k = ref 0 in
+    make ~name:(sink.name ^ "/sampled") (fun ins ->
+        if !k = 0 then sink.on_instr ins;
+        k := (!k + 1) mod every)
+  end
 
 let collect ~limit () =
+  if limit < 0 then invalid_arg "Sink.collect: limit must be non-negative";
   let acc = ref [] in
   let n = ref 0 in
   let sink =

@@ -21,8 +21,10 @@ val counter : unit -> t * (unit -> int)
 
 val sample : every:int -> t -> t
 (** [sample ~every sink] forwards every [every]-th instruction only;
-    used by tests and by cheap preview passes.  Requires [every > 0]. *)
+    used by tests and by cheap preview passes.  [sample ~every:1] is the
+    identity.  Raises [Invalid_argument] unless [every > 0]. *)
 
 val collect : limit:int -> unit -> t * (unit -> Mica_isa.Instr.t list)
 (** A sink retaining the first [limit] instructions (program order), and
-    its reader; used by tests. *)
+    its reader; used by tests.  [collect ~limit:0] absorbs the stream and
+    returns [[]].  Raises [Invalid_argument] if [limit] is negative. *)

@@ -1,0 +1,1 @@
+lib/verify/differential.ml: Array Filename Format Fun List Mica_analysis Mica_core Mica_trace Mica_workloads Printf Sys Unix

@@ -1,0 +1,1 @@
+lib/verify/differential.mli: Format Mica_trace Mica_workloads

@@ -1,0 +1,1 @@
+lib/verify/invariant_sink.ml: Array Format Hashtbl List Mica_isa Mica_trace Printf

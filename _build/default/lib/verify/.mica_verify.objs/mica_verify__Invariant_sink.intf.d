@@ -1,0 +1,1 @@
+lib/verify/invariant_sink.mli: Format Mica_trace

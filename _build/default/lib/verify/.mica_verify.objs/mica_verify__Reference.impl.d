@@ -1,0 +1,1 @@
+lib/verify/reference.ml: Array Float Format Hashtbl List Mica_analysis Mica_isa Mica_trace

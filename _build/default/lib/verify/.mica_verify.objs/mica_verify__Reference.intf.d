@@ -1,0 +1,1 @@
+lib/verify/reference.mli: Format Mica_isa Mica_trace

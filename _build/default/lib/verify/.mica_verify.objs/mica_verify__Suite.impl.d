@@ -1,0 +1,1 @@
+lib/verify/suite.ml: Buffer Differential Format Invariant_sink List Mica_trace Mica_workloads Option Printf Reference Unix

@@ -1,0 +1,1 @@
+lib/verify/suite.mli: Mica_workloads

@@ -1,1 +1,1 @@
-test/t_golden.ml: Alcotest Array Float List Mica_analysis Mica_workloads
+test/t_golden.ml: Alcotest Array Float List Mica_analysis Mica_uarch Mica_workloads

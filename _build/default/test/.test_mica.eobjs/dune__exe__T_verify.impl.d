@@ -1,0 +1,1 @@
+test/t_verify.ml: Alcotest Array Filename Format Fun List Mica_analysis Mica_core Mica_isa Mica_trace Mica_verify Mica_workloads Printf Random String Sys T_fuzz Tutil Unix

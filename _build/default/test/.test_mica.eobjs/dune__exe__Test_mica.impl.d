@@ -1,1 +1,1 @@
-test/test_mica.ml: Alcotest T_analysis T_core T_extensions T_families T_fuzz T_golden T_isa T_rng T_select T_stats T_trace T_uarch T_util T_workloads
+test/test_mica.ml: Alcotest T_analysis T_core T_extensions T_families T_fuzz T_golden T_isa T_rng T_select T_stats T_trace T_uarch T_util T_verify T_workloads

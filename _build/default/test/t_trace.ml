@@ -28,6 +28,22 @@ let test_sink_sample () =
   Tutil.run_sink sampled (List.init 10 (fun _ -> Tutil.alu ()));
   Alcotest.(check int) "every third" 4 (r ())
 
+let test_sink_sample_identity () =
+  (* every:1 must forward the full stream unchanged *)
+  let s, r = Sink.counter () in
+  let sampled = Sink.sample ~every:1 s in
+  Tutil.run_sink sampled (List.init 7 (fun _ -> Tutil.alu ()));
+  Alcotest.(check int) "all forwarded" 7 (r ())
+
+let test_sink_sample_invalid () =
+  let s, _ = Sink.counter () in
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Sink.sample: every must be positive") (fun () ->
+      ignore (Sink.sample ~every:0 s));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Sink.sample: every must be positive") (fun () ->
+      ignore (Sink.sample ~every:(-3) s))
+
 let test_sink_collect () =
   let sink, read = Sink.collect ~limit:2 () in
   let a = Tutil.alu ~pc:0x10 () and b = Tutil.alu ~pc:0x20 () and c = Tutil.alu ~pc:0x30 () in
@@ -35,6 +51,17 @@ let test_sink_collect () =
   let got = read () in
   Alcotest.(check int) "limited" 2 (List.length got);
   Alcotest.(check int) "in order" 0x10 (List.hd got).Instr.pc
+
+let test_sink_collect_zero_limit () =
+  (* limit:0 absorbs the stream and yields nothing *)
+  let sink, read = Sink.collect ~limit:0 () in
+  Tutil.run_sink sink [ Tutil.alu (); Tutil.alu () ];
+  Alcotest.(check int) "empty" 0 (List.length (read ()))
+
+let test_sink_collect_negative_limit () =
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Sink.collect: limit must be non-negative") (fun () ->
+      ignore (Sink.collect ~limit:(-1) ()))
 
 (* ---------------- Kernel validation ---------------- *)
 
@@ -346,7 +373,11 @@ let suite =
       Alcotest.test_case "sink counter" `Quick test_sink_counter;
       Alcotest.test_case "sink fanout" `Quick test_sink_fanout;
       Alcotest.test_case "sink sample" `Quick test_sink_sample;
+      Alcotest.test_case "sink sample identity" `Quick test_sink_sample_identity;
+      Alcotest.test_case "sink sample invalid" `Quick test_sink_sample_invalid;
       Alcotest.test_case "sink collect" `Quick test_sink_collect;
+      Alcotest.test_case "sink collect zero limit" `Quick test_sink_collect_zero_limit;
+      Alcotest.test_case "sink collect negative limit" `Quick test_sink_collect_negative_limit;
       Alcotest.test_case "kernel validate" `Quick test_kernel_validate;
       Alcotest.test_case "kernel instantiate structure" `Quick test_kernel_instantiate_structure;
       Alcotest.test_case "kernel mix rounding" `Quick test_kernel_mix_rounding;

@@ -1,0 +1,313 @@
+(* The verification subsystem's own tests: deterministic violation cases for
+   the invariant sink, qcheck properties driving the random kernel/program
+   specs of T_fuzz through the sink and the reference oracles, the
+   metamorphic laws, and pipeline cache staleness/corruption recovery. *)
+
+module V = Mica_verify
+module K = Mica_trace.Kernel
+module P = Mica_trace.Program
+module G = Mica_trace.Generator
+module Instr = Mica_isa.Instr
+module Opcode = Mica_isa.Opcode
+module Pipeline = Mica_core.Pipeline
+module Workload = Mica_workloads.Workload
+
+let run_inv ?strict_defined_use ?max_violations instrs =
+  let t = V.Invariant_sink.create ?strict_defined_use ?max_violations () in
+  Tutil.run_sink (V.Invariant_sink.sink t) instrs;
+  t
+
+let rules t = List.map (fun v -> v.V.Invariant_sink.rule) (V.Invariant_sink.violations t)
+
+let check_rules name expected t = Alcotest.(check (list string)) name expected (rules t)
+
+(* ---------------- invariant sink: deterministic cases ---------------- *)
+
+let test_inv_clean_trace () =
+  (* a well-formed hand trace is clean even in strict mode *)
+  let t =
+    run_inv ~strict_defined_use:true
+      [
+        Tutil.alu ~pc:0x1000 ~dst:3 ();
+        Tutil.alu ~pc:0x1004 ~src1:3 ~dst:4 ();
+        Tutil.load ~pc:0x1008 ~src1:4 ~dst:5 ~addr:0x8000 ();
+        Tutil.branch ~pc:0x100C ~src1:5 ~taken:true ~target:0x1000 ();
+      ]
+  in
+  check_rules "no violations" [] t;
+  Alcotest.(check int) "count" 4 (V.Invariant_sink.instructions t);
+  Alcotest.(check bool) "ok" true (V.Invariant_sink.ok ~expected_icount:4 t)
+
+let test_inv_defined_before_use () =
+  let trace = [ Tutil.alu ~pc:0x1000 ~src1:7 ~dst:8 () ] in
+  let strict = run_inv ~strict_defined_use:true trace in
+  check_rules "strict flags live-in read" [ "reg-defined" ] strict;
+  let lax = run_inv trace in
+  check_rules "default allows live-ins" [] lax;
+  Alcotest.(check int) "live-in counted" 1 (V.Invariant_sink.live_in_registers lax)
+
+let test_inv_pc_chain () =
+  let t = run_inv [ Tutil.alu ~pc:0x1000 (); Tutil.alu ~pc:0x2000 () ] in
+  check_rules "chain break" [ "pc-chain" ] t
+
+let test_inv_mem_addr () =
+  let t = run_inv [ Instr.make ~pc:0x1000 ~op:Opcode.Load ~dst:1 ~addr:0 () ] in
+  check_rules "load without address" [ "mem-addr" ] t;
+  let t = run_inv [ Instr.make ~pc:0x1000 ~op:Opcode.Int_alu ~addr:0x40 () ] in
+  check_rules "alu with address" [ "mem-addr" ] t
+
+let test_inv_ctrl_target () =
+  let t = run_inv [ Instr.make ~pc:0x1000 ~op:Opcode.Branch ~taken:true ~target:0 () ] in
+  check_rules "taken branch without target" [ "ctrl-target" ] t;
+  let t = run_inv [ Instr.make ~pc:0x1000 ~op:Opcode.Int_alu ~taken:true () ] in
+  check_rules "taken alu" [ "ctrl-target" ] t
+
+let test_inv_branch_target_consistency () =
+  let t =
+    run_inv
+      [
+        Tutil.branch ~pc:0x1000 ~taken:false ~target:0x2000 ();
+        Tutil.alu ~pc:0x1004 ();
+        Instr.make ~pc:0x1008 ~op:Opcode.Jump ~taken:true ~target:0x1000 ();
+        Tutil.branch ~pc:0x1000 ~taken:true ~target:0x3000 ();
+      ]
+  in
+  check_rules "retargeted static branch" [ "branch-target" ] t
+
+let test_inv_reg_id () =
+  let t = run_inv [ Tutil.alu ~pc:0x1000 ~src1:99 ~dst:301 () ] in
+  check_rules "out-of-range ids" [ "reg-id"; "reg-id" ] t
+
+let test_inv_icount () =
+  let t = run_inv [ Tutil.alu ~pc:0x1000 () ] in
+  match V.Invariant_sink.finish ~expected_icount:5 t with
+  | [ v ] ->
+    Alcotest.(check string) "icount rule" "icount" v.V.Invariant_sink.rule;
+    Alcotest.(check bool) "not ok" false (V.Invariant_sink.ok ~expected_icount:5 t)
+  | vs -> Alcotest.failf "expected exactly the icount violation, got %d" (List.length vs)
+
+let test_inv_max_violations () =
+  (* well-chained ALU stream where every instruction carries a stray address:
+     exactly one violation each, recording capped, counting unbounded *)
+  let bad =
+    List.init 100 (fun i -> Instr.make ~pc:(0x1000 + (4 * i)) ~op:Opcode.Int_alu ~addr:0x40 ())
+  in
+  let t = run_inv ~max_violations:5 bad in
+  Alcotest.(check int) "recorded capped" 5 (List.length (V.Invariant_sink.violations t));
+  Alcotest.(check int) "all counted" 100 (V.Invariant_sink.total_violations t)
+
+(* ---------------- invariant sink + oracles on random programs ---------------- *)
+
+let prop_invariants_on_random_specs =
+  Tutil.qcheck_case ~count:30 "random streams satisfy all invariants" T_fuzz.spec_gen
+    (fun spec ->
+      let t = V.Invariant_sink.create () in
+      let n = G.run (T_fuzz.program_of_spec spec) ~icount:1_500 ~sink:(V.Invariant_sink.sink t) in
+      n = 1_500 && V.Invariant_sink.ok ~expected_icount:1_500 t)
+
+let prop_reference_agrees_on_random_specs =
+  Tutil.qcheck_case ~count:12 "reference oracles agree on random specs" T_fuzz.spec_gen
+    (fun spec -> V.Reference.check (T_fuzz.program_of_spec spec) ~icount:600 = [])
+
+let prop_prefix_law_on_random_specs =
+  Tutil.qcheck_case ~count:10 "prefix law holds on random specs" T_fuzz.spec_gen (fun spec ->
+      (V.Differential.prefix_law (T_fuzz.program_of_spec spec) ~n:400 ~m:1_200)
+        .V.Differential.ok)
+
+(* ---------------- reference oracles: deterministic cases ---------------- *)
+
+let golden_trio () =
+  List.map Mica_workloads.Registry.find_exn
+    [ "MiBench/sha/large"; "SPEC2000/mcf/ref"; "SPEC2000/swim/ref" ]
+
+let test_reference_on_golden_workloads () =
+  List.iter
+    (fun (w : Workload.t) ->
+      match V.Reference.check w.Workload.model ~icount:1_500 with
+      | [] -> ()
+      | m :: _ ->
+        Alcotest.failf "%s: %s" (Workload.id w)
+          (Format.asprintf "%a" V.Reference.pp_mismatch m))
+    (golden_trio ())
+
+let test_reference_empty_trace () =
+  let v = V.Reference.vector [] in
+  Alcotest.(check int) "47 characteristics" Mica_analysis.Characteristics.count
+    (Array.length v);
+  Array.iter (fun x -> Alcotest.check Tutil.feq "all-zero on empty" 0.0 x) v
+
+let test_reference_catches_drift () =
+  (* a corrupted analyzer vector must be reported, with the right index *)
+  let w = List.hd (golden_trio ()) in
+  let collector, read = Mica_trace.Sink.collect ~limit:500 () in
+  let (_ : int) = G.run w.Workload.model ~icount:500 ~sink:collector in
+  let oracle = V.Reference.vector (read ()) in
+  let drifted = Array.copy oracle in
+  drifted.(0) <- drifted.(0) +. 0.25;
+  match V.Reference.compare_vectors ~got:drifted ~oracle with
+  | [ m ] -> Alcotest.(check int) "drift localized" 0 m.V.Reference.index
+  | ms -> Alcotest.failf "expected one mismatch, got %d" (List.length ms)
+
+(* ---------------- differential laws ---------------- *)
+
+let test_differential_laws () =
+  let p = Tutil.tiny_program "verify-laws" in
+  Alcotest.(check bool) "seed determinism" true
+    (V.Differential.seed_determinism p ~icount:2_000).V.Differential.ok;
+  Alcotest.(check bool) "prefix law" true
+    (V.Differential.prefix_law p ~n:700 ~m:2_000).V.Differential.ok
+
+let test_differential_prefix_invalid () =
+  let p = Tutil.tiny_program "verify-bad-prefix" in
+  (try
+     ignore (V.Differential.prefix_law p ~n:0 ~m:10);
+     Alcotest.fail "n = 0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (V.Differential.prefix_law p ~n:20 ~m:10);
+    Alcotest.fail "n > m accepted"
+  with Invalid_argument _ -> ()
+
+let test_differential_jobs_equality () =
+  let ws = [ List.hd (golden_trio ()); List.nth (golden_trio ()) 1 ] in
+  let o = V.Differential.jobs_equality ~jobs:3 ws ~icount:2_000 in
+  if not o.V.Differential.ok then Alcotest.fail o.V.Differential.detail
+
+let test_differential_cache_roundtrip () =
+  let o = V.Differential.cache_roundtrip [ List.hd (golden_trio ()) ] ~icount:1_000 in
+  if not o.V.Differential.ok then Alcotest.fail o.V.Differential.detail
+
+(* ---------------- pipeline cache staleness and corruption ---------------- *)
+
+let with_temp_cache_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mica_test_cache_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let cache_config dir =
+  { Pipeline.default_config with Pipeline.icount = 1_000; cache_dir = Some dir;
+    progress = false; jobs = 1 }
+
+let cache_file dir kind = Filename.concat dir (Printf.sprintf "%s-%s-1000.csv" kind Pipeline.model_version)
+
+let test_cache_hit_is_consumed () =
+  (* precondition for the staleness tests: a valid current-version cache row
+     is actually read back, not recomputed *)
+  with_temp_cache_dir (fun dir ->
+      let w = List.hd (golden_trio ()) in
+      let config = cache_config dir in
+      let (_ : Mica_core.Dataset.t) = Pipeline.mica_dataset ~config [ w ] in
+      let path = cache_file dir "mica" in
+      Alcotest.(check bool) "cache written" true (Sys.file_exists path);
+      (* poison characteristic 1 of the cached row with a recognizable value *)
+      let ds = Mica_core.Dataset.of_csv path in
+      ds.Mica_core.Dataset.data.(0).(0) <- 42.0;
+      Mica_core.Dataset.to_csv ds path;
+      let reread = Pipeline.mica_dataset ~config [ w ] in
+      Alcotest.check Tutil.feq "poisoned row consumed" 42.0
+        reread.Mica_core.Dataset.data.(0).(0))
+
+let test_cache_stale_version_invalidated () =
+  with_temp_cache_dir (fun dir ->
+      let w = List.hd (golden_trio ()) in
+      let config = cache_config dir in
+      let fresh = Pipeline.mica_dataset ~config:{ config with Pipeline.cache_dir = None } [ w ] in
+      (* plant a poisoned cache under a *previous* model version: the version
+         is part of the cache key, so it must be ignored and recomputed *)
+      let (_ : Mica_core.Dataset.t) = Pipeline.mica_dataset ~config [ w ] in
+      let current = cache_file dir "mica" in
+      let ds = Mica_core.Dataset.of_csv current in
+      ds.Mica_core.Dataset.data.(0).(0) <- 42.0;
+      Mica_core.Dataset.to_csv ds (Filename.concat dir "mica-v0-1000.csv");
+      Sys.remove current;
+      let got = Pipeline.mica_dataset ~config [ w ] in
+      Alcotest.check Tutil.feq "stale row ignored" fresh.Mica_core.Dataset.data.(0).(0)
+        got.Mica_core.Dataset.data.(0).(0);
+      Alcotest.(check bool) "current-version cache rewritten" true (Sys.file_exists current))
+
+let test_cache_corrupt_recomputed () =
+  with_temp_cache_dir (fun dir ->
+      let w = List.hd (golden_trio ()) in
+      let config = cache_config dir in
+      let fresh = Pipeline.mica_dataset ~config:{ config with Pipeline.cache_dir = None } [ w ] in
+      let write path text =
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      in
+      write (cache_file dir "mica") "this is not , a valid\ncsv cache \"file";
+      write (cache_file dir "hpc") "name,x\n";
+      let got = Pipeline.mica_dataset ~config [ w ] in
+      Alcotest.check Tutil.feq "recomputed over corrupt cache"
+        fresh.Mica_core.Dataset.data.(0).(0) got.Mica_core.Dataset.data.(0).(0))
+
+let test_cache_truncated_recomputed () =
+  with_temp_cache_dir (fun dir ->
+      let w = List.hd (golden_trio ()) in
+      let config = cache_config dir in
+      let (_ : Mica_core.Dataset.t) = Pipeline.mica_dataset ~config [ w ] in
+      let path = cache_file dir "mica" in
+      (* chop the file mid-row, as a crashed writer would leave it *)
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc (String.sub contents 0 (len / 2));
+      close_out oc;
+      let fresh = Pipeline.mica_dataset ~config:{ config with Pipeline.cache_dir = None } [ w ] in
+      let got = Pipeline.mica_dataset ~config [ w ] in
+      Alcotest.check Tutil.feq "recomputed over truncated cache"
+        fresh.Mica_core.Dataset.data.(0).(0) got.Mica_core.Dataset.data.(0).(0))
+
+(* ---------------- suite ---------------- *)
+
+let test_suite_smoke () =
+  let report =
+    V.Suite.run ~level:V.Suite.Quick
+      ~workloads:[ List.hd (golden_trio ()) ]
+      ~invariant_icount:2_000 ~reference_icount:500 ~differential_icount:1_000 ()
+  in
+  Alcotest.(check bool) "suite passes" true (V.Suite.passed report);
+  (* one workload: invariants + reference + 2 per-workload laws + 2 global *)
+  Alcotest.(check int) "check count" 6 (List.length report.V.Suite.checks);
+  Alcotest.(check bool) "render mentions failures line" true
+    (String.length (V.Suite.render report) > 0)
+
+let suite =
+  ( "verify",
+    [
+      Alcotest.test_case "invariants: clean trace" `Quick test_inv_clean_trace;
+      Alcotest.test_case "invariants: defined before use" `Quick test_inv_defined_before_use;
+      Alcotest.test_case "invariants: pc chain" `Quick test_inv_pc_chain;
+      Alcotest.test_case "invariants: mem addr" `Quick test_inv_mem_addr;
+      Alcotest.test_case "invariants: ctrl target" `Quick test_inv_ctrl_target;
+      Alcotest.test_case "invariants: branch target" `Quick test_inv_branch_target_consistency;
+      Alcotest.test_case "invariants: reg id" `Quick test_inv_reg_id;
+      Alcotest.test_case "invariants: icount" `Quick test_inv_icount;
+      Alcotest.test_case "invariants: max violations" `Quick test_inv_max_violations;
+      prop_invariants_on_random_specs;
+      prop_reference_agrees_on_random_specs;
+      prop_prefix_law_on_random_specs;
+      Alcotest.test_case "reference: golden workloads" `Quick test_reference_on_golden_workloads;
+      Alcotest.test_case "reference: empty trace" `Quick test_reference_empty_trace;
+      Alcotest.test_case "reference: catches drift" `Quick test_reference_catches_drift;
+      Alcotest.test_case "differential: laws" `Quick test_differential_laws;
+      Alcotest.test_case "differential: prefix invalid" `Quick test_differential_prefix_invalid;
+      Alcotest.test_case "differential: jobs equality" `Quick test_differential_jobs_equality;
+      Alcotest.test_case "differential: cache roundtrip" `Quick test_differential_cache_roundtrip;
+      Alcotest.test_case "cache: hit consumed" `Quick test_cache_hit_is_consumed;
+      Alcotest.test_case "cache: stale version invalidated" `Quick
+        test_cache_stale_version_invalidated;
+      Alcotest.test_case "cache: corrupt recomputed" `Quick test_cache_corrupt_recomputed;
+      Alcotest.test_case "cache: truncated recomputed" `Quick test_cache_truncated_recomputed;
+      Alcotest.test_case "suite smoke" `Quick test_suite_smoke;
+    ] )

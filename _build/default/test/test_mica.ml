@@ -16,5 +16,6 @@ let () =
       T_extensions.suite;
       T_families.suite;
       T_fuzz.suite;
+      T_verify.suite;
       T_golden.suite;
     ]
