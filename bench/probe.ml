@@ -1,0 +1,42 @@
+(* Hot-path budget probe: minor words and wall time per instruction for
+   trace generation and each analyzer sink, separately and fanned out.
+   Quick to run and deliberately simple — use it to spot an analyzer
+   that starts allocating per instruction before the bechamel numbers
+   drift.  See DESIGN.md §8 for the allocation discipline it guards. *)
+module W = Mica_workloads
+module G = Mica_trace.Generator
+module A = Mica_analysis
+
+let icount = 100_000
+
+let measure name f =
+  (* warm up *)
+  f ();
+  let before = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let reps = 5 in
+  for _ = 1 to reps do
+    f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  let after = Gc.minor_words () in
+  let n = float_of_int (icount * reps) in
+  Printf.printf "%-28s %8.2f words/instr  %8.1f ns/instr\n%!" name
+    ((after -. before) /. n)
+    ((t1 -. t0) *. 1e9 /. n)
+
+let () =
+  let w = W.Registry.find_exn "SPEC2000/bzip2/graphic" in
+  let model = w.W.Workload.model in
+  let run sink = ignore (G.run model ~icount ~sink : int) in
+  measure "generation_only" (fun () ->
+      run (Mica_trace.Sink.make ~name:"null" (fun _ -> ())));
+  measure "mix" (fun () -> run (A.Mix.sink (A.Mix.create ())));
+  measure "ilp" (fun () -> run (A.Ilp.sink (A.Ilp.create ())));
+  measure "regtraffic" (fun () -> run (A.Regtraffic.sink (A.Regtraffic.create ())));
+  measure "working_set" (fun () -> run (A.Working_set.sink (A.Working_set.create ())));
+  measure "strides" (fun () -> run (A.Strides.sink (A.Strides.create ())));
+  measure "ppm" (fun () -> run (A.Ppm.sink (A.Ppm.create ())));
+  measure "analyzer_fanout" (fun () ->
+      let a = A.Analyzer.create () in
+      run (A.Analyzer.sink a))

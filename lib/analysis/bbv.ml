@@ -1,5 +1,5 @@
 module Opcode = Mica_isa.Opcode
-module Instr = Mica_isa.Instr
+module Chunk = Mica_trace.Chunk
 module Rng = Mica_util.Rng
 
 type t = {
@@ -31,18 +31,26 @@ let close_interval t =
   t.current <- Hashtbl.create 256;
   t.in_interval <- 0
 
+let is_control_code = Array.init Opcode.count (fun i -> Opcode.is_control (Opcode.of_int i))
+
 let sink t =
-  Mica_trace.Sink.make ~name:"bbv" (fun (ins : Instr.t) ->
-      if t.at_block_start then begin
-        t.current_block <- ins.pc;
-        bump t.current ins.pc;
-        t.at_block_start <- false
-      end;
-      (* a control transfer ends the current block; the next instruction
-         starts a new one whether or not the transfer was taken *)
-      if Opcode.is_control ins.op then t.at_block_start <- true;
-      t.in_interval <- t.in_interval + 1;
-      if t.in_interval >= t.interval then close_interval t)
+  Mica_trace.Sink.make ~name:"bbv" (fun c ->
+      let len = c.Chunk.len in
+      let pcs = c.Chunk.pc and ops = c.Chunk.op in
+      for i = 0 to len - 1 do
+        if t.at_block_start then begin
+          let pc = Array.unsafe_get pcs i in
+          t.current_block <- pc;
+          bump t.current pc;
+          t.at_block_start <- false
+        end;
+        (* a control transfer ends the current block; the next instruction
+           starts a new one whether or not the transfer was taken *)
+        if Array.unsafe_get is_control_code (Array.unsafe_get ops i) then
+          t.at_block_start <- true;
+        t.in_interval <- t.in_interval + 1;
+        if t.in_interval >= t.interval then close_interval t
+      done)
 
 let finalize t =
   if not t.finalized then begin

@@ -1,5 +1,5 @@
 module Opcode = Mica_isa.Opcode
-module Instr = Mica_isa.Instr
+module Chunk = Mica_trace.Chunk
 
 type per_branch = { mutable execs : int; mutable taken : int; mutable last : bool; mutable transitions : int }
 
@@ -22,25 +22,34 @@ type result = {
 let create () =
   { table = Hashtbl.create 512; branches = 0; taken_total = 0; transitions_total = 0; with_history = 0 }
 
+let observe t ~pc ~taken =
+  t.branches <- t.branches + 1;
+  if taken then t.taken_total <- t.taken_total + 1;
+  match Hashtbl.find_opt t.table pc with
+  | None ->
+    Hashtbl.add t.table pc
+      { execs = 1; taken = (if taken then 1 else 0); last = taken; transitions = 0 }
+  | Some b ->
+    b.execs <- b.execs + 1;
+    if taken then b.taken <- b.taken + 1;
+    t.with_history <- t.with_history + 1;
+    if b.last <> taken then begin
+      b.transitions <- b.transitions + 1;
+      t.transitions_total <- t.transitions_total + 1
+    end;
+    b.last <- taken
+
+let op_branch = Opcode.to_int Opcode.Branch
+
 let sink t =
-  Mica_trace.Sink.make ~name:"branch_stats" (fun (ins : Instr.t) ->
-      if Opcode.is_cond_branch ins.op then begin
-        t.branches <- t.branches + 1;
-        if ins.taken then t.taken_total <- t.taken_total + 1;
-        match Hashtbl.find_opt t.table ins.pc with
-        | None ->
-          Hashtbl.add t.table ins.pc
-            { execs = 1; taken = (if ins.taken then 1 else 0); last = ins.taken; transitions = 0 }
-        | Some b ->
-          b.execs <- b.execs + 1;
-          if ins.taken then b.taken <- b.taken + 1;
-          t.with_history <- t.with_history + 1;
-          if b.last <> ins.taken then begin
-            b.transitions <- b.transitions + 1;
-            t.transitions_total <- t.transitions_total + 1
-          end;
-          b.last <- ins.taken
-      end)
+  Mica_trace.Sink.make ~name:"branch_stats" (fun c ->
+      let len = c.Chunk.len in
+      let ops = c.Chunk.op and pcs = c.Chunk.pc and taken = c.Chunk.taken in
+      for i = 0 to len - 1 do
+        if Array.unsafe_get ops i = op_branch then
+          observe t ~pc:(Array.unsafe_get pcs i)
+            ~taken:(Bytes.unsafe_get taken i <> '\000')
+      done)
 
 let result t =
   let static = Hashtbl.length t.table in

@@ -1,5 +1,5 @@
 module Reg = Mica_isa.Reg
-module Instr = Mica_isa.Instr
+module Chunk = Mica_trace.Chunk
 
 (* One dependence-limited window simulator.  [completions] is a ring holding
    the completion cycle of the last [window] instructions; an instruction
@@ -31,13 +31,15 @@ let make_sim window =
 let create ?(windows = default_windows) () =
   { sims = Array.map make_sim windows; count = 0 }
 
-let step sim (ins : Instr.t) =
-  let ready_src r = if Reg.carries_dependency r then sim.reg_ready.(r) else 0 in
+let step sim ~src1 ~src2 ~dst =
+  (* source-readiness inline: a local helper closure here would be
+     allocated on every call on the non-flambda compiler *)
+  let a = if Reg.carries_dependency src1 then sim.reg_ready.(src1) else 0 in
+  let b = if Reg.carries_dependency src2 then sim.reg_ready.(src2) else 0 in
   let window_free =
     if sim.filled < sim.window then 0 else sim.completions.(sim.head)
   in
   let issue =
-    let a = ready_src ins.src1 and b = ready_src ins.src2 in
     let deps = if a > b then a else b in
     if window_free > deps then window_free else deps
   in
@@ -45,13 +47,24 @@ let step sim (ins : Instr.t) =
   sim.completions.(sim.head) <- completion;
   sim.head <- (sim.head + 1) mod sim.window;
   if sim.filled < sim.window then sim.filled <- sim.filled + 1;
-  if Reg.carries_dependency ins.dst then sim.reg_ready.(ins.dst) <- completion;
+  if Reg.carries_dependency dst then sim.reg_ready.(dst) <- completion;
   if completion > sim.last_cycle then sim.last_cycle <- completion
 
+(* Window simulators are independent, so each one sweeps the whole chunk
+   before the next starts: one simulator's state stays hot for the entire
+   inner loop instead of being evicted by its siblings on every element. *)
 let sink t =
-  Mica_trace.Sink.make ~name:"ilp" (fun ins ->
-      t.count <- t.count + 1;
-      Array.iter (fun sim -> step sim ins) t.sims)
+  Mica_trace.Sink.make ~name:"ilp" (fun c ->
+      let len = c.Chunk.len in
+      let src1 = c.Chunk.src1 and src2 = c.Chunk.src2 and dst = c.Chunk.dst in
+      t.count <- t.count + len;
+      Array.iter
+        (fun sim ->
+          for i = 0 to len - 1 do
+            step sim ~src1:(Array.unsafe_get src1 i) ~src2:(Array.unsafe_get src2 i)
+              ~dst:(Array.unsafe_get dst i)
+          done)
+        t.sims)
 
 let ipc t =
   Array.map

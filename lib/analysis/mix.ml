@@ -1,4 +1,5 @@
 module Opcode = Mica_isa.Opcode
+module Chunk = Mica_trace.Chunk
 
 type result = {
   total : int;
@@ -10,41 +11,34 @@ type result = {
   frac_fp : float;
 }
 
-type t = {
-  mutable n : int;
-  mutable loads : int;
-  mutable stores : int;
-  mutable controls : int;
-  mutable ariths : int;
-  mutable int_muls : int;
-  mutable fps : int;
-}
+(* One counter per opcode class, indexed by [Opcode.to_int]: the hot loop is
+   a single unconditional histogram increment per instruction. *)
+type t = { mutable n : int; counts : int array }
 
-let create () = { n = 0; loads = 0; stores = 0; controls = 0; ariths = 0; int_muls = 0; fps = 0 }
+let create () = { n = 0; counts = Array.make Opcode.count 0 }
 
 let sink t =
-  Mica_trace.Sink.make ~name:"mix" (fun ins ->
-      t.n <- t.n + 1;
-      match ins.Mica_isa.Instr.op with
-      | Opcode.Load -> t.loads <- t.loads + 1
-      | Opcode.Store -> t.stores <- t.stores + 1
-      | Opcode.Branch | Opcode.Jump | Opcode.Call | Opcode.Return ->
-        t.controls <- t.controls + 1
-      | Opcode.Int_alu -> t.ariths <- t.ariths + 1
-      | Opcode.Int_mul -> t.int_muls <- t.int_muls + 1
-      | Opcode.Fp_add | Opcode.Fp_mul | Opcode.Fp_div -> t.fps <- t.fps + 1
-      | Opcode.Nop -> ())
+  Mica_trace.Sink.make ~name:"mix" (fun c ->
+      let len = c.Chunk.len in
+      let op = c.Chunk.op and counts = t.counts in
+      t.n <- t.n + len;
+      for i = 0 to len - 1 do
+        let code = Array.unsafe_get op i in
+        Array.unsafe_set counts code (Array.unsafe_get counts code + 1)
+      done)
 
 let result t =
+  let get op = t.counts.(Opcode.to_int op) in
   let d = float_of_int (max 1 t.n) in
+  let frac n = float_of_int n /. d in
   {
     total = t.n;
-    frac_load = float_of_int t.loads /. d;
-    frac_store = float_of_int t.stores /. d;
-    frac_control = float_of_int t.controls /. d;
-    frac_arith = float_of_int t.ariths /. d;
-    frac_int_mul = float_of_int t.int_muls /. d;
-    frac_fp = float_of_int t.fps /. d;
+    frac_load = frac (get Load);
+    frac_store = frac (get Store);
+    frac_control = frac (get Branch + get Jump + get Call + get Return);
+    frac_arith = frac (get Int_alu);
+    frac_int_mul = frac (get Int_mul);
+    frac_fp = frac (get Fp_add + get Fp_mul + get Fp_div);
   }
 
 let to_vector r =

@@ -1,5 +1,5 @@
 module Opcode = Mica_isa.Opcode
-module Instr = Mica_isa.Instr
+module Chunk = Mica_trace.Chunk
 
 type variant = GAg | PAg | GAs | PAs
 
@@ -10,22 +10,30 @@ let variant_name = function GAg -> "GAg" | PAg -> "PAg" | GAs -> "GAs" | PAs -> 
 let uses_local_history = function PAg | PAs -> true | GAg | GAs -> false
 let uses_per_address_table = function GAs | PAs -> true | GAg | PAg -> false
 
-type counts = { mutable taken : int; mutable not_taken : int }
+module Int_map = Mica_util.Int_map
 
 type predictor = {
   variant : variant;
   order : int;
-  table : (int, counts) Hashtbl.t;
+  table : Int_map.t;  (* context key -> packed (taken, not_taken) counts *)
   mutable misses : int;
 }
 
 type t = {
   predictors : predictor array;
-  local_hist : (int, int) Hashtbl.t;  (* per-branch outcome history *)
+  local_hist : Int_map.t;  (* per-branch outcome history *)
   mutable ghist : int;
   order : int;
   mutable branches : int;
 }
+
+(* A context entry packs both saturating-free counters into one int:
+   taken in the low 31 bits, not-taken above them.  Branch counts are
+   bounded by the trace length, far below 2^31, so the halves cannot
+   collide. *)
+let taken_one = 1
+let not_taken_one = 1 lsl 31
+let mask31 = (1 lsl 31) - 1
 
 let create ?(order = 8) ?(variants = all_variants) () =
   assert (order >= 0 && order <= 16);
@@ -33,9 +41,9 @@ let create ?(order = 8) ?(variants = all_variants) () =
     predictors =
       Array.of_list
         (List.map
-           (fun variant -> { variant; order; table = Hashtbl.create 4096; misses = 0 })
+           (fun variant -> { variant; order; table = Int_map.create ~initial:4096 (); misses = 0 })
            variants);
-    local_hist = Hashtbl.create 512;
+    local_hist = Int_map.create ~initial:512 ();
     ghist = 0;
     order;
     branches = 0;
@@ -48,50 +56,55 @@ let key ~pc ~k ~h ~order = (((pc * 17) + k) lsl order) lor (h land ((1 lsl order
 
 let history_bits h k = h land ((1 lsl k) - 1)
 
+(* Every conditional branch runs up to [2 * (order + 1)] table probes per
+   predictor variant; [Int_map] keeps each one a single multiply-and-scan
+   with no allocation. *)
+
+let rec predict_from table ~pc_part ~hist ~order k =
+  if k < 0 then true (* no context ever seen: default taken *)
+  else
+    let c = Int_map.find table (key ~pc:pc_part ~k ~h:(history_bits hist k) ~order) ~default:0 in
+    (* entries exist only after an update, so [c > 0] iff the context has
+       been seen — the packed halves are never both zero once inserted *)
+    if c > 0 then c land mask31 >= c lsr 31
+    else predict_from table ~pc_part ~hist ~order (k - 1)
+
 let predict p ~pc ~hist =
   let pc_part = if uses_per_address_table p.variant then pc else 0 in
-  let rec go k =
-    if k < 0 then true (* no context ever seen: default taken *)
-    else
-      let h = history_bits hist k in
-      match Hashtbl.find_opt p.table (key ~pc:pc_part ~k ~h ~order:p.order) with
-      | Some c when c.taken + c.not_taken > 0 -> c.taken >= c.not_taken
-      | Some _ | None -> go (k - 1)
-  in
-  go p.order
+  predict_from p.table ~pc_part ~hist ~order:p.order p.order
 
 let update p ~pc ~hist ~outcome =
   let pc_part = if uses_per_address_table p.variant then pc else 0 in
+  let delta = if outcome then taken_one else not_taken_one in
   for k = 0 to p.order do
     let h = history_bits hist k in
-    let key = key ~pc:pc_part ~k ~h ~order:p.order in
-    let c =
-      match Hashtbl.find_opt p.table key with
-      | Some c -> c
-      | None ->
-        let c = { taken = 0; not_taken = 0 } in
-        Hashtbl.add p.table key c;
-        c
-    in
-    if outcome then c.taken <- c.taken + 1 else c.not_taken <- c.not_taken + 1
+    Int_map.bump p.table (key ~pc:pc_part ~k ~h ~order:p.order) delta
   done
 
+let observe t ~pc ~outcome =
+  t.branches <- t.branches + 1;
+  let lhist = Int_map.find t.local_hist pc ~default:0 in
+  Array.iter
+    (fun p ->
+      let hist = if uses_local_history p.variant then lhist else t.ghist in
+      if predict p ~pc ~hist <> outcome then p.misses <- p.misses + 1;
+      update p ~pc ~hist ~outcome)
+    t.predictors;
+  let bit = Bool.to_int outcome in
+  Int_map.set t.local_hist pc (((lhist lsl 1) lor bit) land 0xFFFF);
+  t.ghist <- ((t.ghist lsl 1) lor bit) land 0xFFFF
+
+let op_branch = Opcode.to_int Opcode.Branch
+
 let sink t =
-  Mica_trace.Sink.make ~name:"ppm" (fun (ins : Instr.t) ->
-      if Opcode.is_cond_branch ins.op then begin
-        t.branches <- t.branches + 1;
-        let pc = ins.pc and outcome = ins.taken in
-        let lhist = match Hashtbl.find_opt t.local_hist pc with Some h -> h | None -> 0 in
-        Array.iter
-          (fun p ->
-            let hist = if uses_local_history p.variant then lhist else t.ghist in
-            if predict p ~pc ~hist <> outcome then p.misses <- p.misses + 1;
-            update p ~pc ~hist ~outcome)
-          t.predictors;
-        let bit = Bool.to_int outcome in
-        Hashtbl.replace t.local_hist pc (((lhist lsl 1) lor bit) land 0xFFFF);
-        t.ghist <- ((t.ghist lsl 1) lor bit) land 0xFFFF
-      end)
+  Mica_trace.Sink.make ~name:"ppm" (fun c ->
+      let len = c.Chunk.len in
+      let ops = c.Chunk.op and pcs = c.Chunk.pc and taken = c.Chunk.taken in
+      for i = 0 to len - 1 do
+        if Array.unsafe_get ops i = op_branch then
+          observe t ~pc:(Array.unsafe_get pcs i)
+            ~outcome:(Bytes.unsafe_get taken i <> '\000')
+      done)
 
 let miss_rate t variant =
   if t.branches = 0 then 0.0

@@ -1,5 +1,5 @@
 module Reg = Mica_isa.Reg
-module Instr = Mica_isa.Instr
+module Chunk = Mica_trace.Chunk
 
 let dep_cutoffs = [| 1; 2; 4; 8; 16; 32; 64 |]
 
@@ -28,10 +28,12 @@ let create () =
     dep_total = 0;
   }
 
-let bucket_of_distance d =
-  let n = Array.length dep_cutoffs in
-  let rec go i = if i >= n then n else if d <= dep_cutoffs.(i) then i else go (i + 1) in
-  go 0
+(* Top-level recursion: a nested [let rec] capturing [d] would allocate a
+   closure on each call, and this runs for every dependent source read. *)
+let rec bucket_from d i n =
+  if i >= n then n else if d <= dep_cutoffs.(i) then i else bucket_from d (i + 1) n
+
+let bucket_of_distance d = bucket_from d 0 (Array.length dep_cutoffs)
 
 let read t r =
   if not (Reg.is_none r) then begin
@@ -41,7 +43,8 @@ let read t r =
       let lw = t.last_write.(r) in
       if lw >= 0 then begin
         let d = t.instrs - lw in
-        t.dep_counts.(bucket_of_distance d) <- t.dep_counts.(bucket_of_distance d) + 1;
+        let b = bucket_of_distance d in
+        t.dep_counts.(b) <- t.dep_counts.(b) + 1;
         t.dep_total <- t.dep_total + 1
       end
     end
@@ -59,11 +62,15 @@ let write t r =
   end
 
 let sink t =
-  Mica_trace.Sink.make ~name:"regtraffic" (fun (ins : Instr.t) ->
-      t.instrs <- t.instrs + 1;
-      read t ins.src1;
-      read t ins.src2;
-      write t ins.dst)
+  Mica_trace.Sink.make ~name:"regtraffic" (fun c ->
+      let len = c.Chunk.len in
+      let src1 = c.Chunk.src1 and src2 = c.Chunk.src2 and dst = c.Chunk.dst in
+      for i = 0 to len - 1 do
+        t.instrs <- t.instrs + 1;
+        read t (Array.unsafe_get src1 i);
+        read t (Array.unsafe_get src2 i);
+        write t (Array.unsafe_get dst i)
+      done)
 
 let result t =
   (* flush live instances *)

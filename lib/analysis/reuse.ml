@@ -1,5 +1,5 @@
 module Opcode = Mica_isa.Opcode
-module Instr = Mica_isa.Instr
+module Chunk = Mica_trace.Chunk
 
 (* Growable Fenwick (binary indexed) tree over 1-based positions. *)
 module Fenwick = struct
@@ -64,23 +64,31 @@ let create ?(block_bytes = 32) () =
 let record_distance t d =
   Hashtbl.replace t.histogram d (1 + Option.value (Hashtbl.find_opt t.histogram d) ~default:0)
 
+let access t addr =
+  let block = addr lsr t.block_shift in
+  t.time <- t.time + 1;
+  t.accesses <- t.accesses + 1;
+  Fenwick.ensure t.fenwick t.time t.last_pos;
+  (match Hashtbl.find_opt t.last_pos block with
+  | Some p ->
+    (* distinct blocks touched since position p = marks in (p, now) *)
+    let marks_after_p = Fenwick.prefix t.fenwick (t.time - 1) - Fenwick.prefix t.fenwick p in
+    record_distance t marks_after_p;
+    Fenwick.add t.fenwick p (-1)
+  | None -> t.cold <- t.cold + 1);
+  Fenwick.add t.fenwick t.time 1;
+  Hashtbl.replace t.last_pos block t.time
+
+let is_mem_code = Array.init Opcode.count (fun i -> Opcode.is_mem (Opcode.of_int i))
+
 let sink t =
-  Mica_trace.Sink.make ~name:"reuse" (fun (ins : Instr.t) ->
-      if Opcode.is_mem ins.op then begin
-        let block = ins.addr lsr t.block_shift in
-        t.time <- t.time + 1;
-        t.accesses <- t.accesses + 1;
-        Fenwick.ensure t.fenwick t.time t.last_pos;
-        (match Hashtbl.find_opt t.last_pos block with
-        | Some p ->
-          (* distinct blocks touched since position p = marks in (p, now) *)
-          let marks_after_p = Fenwick.prefix t.fenwick (t.time - 1) - Fenwick.prefix t.fenwick p in
-          record_distance t marks_after_p;
-          Fenwick.add t.fenwick p (-1)
-        | None -> t.cold <- t.cold + 1);
-        Fenwick.add t.fenwick t.time 1;
-        Hashtbl.replace t.last_pos block t.time
-      end)
+  Mica_trace.Sink.make ~name:"reuse" (fun c ->
+      let len = c.Chunk.len in
+      let ops = c.Chunk.op and addrs = c.Chunk.addr in
+      for i = 0 to len - 1 do
+        if Array.unsafe_get is_mem_code (Array.unsafe_get ops i) then
+          access t (Array.unsafe_get addrs i)
+      done)
 
 let accesses t = t.accesses
 let cold_misses t = t.cold

@@ -1,5 +1,5 @@
 module Opcode = Mica_isa.Opcode
-module Instr = Mica_isa.Instr
+module Chunk = Mica_trace.Chunk
 
 let cutoffs = [| 0; 8; 64; 512; 4096 |]
 
@@ -8,11 +8,13 @@ type hist = { counts : int array; mutable total : int }
 
 let make_hist () = { counts = Array.make (Array.length cutoffs + 1) 0; total = 0 }
 
+(* Top-level recursion: nesting this under [record] would allocate a
+   closure per recorded stride on the non-flambda compiler. *)
+let rec bucket_from s i n =
+  if i >= n then n else if s <= cutoffs.(i) then i else bucket_from s (i + 1) n
+
 let record hist stride =
-  let s = abs stride in
-  let n = Array.length cutoffs in
-  let rec bucket i = if i >= n then n else if s <= cutoffs.(i) then i else bucket (i + 1) in
-  let b = bucket 0 in
+  let b = bucket_from (abs stride) 0 (Array.length cutoffs) in
   hist.counts.(b) <- hist.counts.(b) + 1;
   hist.total <- hist.total + 1
 
@@ -39,7 +41,7 @@ type t = {
   gl_hist : hist;
   ls_hist : hist;
   gs_hist : hist;
-  last_by_pc : (int, int) Hashtbl.t;  (* static mem instruction -> last address *)
+  last_by_pc : Mica_util.Int_map.t;  (* static mem instruction -> last address *)
   mutable last_load : int;  (* -1 if none yet *)
   mutable last_store : int;
 }
@@ -50,31 +52,38 @@ let create () =
     gl_hist = make_hist ();
     ls_hist = make_hist ();
     gs_hist = make_hist ();
-    last_by_pc = Hashtbl.create 1024;
+    last_by_pc = Mica_util.Int_map.create ~initial:1024 ();
     last_load = -1;
     last_store = -1;
   }
 
+let op_load = Opcode.to_int Opcode.Load
+let op_store = Opcode.to_int Opcode.Store
+
 let sink t =
-  Mica_trace.Sink.make ~name:"strides" (fun (ins : Instr.t) ->
-      match ins.op with
-      | Opcode.Load ->
-        if t.last_load >= 0 then record t.gl_hist (ins.addr - t.last_load);
-        t.last_load <- ins.addr;
-        (match Hashtbl.find_opt t.last_by_pc ins.pc with
-        | Some prev -> record t.ll_hist (ins.addr - prev)
-        | None -> ());
-        Hashtbl.replace t.last_by_pc ins.pc ins.addr
-      | Opcode.Store ->
-        if t.last_store >= 0 then record t.gs_hist (ins.addr - t.last_store);
-        t.last_store <- ins.addr;
-        (match Hashtbl.find_opt t.last_by_pc ins.pc with
-        | Some prev -> record t.ls_hist (ins.addr - prev)
-        | None -> ());
-        Hashtbl.replace t.last_by_pc ins.pc ins.addr
-      | Opcode.Branch | Opcode.Jump | Opcode.Call | Opcode.Return | Opcode.Int_alu
-      | Opcode.Int_mul | Opcode.Fp_add | Opcode.Fp_mul | Opcode.Fp_div | Opcode.Nop ->
-        ())
+  Mica_trace.Sink.make ~name:"strides" (fun c ->
+      let len = c.Chunk.len in
+      let ops = c.Chunk.op and pcs = c.Chunk.pc and addrs = c.Chunk.addr in
+      for i = 0 to len - 1 do
+        let code = Array.unsafe_get ops i in
+        (* data addresses are strictly positive, so [-1] marks "not seen" *)
+        if code = op_load then begin
+          let pc = Array.unsafe_get pcs i and addr = Array.unsafe_get addrs i in
+          if t.last_load >= 0 then record t.gl_hist (addr - t.last_load);
+          t.last_load <- addr;
+          let prev = Mica_util.Int_map.find t.last_by_pc pc ~default:(-1) in
+          if prev >= 0 then record t.ll_hist (addr - prev);
+          Mica_util.Int_map.set t.last_by_pc pc addr
+        end
+        else if code = op_store then begin
+          let pc = Array.unsafe_get pcs i and addr = Array.unsafe_get addrs i in
+          if t.last_store >= 0 then record t.gs_hist (addr - t.last_store);
+          t.last_store <- addr;
+          let prev = Mica_util.Int_map.find t.last_by_pc pc ~default:(-1) in
+          if prev >= 0 then record t.ls_hist (addr - prev);
+          Mica_util.Int_map.set t.last_by_pc pc addr
+        end
+      done)
 
 let result t =
   {

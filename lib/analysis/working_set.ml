@@ -1,40 +1,52 @@
 module Opcode = Mica_isa.Opcode
-module Instr = Mica_isa.Instr
+module Chunk = Mica_trace.Chunk
+module Int_map = Mica_util.Int_map
 
 type result = { data_blocks : int; data_pages : int; instr_blocks : int; instr_pages : int }
 
+(* [Int_map] used as a set: one multiplicative-hash probe per touch,
+   no allocation, no boxing.  Block and page numbers are address shifts,
+   so the non-negative-key requirement holds. *)
 type t = {
-  d_blocks : (int, unit) Hashtbl.t;
-  d_pages : (int, unit) Hashtbl.t;
-  i_blocks : (int, unit) Hashtbl.t;
-  i_pages : (int, unit) Hashtbl.t;
+  d_blocks : Int_map.t;
+  d_pages : Int_map.t;
+  i_blocks : Int_map.t;
+  i_pages : Int_map.t;
 }
 
 let create () =
   {
-    d_blocks = Hashtbl.create 4096;
-    d_pages = Hashtbl.create 256;
-    i_blocks = Hashtbl.create 1024;
-    i_pages = Hashtbl.create 64;
+    d_blocks = Int_map.create ~initial:4096 ();
+    d_pages = Int_map.create ~initial:256 ();
+    i_blocks = Int_map.create ~initial:1024 ();
+    i_pages = Int_map.create ~initial:64 ();
   }
 
-let touch tbl key = if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key ()
+let touch tbl key = Int_map.add_if_absent tbl key
+
+let is_mem_code = Array.init Opcode.count (fun i -> Opcode.is_mem (Opcode.of_int i))
 
 let sink t =
-  Mica_trace.Sink.make ~name:"working_set" (fun (ins : Instr.t) ->
-      touch t.i_blocks (ins.pc lsr 5);
-      touch t.i_pages (ins.pc lsr 12);
-      if Opcode.is_mem ins.op then begin
-        touch t.d_blocks (ins.addr lsr 5);
-        touch t.d_pages (ins.addr lsr 12)
-      end)
+  Mica_trace.Sink.make ~name:"working_set" (fun c ->
+      let len = c.Chunk.len in
+      let pcs = c.Chunk.pc and ops = c.Chunk.op and addrs = c.Chunk.addr in
+      for i = 0 to len - 1 do
+        let pc = Array.unsafe_get pcs i in
+        touch t.i_blocks (pc lsr 5);
+        touch t.i_pages (pc lsr 12);
+        if Array.unsafe_get is_mem_code (Array.unsafe_get ops i) then begin
+          let addr = Array.unsafe_get addrs i in
+          touch t.d_blocks (addr lsr 5);
+          touch t.d_pages (addr lsr 12)
+        end
+      done)
 
 let result t =
   {
-    data_blocks = Hashtbl.length t.d_blocks;
-    data_pages = Hashtbl.length t.d_pages;
-    instr_blocks = Hashtbl.length t.i_blocks;
-    instr_pages = Hashtbl.length t.i_pages;
+    data_blocks = Int_map.length t.d_blocks;
+    data_pages = Int_map.length t.d_pages;
+    instr_blocks = Int_map.length t.i_blocks;
+    instr_pages = Int_map.length t.i_pages;
   }
 
 let to_vector r =

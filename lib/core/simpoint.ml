@@ -15,19 +15,24 @@ type t = {
    in-order model's counters are sampled at every interval boundary. *)
 let per_interval_ipc program ~icount ~interval =
   let model = U.Inorder.create () in
-  let model_sink = U.Inorder.sink model in
   let boundaries = ref [] in
   let seen = ref 0 in
-  let sampler =
-    Mica_trace.Sink.make ~name:"interval-sampler" (fun _ ->
-        incr seen;
-        if !seen mod interval = 0 then begin
-          let r = U.Inorder.result model in
-          boundaries := (r.U.Inorder.instructions, r.U.Inorder.cycles) :: !boundaries
-        end)
+  (* A chunked fanout of model and sampler would let the model run a whole
+     chunk ahead of the sampler, so interval boundaries inside a chunk
+     would read counters from the chunk's end.  Stepping the model
+     per-instruction inside one sink keeps the required ordering: the model
+     observes each instruction before the sampler reads its counters. *)
+  let sink =
+    Mica_trace.Sink.make ~name:"interval-sampler" (fun c ->
+        for i = 0 to c.Mica_trace.Chunk.len - 1 do
+          U.Inorder.step_instr model (Mica_trace.Chunk.get c i);
+          incr seen;
+          if !seen mod interval = 0 then begin
+            let r = U.Inorder.result model in
+            boundaries := (r.U.Inorder.instructions, r.U.Inorder.cycles) :: !boundaries
+          end
+        done)
   in
-  (* the model must observe the instruction before the sampler reads it *)
-  let sink = Mica_trace.Sink.fanout [ model_sink; sampler ] in
   let (_ : int) = Mica_trace.Generator.run program ~icount ~sink in
   let final = U.Inorder.result model in
   let cumulative = Array.of_list (List.rev !boundaries) in

@@ -50,3 +50,29 @@ let pp fmt t = Format.pp_print_string fmt (to_string t)
 
 let all =
   [ Load; Store; Branch; Jump; Call; Return; Int_alu; Int_mul; Fp_add; Fp_mul; Fp_div; Nop ]
+
+(* Dense integer codes, in declaration order: the struct-of-arrays trace
+   chunks store opcodes as ints, and the binary trace format uses the same
+   codes on disk. *)
+
+let to_int = function
+  | Load -> 0
+  | Store -> 1
+  | Branch -> 2
+  | Jump -> 3
+  | Call -> 4
+  | Return -> 5
+  | Int_alu -> 6
+  | Int_mul -> 7
+  | Fp_add -> 8
+  | Fp_mul -> 9
+  | Fp_div -> 10
+  | Nop -> 11
+
+let count = 12
+
+let of_int_table = Array.of_list all
+
+let of_int i =
+  if i < 0 || i >= count then invalid_arg "Opcode.of_int: code out of range"
+  else Array.unsafe_get of_int_table i

@@ -44,3 +44,15 @@ val pp : Format.formatter -> t -> unit
 
 val all : t list
 (** Every opcode class, in declaration order. *)
+
+val count : int
+(** Number of opcode classes. *)
+
+val to_int : t -> int
+(** Dense integer code of an opcode, in declaration order ([Load] is 0,
+    [Nop] is [count - 1]).  The struct-of-arrays trace chunks and the
+    binary trace format both store opcodes as these codes. *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}.  Raises [Invalid_argument] for codes outside
+    [0, count). *)

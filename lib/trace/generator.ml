@@ -7,18 +7,51 @@ exception Done
 
 type state = {
   rng : Rng.t;
-  emit : Instr.t -> unit;
+  chunk : Chunk.t;  (* staging buffer, refilled in place between deliveries *)
+  deliver : Chunk.t -> unit;
   mutable emitted : int;
   limit : int;
   mutable ghist : int;  (* global conditional-branch outcome history *)
   mutable next_pc : int;  (* fall-through/target of the last emitted instruction *)
 }
 
-let emit_instr st ins =
-  st.emit ins;
+let op_branch = Opcode.to_int Opcode.Branch
+let op_jump = Opcode.to_int Opcode.Jump
+let op_call = Opcode.to_int Opcode.Call
+let op_return = Opcode.to_int Opcode.Return
+
+let flush st =
+  if st.chunk.Chunk.len > 0 then begin
+    st.deliver st.chunk;
+    Chunk.clear st.chunk
+  end
+
+(* The one write path to the chunk.  [len < capacity] holds on entry because
+   every exit below flushes a full chunk, so the unsafe stores are in
+   bounds.  [taken] is only ever true for control opcodes (the generator
+   never sets it otherwise), which makes [if taken then target else pc + 4]
+   agree with [Instr.next_pc].  A chunk filled exactly at the instruction
+   limit is delivered by the capacity flush and leaves [len = 0], so the
+   flush before [Done] and the final flush in [run] never redeliver it. *)
+let emit st ~pc ~op ~src1 ~src2 ~dst ~addr ~taken ~target =
+  let c = st.chunk in
+  let i = c.Chunk.len in
+  Array.unsafe_set c.Chunk.pc i pc;
+  Array.unsafe_set c.Chunk.op i op;
+  Array.unsafe_set c.Chunk.src1 i src1;
+  Array.unsafe_set c.Chunk.src2 i src2;
+  Array.unsafe_set c.Chunk.dst i dst;
+  Array.unsafe_set c.Chunk.addr i addr;
+  Array.unsafe_set c.Chunk.target i target;
+  Bytes.unsafe_set c.Chunk.taken i (if taken then '\001' else '\000');
+  c.Chunk.len <- i + 1;
   st.emitted <- st.emitted + 1;
-  st.next_pc <- Instr.next_pc ins;
-  if st.emitted >= st.limit then raise Done
+  st.next_pc <- (if taken then target else pc + 4);
+  if i + 1 = c.Chunk.capacity then flush st;
+  if st.emitted >= st.limit then begin
+    flush st;
+    raise Done
+  end
 
 (* 64-bit mixer for pointer-chase address sequences: deterministic and
    well-scrambled, so chases look like random dependent walks. *)
@@ -73,9 +106,8 @@ let branch_outcome st (b : Kernel.br_state) =
 
 let emit_slot st (slot : Kernel.slot) =
   let addr = match slot.s_mem with Some m -> next_addr st m | None -> 0 in
-  emit_instr st
-    (Instr.make ~pc:slot.s_pc ~op:slot.s_op ~src1:slot.s_src1 ~src2:slot.s_src2 ~dst:slot.s_dst
-       ~addr ())
+  emit st ~pc:slot.s_pc ~op:(Opcode.to_int slot.s_op) ~src1:slot.s_src1 ~src2:slot.s_src2
+    ~dst:slot.s_dst ~addr ~taken:false ~target:0
 
 (* Execute one loop iteration of the body; returns unit.  Taken body
    branches skip slots; a skip past the end jumps to the loop back-edge. *)
@@ -93,9 +125,8 @@ let run_iteration st (inst : Kernel.instance) =
       let taken = branch_outcome st br in
       let skip_target = !i + 1 + br.b_skip in
       let target = if skip_target >= n then inst.i_loop_pc else body.(skip_target).s_pc in
-      emit_instr st
-        (Instr.make ~pc:slot.s_pc ~op:Opcode.Branch ~src1:slot.s_src1 ~src2:slot.s_src2 ~taken
-           ~target ());
+      emit st ~pc:slot.s_pc ~op:op_branch ~src1:slot.s_src1 ~src2:slot.s_src2 ~dst:Reg.none
+        ~addr:0 ~taken ~target;
       i := (if taken then skip_target else !i + 1)
   done
 
@@ -104,10 +135,12 @@ let run_helper st (inst : Kernel.instance) =
     let idx = Rng.pick_weighted st.rng inst.i_helper_weights in
     let helper = inst.i_helpers.(idx) in
     let call_pc = inst.i_loop_pc + 4 in
-    emit_instr st (Instr.make ~pc:call_pc ~op:Opcode.Call ~taken:true ~target:helper.h_base ());
+    emit st ~pc:call_pc ~op:op_call ~src1:Reg.none ~src2:Reg.none ~dst:Reg.none ~addr:0
+      ~taken:true ~target:helper.h_base;
     Array.iter (emit_slot st) helper.h_body;
     let ret_pc = helper.h_base + (4 * Array.length helper.h_body) in
-    emit_instr st (Instr.make ~pc:ret_pc ~op:Opcode.Return ~taken:true ~target:(call_pc + 4) ())
+    emit st ~pc:ret_pc ~op:op_return ~src1:Reg.none ~src2:Reg.none ~dst:Reg.none ~addr:0
+      ~taken:true ~target:(call_pc + 4)
   end
 
 (* One visit = trip_count loop iterations plus an occasional helper call.
@@ -117,14 +150,14 @@ let run_helper st (inst : Kernel.instance) =
 let run_visit st (inst : Kernel.instance) =
   let spec = inst.i_spec in
   if st.next_pc <> 0 && st.next_pc <> inst.i_code_base then
-    emit_instr st
-      (Instr.make ~pc:st.next_pc ~op:Opcode.Jump ~taken:true ~target:inst.i_code_base ());
+    emit st ~pc:st.next_pc ~op:op_jump ~src1:Reg.none ~src2:Reg.none ~dst:Reg.none ~addr:0
+      ~taken:true ~target:inst.i_code_base;
   inst.i_visits <- inst.i_visits + 1;
   for it = 1 to spec.trip_count do
     run_iteration st inst;
     let taken = it < spec.trip_count in
-    emit_instr st
-      (Instr.make ~pc:inst.i_loop_pc ~op:Opcode.Branch ~src1:0 ~taken ~target:inst.i_code_base ())
+    emit st ~pc:inst.i_loop_pc ~op:op_branch ~src1:0 ~src2:Reg.none ~dst:Reg.none ~addr:0 ~taken
+      ~target:inst.i_code_base
   done;
   if Rng.bernoulli st.rng ~p:spec.helper_call_prob then run_helper st inst
 
@@ -161,7 +194,15 @@ let run program ~icount ~sink =
     let rng = Rng.create ~seed:program.Program.seed in
     let phases = Array.of_list (build_phases program rng) in
     let st =
-      { rng; emit = sink.Sink.on_instr; emitted = 0; limit = icount; ghist = 0; next_pc = 0 }
+      {
+        rng;
+        chunk = Chunk.create ();
+        deliver = sink.Sink.on_chunk;
+        emitted = 0;
+        limit = icount;
+        ghist = 0;
+        next_pc = 0;
+      }
     in
     (try
        let phase_idx = ref 0 in

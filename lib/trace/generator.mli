@@ -5,7 +5,14 @@
     static structure (kernel instantiation) and every dynamic decision
     (kernel interleaving, random addresses, random branch outcomes).  Two
     runs of the same program at the same [icount] produce identical
-    traces. *)
+    traces.
+
+    Delivery is batched: the generator fills one preallocated
+    struct-of-arrays {!Chunk.t} in place and hands it to the sink whenever
+    it fills (and once more for the partial final chunk), so the hot path
+    performs no per-instruction allocation.  Chunking is an artifact of
+    transport — the instruction stream itself is identical to a
+    per-instruction delivery of the same program. *)
 
 val run : Program.t -> icount:int -> sink:Sink.t -> int
 (** [run program ~icount ~sink] generates at most [icount] dynamic

@@ -1,29 +1,56 @@
-type t = { name : string; on_instr : Mica_isa.Instr.t -> unit }
+type t = { name : string; on_chunk : Chunk.t -> unit }
 
-let make ~name on_instr = { name; on_instr }
+let make ~name on_chunk = { name; on_chunk }
+
+let of_instr_sink ~name on_instr =
+  {
+    name;
+    on_chunk =
+      (fun c ->
+        for i = 0 to c.Chunk.len - 1 do
+          on_instr (Chunk.get c i)
+        done);
+  }
 
 let fanout sinks =
   let arr = Array.of_list sinks in
   let n = Array.length arr in
-  let on_instr ins =
+  let on_chunk c =
     for i = 0 to n - 1 do
-      arr.(i).on_instr ins
+      arr.(i).on_chunk c
     done
   in
-  { name = "fanout"; on_instr }
+  { name = "fanout"; on_chunk }
 
 let counter () =
   let n = ref 0 in
-  (make ~name:"counter" (fun _ -> incr n), fun () -> !n)
+  (make ~name:"counter" (fun c -> n := !n + c.Chunk.len), fun () -> !n)
 
+(* The sampled stream is restaged into a private chunk so the downstream
+   sink still sees the chunk protocol; the modulus carries across chunk
+   boundaries, so sampling is a property of the instruction stream, not of
+   its chunking. *)
 let sample ~every sink =
   if every <= 0 then invalid_arg "Sink.sample: every must be positive";
   if every = 1 then sink (* identity, not a renamed wrapper *)
   else begin
     let k = ref 0 in
-    make ~name:(sink.name ^ "/sampled") (fun ins ->
-        if !k = 0 then sink.on_instr ins;
-        k := (!k + 1) mod every)
+    let stage = Chunk.create () in
+    make ~name:(sink.name ^ "/sampled") (fun c ->
+        for i = 0 to c.Chunk.len - 1 do
+          if !k = 0 then begin
+            Chunk.append c i stage;
+            if Chunk.is_full stage then begin
+              sink.on_chunk stage;
+              Chunk.clear stage
+            end
+          end;
+          k := (!k + 1) mod every
+        done;
+        if Chunk.length stage > 0 then begin
+          sink.on_chunk stage;
+          Chunk.clear stage
+        end)
   end
 
 let collect ~limit () =
@@ -31,10 +58,33 @@ let collect ~limit () =
   let acc = ref [] in
   let n = ref 0 in
   let sink =
-    make ~name:"collect" (fun ins ->
-        if !n < limit then begin
-          acc := ins :: !acc;
-          incr n
-        end)
+    make ~name:"collect" (fun c ->
+        let take = min (limit - !n) c.Chunk.len in
+        for i = 0 to take - 1 do
+          acc := Chunk.get c i :: !acc
+        done;
+        n := !n + take)
   in
   (sink, fun () -> List.rev !acc)
+
+let buffered ?capacity sink =
+  let c = Chunk.create ?capacity () in
+  let push ins =
+    Chunk.push c ins;
+    if Chunk.is_full c then begin
+      sink.on_chunk c;
+      Chunk.clear c
+    end
+  in
+  let flush () =
+    if Chunk.length c > 0 then begin
+      sink.on_chunk c;
+      Chunk.clear c
+    end
+  in
+  (push, flush)
+
+let feed_list ?capacity sink instrs =
+  let push, flush = buffered ?capacity sink in
+  List.iter push instrs;
+  flush ()

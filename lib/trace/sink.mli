@@ -1,30 +1,58 @@
 (** Trace consumers.
 
     A sink receives every dynamic instruction of a trace exactly once, in
-    program order.  This is the moral equivalent of an ATOM analysis
-    routine: the generator performs a single pass and fans the stream out
-    to all registered sinks, so measuring one more characteristic never
-    costs a second trace. *)
+    program order, delivered in struct-of-arrays {!Chunk.t} batches.  This
+    is the moral equivalent of an ATOM analysis routine: the generator
+    performs a single pass and fans the stream out to all registered sinks,
+    so measuring one more characteristic never costs a second trace.
+
+    Chunk boundaries carry no meaning — consumers must treat the stream as
+    the concatenation of all chunks, in order.  A chunk is only valid for
+    the duration of the [on_chunk] call: the generator reuses the storage
+    for the next batch, so sinks that need to retain elements must copy
+    them out ({!Chunk.get}, {!Chunk.append}). *)
 
 type t = {
   name : string;  (** diagnostic label *)
-  on_instr : Mica_isa.Instr.t -> unit;  (** called once per dynamic instruction *)
+  on_chunk : Chunk.t -> unit;
+      (** called with successive batches; elements [0 .. len - 1] of each
+          chunk are consecutive dynamic instructions *)
 }
 
-val make : name:string -> (Mica_isa.Instr.t -> unit) -> t
+val make : name:string -> (Chunk.t -> unit) -> t
+
+val of_instr_sink : name:string -> (Mica_isa.Instr.t -> unit) -> t
+(** Compatibility shim: wraps a per-instruction consumer as a chunk sink
+    that boxes each element via {!Chunk.get}.  Off the hot path — used by
+    trace dumps, reference oracles and invariant checkers, where clarity
+    beats allocation. *)
 
 val fanout : t list -> t
-(** [fanout sinks] delivers each instruction to every sink in order. *)
+(** [fanout sinks] delivers each chunk to every sink in order. *)
 
 val counter : unit -> t * (unit -> int)
 (** A sink that counts instructions, and its reader. *)
 
 val sample : every:int -> t -> t
 (** [sample ~every sink] forwards every [every]-th instruction only;
-    used by tests and by cheap preview passes.  [sample ~every:1] is the
+    used by tests and by cheap preview passes.  Selection is positional
+    over the whole stream, independent of chunking; survivors are restaged
+    into fresh chunks for the downstream sink.  [sample ~every:1] is the
     identity.  Raises [Invalid_argument] unless [every > 0]. *)
 
 val collect : limit:int -> unit -> t * (unit -> Mica_isa.Instr.t list)
 (** A sink retaining the first [limit] instructions (program order), and
     its reader; used by tests.  [collect ~limit:0] absorbs the stream and
     returns [[]].  Raises [Invalid_argument] if [limit] is negative. *)
+
+val buffered : ?capacity:int -> t -> (Mica_isa.Instr.t -> unit) * (unit -> unit)
+(** [buffered sink] is [(push, flush)]: a per-instruction front end that
+    accumulates pushes into a private chunk and delivers it to [sink]
+    whenever full.  [flush] delivers any partial chunk; call it exactly
+    once, after the last [push].  Used by trace replay and tests. *)
+
+val feed_list : ?capacity:int -> t -> Mica_isa.Instr.t list -> unit
+(** [feed_list sink instrs] streams a boxed instruction list through
+    [sink] in chunks (including the partial last one).  [?capacity] sets
+    the staging chunk size — tests use small capacities to exercise
+    chunk-boundary behaviour. *)

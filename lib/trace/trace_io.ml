@@ -30,12 +30,13 @@ let instr_of_line line =
   | _ -> failwith (Printf.sprintf "malformed trace line %S" line)
 
 let text_sink oc =
-  Sink.make ~name:"trace-text-writer" (fun i ->
+  Sink.of_instr_sink ~name:"trace-text-writer" (fun i ->
       output_string oc (instr_to_line i);
       output_char oc '\n')
 
 let replay_text ~path ~sink =
   In_channel.with_open_text path (fun ic ->
+      let push, flush = Sink.buffered sink in
       let count = ref 0 in
       let lineno = ref 0 in
       (try
@@ -43,12 +44,13 @@ let replay_text ~path ~sink =
            let line = input_line ic in
            incr lineno;
            if String.trim line <> "" then begin
-             (try sink.Sink.on_instr (instr_of_line line)
+             (try push (instr_of_line line)
               with Failure msg -> failwith (Printf.sprintf "line %d: %s" !lineno msg));
              incr count
            end
          done
        with End_of_file -> ());
+      flush ();
       !count)
 
 (* ---------------- binary format ---------------- *)
@@ -97,7 +99,7 @@ let decode buf =
 let binary_sink oc =
   output_string oc magic;
   let buf = Bytes.create record_bytes in
-  Sink.make ~name:"trace-binary-writer" (fun i ->
+  Sink.of_instr_sink ~name:"trace-binary-writer" (fun i ->
       encode buf i;
       output_bytes oc buf)
 
@@ -112,11 +114,13 @@ let replay_binary ~path ~sink =
       if payload mod record_bytes <> 0 then failwith "corrupt trace: truncated record";
       let records = payload / record_bytes in
       let buf = Bytes.create record_bytes in
+      let push, flush = Sink.buffered sink in
       for _ = 1 to records do
         (match In_channel.really_input ic buf 0 record_bytes with
-        | Some () -> sink.Sink.on_instr (decode buf)
+        | Some () -> push (decode buf)
         | None -> failwith "corrupt trace: unexpected end of file")
       done;
+      flush ();
       records)
 
 let with_out_channel path ~binary f =

@@ -1,5 +1,6 @@
 module Opcode = Mica_isa.Opcode
 module Instr = Mica_isa.Instr
+module Chunk = Mica_trace.Chunk
 
 type config = {
   issue_width : int;
@@ -57,23 +58,40 @@ let arith_stall op =
   | Int_mul -> (Opcode.latency Int_mul - 1) / 2
   | Load | Store | Branch | Jump | Call | Return | Int_alu | Fp_add | Fp_mul | Nop -> 0
 
+let arith_stall_code = Array.init Opcode.count (fun i -> arith_stall (Opcode.of_int i))
+let is_mem_code = Array.init Opcode.count (fun i -> Opcode.is_mem (Opcode.of_int i))
+let op_branch = Opcode.to_int Opcode.Branch
+
+let step t ~pc ~code ~addr ~taken =
+  t.instrs <- t.instrs + 1;
+  let stall = ref (fetch_stall t pc + Array.unsafe_get arith_stall_code code) in
+  if Array.unsafe_get is_mem_code code then begin
+    if not (Tlb.access t.dtlb addr) then stall := !stall + t.cfg.dtlb_penalty;
+    stall := !stall + memory_stall t addr
+  end;
+  if code = op_branch then begin
+    t.cond_branches <- t.cond_branches + 1;
+    let pred = Branch_pred.predict_update t.pred ~pc ~taken in
+    if pred <> taken then begin
+      t.mispredicts <- t.mispredicts + 1;
+      stall := !stall + t.cfg.mispredict_penalty
+    end
+  end;
+  t.stall_cycles <- t.stall_cycles + !stall
+
+let step_instr t (ins : Instr.t) =
+  step t ~pc:ins.pc ~code:(Opcode.to_int ins.op) ~addr:ins.addr ~taken:ins.taken
+
 let sink t =
-  Mica_trace.Sink.make ~name:"inorder" (fun (ins : Instr.t) ->
-      t.instrs <- t.instrs + 1;
-      let stall = ref (fetch_stall t ins.pc + arith_stall ins.op) in
-      if Opcode.is_mem ins.op then begin
-        if not (Tlb.access t.dtlb ins.addr) then stall := !stall + t.cfg.dtlb_penalty;
-        stall := !stall + memory_stall t ins.addr
-      end;
-      if Opcode.is_cond_branch ins.op then begin
-        t.cond_branches <- t.cond_branches + 1;
-        let pred = Branch_pred.predict_update t.pred ~pc:ins.pc ~taken:ins.taken in
-        if pred <> ins.taken then begin
-          t.mispredicts <- t.mispredicts + 1;
-          stall := !stall + t.cfg.mispredict_penalty
-        end
-      end;
-      t.stall_cycles <- t.stall_cycles + !stall)
+  Mica_trace.Sink.make ~name:"inorder" (fun c ->
+      let len = c.Chunk.len in
+      let pcs = c.Chunk.pc and ops = c.Chunk.op and addrs = c.Chunk.addr
+      and taken = c.Chunk.taken in
+      for i = 0 to len - 1 do
+        step t ~pc:(Array.unsafe_get pcs i) ~code:(Array.unsafe_get ops i)
+          ~addr:(Array.unsafe_get addrs i)
+          ~taken:(Bytes.unsafe_get taken i <> '\000')
+      done)
 
 type result = {
   instructions : int;

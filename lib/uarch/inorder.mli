@@ -24,6 +24,11 @@ type t
 val create : ?config:config -> unit -> t
 val sink : t -> Mica_trace.Sink.t
 
+val step_instr : t -> Mica_isa.Instr.t -> unit
+(** Advance the model by one boxed instruction.  Equivalent to delivering
+    the instruction through {!sink}; for consumers (interval sampling) that
+    must observe model state between individual instructions. *)
+
 type result = {
   instructions : int;
   cycles : int;

@@ -1,6 +1,6 @@
 module Opcode = Mica_isa.Opcode
 module Reg = Mica_isa.Reg
-module Instr = Mica_isa.Instr
+module Chunk = Mica_trace.Chunk
 
 type cache_geometry = { size_bytes : int; line_bytes : int; assoc : int }
 
@@ -195,16 +195,23 @@ let arith_stall op =
   | Int_mul -> (Opcode.latency Int_mul - 1) / 2
   | Load | Store | Branch | Jump | Call | Return | Int_alu | Fp_add | Fp_mul | Nop -> 0
 
-let step_in_order t (ins : Instr.t) =
-  let stall = ref (icache_extra t ins.pc + arith_stall ins.op) in
-  if Opcode.is_mem ins.op then begin
-    if not (Tlb.access t.dtlb ins.addr) then stall := !stall + t.cfg.dtlb_penalty;
-    stall := !stall + dcache_extra t ins.addr
+let arith_stall_code = Array.init Opcode.count (fun i -> arith_stall (Opcode.of_int i))
+let latency_code = Array.init Opcode.count (fun i -> Opcode.latency (Opcode.of_int i))
+let is_mem_code = Array.init Opcode.count (fun i -> Opcode.is_mem (Opcode.of_int i))
+let op_load = Opcode.to_int Opcode.Load
+let op_store = Opcode.to_int Opcode.Store
+let op_branch = Opcode.to_int Opcode.Branch
+
+let step_in_order t ~pc ~code ~addr ~taken =
+  let stall = ref (icache_extra t pc + Array.unsafe_get arith_stall_code code) in
+  if Array.unsafe_get is_mem_code code then begin
+    if not (Tlb.access t.dtlb addr) then stall := !stall + t.cfg.dtlb_penalty;
+    stall := !stall + dcache_extra t addr
   end;
-  if Opcode.is_cond_branch ins.op then begin
+  if code = op_branch then begin
     t.cond_branches <- t.cond_branches + 1;
-    let pred = Branch_pred.predict_update t.pred ~pc:ins.pc ~taken:ins.taken in
-    if pred <> ins.taken then begin
+    let pred = Branch_pred.predict_update t.pred ~pc ~taken in
+    if pred <> taken then begin
       t.mispredicts <- t.mispredicts + 1;
       stall := !stall + t.cfg.mispredict_penalty
     end
@@ -215,50 +222,67 @@ let redirect_fetch t ~width cycle =
   let num = cycle * width in
   if num > t.fetch_num then t.fetch_num <- num
 
-let step_out_of_order t ~width ~window (ins : Instr.t) =
+let step_out_of_order t ~width ~window ~pc ~code ~src1 ~src2 ~dst ~addr ~taken =
   let fetch_cycle = t.fetch_num / width in
   t.fetch_num <- t.fetch_num + 1;
-  let ic = icache_extra t ins.pc in
+  let ic = icache_extra t pc in
   if ic > 0 then redirect_fetch t ~width (fetch_cycle + ic);
   let ready_src r = if Reg.carries_dependency r then t.reg_ready.(r) else 0 in
   let deps =
-    let a = ready_src ins.src1 and b = ready_src ins.src2 in
+    let a = ready_src src1 and b = ready_src src2 in
     if a > b then a else b
   in
   let window_free = if t.filled < window then 0 else t.completions.(t.head) in
   let issue = max fetch_cycle (max deps window_free) in
   let latency =
-    match ins.op with
-    | Opcode.Load ->
-      let tlb_extra = if Tlb.access t.dtlb ins.addr then 0 else t.cfg.dtlb_penalty in
-      t.cfg.l1_latency + dcache_extra t ins.addr + tlb_extra
-    | Opcode.Store ->
-      ignore (Tlb.access t.dtlb ins.addr : bool);
-      ignore (dcache_extra t ins.addr : int);
+    if code = op_load then begin
+      let tlb_extra = if Tlb.access t.dtlb addr then 0 else t.cfg.dtlb_penalty in
+      t.cfg.l1_latency + dcache_extra t addr + tlb_extra
+    end
+    else if code = op_store then begin
+      ignore (Tlb.access t.dtlb addr : bool);
+      ignore (dcache_extra t addr : int);
       1
-    | op -> Opcode.latency op
+    end
+    else Array.unsafe_get latency_code code
   in
   let completion = issue + latency in
   t.completions.(t.head) <- completion;
   t.head <- (t.head + 1) mod window;
   if t.filled < window then t.filled <- t.filled + 1;
-  if Reg.carries_dependency ins.dst then t.reg_ready.(ins.dst) <- completion;
+  if Reg.carries_dependency dst then t.reg_ready.(dst) <- completion;
   if completion > t.last_cycle then t.last_cycle <- completion;
-  if Opcode.is_cond_branch ins.op then begin
+  if code = op_branch then begin
     t.cond_branches <- t.cond_branches + 1;
-    let pred = Branch_pred.predict_update t.pred ~pc:ins.pc ~taken:ins.taken in
-    if pred <> ins.taken then begin
+    let pred = Branch_pred.predict_update t.pred ~pc ~taken in
+    if pred <> taken then begin
       t.mispredicts <- t.mispredicts + 1;
       redirect_fetch t ~width (completion + t.cfg.mispredict_penalty)
     end
   end
 
 let sink t =
-  Mica_trace.Sink.make ~name:("machine:" ^ t.cfg.name) (fun ins ->
-      t.instrs <- t.instrs + 1;
+  Mica_trace.Sink.make ~name:("machine:" ^ t.cfg.name) (fun c ->
+      let len = c.Chunk.len in
+      let pcs = c.Chunk.pc and ops = c.Chunk.op and src1 = c.Chunk.src1
+      and src2 = c.Chunk.src2 and dst = c.Chunk.dst and addrs = c.Chunk.addr
+      and taken = c.Chunk.taken in
+      t.instrs <- t.instrs + len;
       match t.cfg.core with
-      | In_order _ -> step_in_order t ins
-      | Out_of_order { width; window } -> step_out_of_order t ~width ~window ins)
+      | In_order _ ->
+        for i = 0 to len - 1 do
+          step_in_order t ~pc:(Array.unsafe_get pcs i) ~code:(Array.unsafe_get ops i)
+            ~addr:(Array.unsafe_get addrs i)
+            ~taken:(Bytes.unsafe_get taken i <> '\000')
+        done
+      | Out_of_order { width; window } ->
+        for i = 0 to len - 1 do
+          step_out_of_order t ~width ~window ~pc:(Array.unsafe_get pcs i)
+            ~code:(Array.unsafe_get ops i) ~src1:(Array.unsafe_get src1 i)
+            ~src2:(Array.unsafe_get src2 i) ~dst:(Array.unsafe_get dst i)
+            ~addr:(Array.unsafe_get addrs i)
+            ~taken:(Bytes.unsafe_get taken i <> '\000')
+        done)
 
 let result t =
   let ipc =

@@ -1,6 +1,6 @@
 module Opcode = Mica_isa.Opcode
 module Reg = Mica_isa.Reg
-module Instr = Mica_isa.Instr
+module Chunk = Mica_trace.Chunk
 
 type config = {
   width : int;
@@ -58,46 +58,63 @@ let redirect_fetch t cycle =
   let num = cycle * t.cfg.width in
   if num > t.fetch_num then t.fetch_num <- num
 
+let latency_code = Array.init Opcode.count (fun i -> Opcode.latency (Opcode.of_int i))
+let op_load = Opcode.to_int Opcode.Load
+let op_store = Opcode.to_int Opcode.Store
+let op_branch = Opcode.to_int Opcode.Branch
+
+let step t ~pc ~code ~src1 ~src2 ~dst ~addr ~taken =
+  t.instrs <- t.instrs + 1;
+  let fetch_cycle = t.fetch_num / t.cfg.width in
+  t.fetch_num <- t.fetch_num + 1;
+  (* instruction-fetch miss delays the front end *)
+  if not (Cache.access t.l1i pc) then begin
+    let lat = if Cache.access t.l2 pc then t.cfg.l2_latency else t.cfg.mem_latency in
+    redirect_fetch t (fetch_cycle + lat)
+  end;
+  let ready_src r = if Reg.carries_dependency r then t.reg_ready.(r) else 0 in
+  let deps =
+    let a = ready_src src1 and b = ready_src src2 in
+    if a > b then a else b
+  in
+  let window_free = if t.filled < t.cfg.window then 0 else t.completions.(t.head) in
+  let issue = max fetch_cycle (max deps window_free) in
+  let latency =
+    if code = op_load then load_latency t addr
+    else if code = op_store then begin
+      (* stores retire off the critical path but still occupy the cache *)
+      ignore (load_latency t addr : int);
+      1
+    end
+    else Array.unsafe_get latency_code code
+  in
+  let completion = issue + latency in
+  t.completions.(t.head) <- completion;
+  t.head <- (t.head + 1) mod t.cfg.window;
+  if t.filled < t.cfg.window then t.filled <- t.filled + 1;
+  if Reg.carries_dependency dst then t.reg_ready.(dst) <- completion;
+  if completion > t.last_cycle then t.last_cycle <- completion;
+  if code = op_branch then begin
+    t.cond_branches <- t.cond_branches + 1;
+    let pred = Branch_pred.predict_update t.pred ~pc ~taken in
+    if pred <> taken then begin
+      t.mispredicts <- t.mispredicts + 1;
+      redirect_fetch t (completion + t.cfg.mispredict_penalty)
+    end
+  end
+
 let sink t =
-  Mica_trace.Sink.make ~name:"ooo" (fun (ins : Instr.t) ->
-      t.instrs <- t.instrs + 1;
-      let fetch_cycle = t.fetch_num / t.cfg.width in
-      t.fetch_num <- t.fetch_num + 1;
-      (* instruction-fetch miss delays the front end *)
-      if not (Cache.access t.l1i ins.pc) then begin
-        let lat = if Cache.access t.l2 ins.pc then t.cfg.l2_latency else t.cfg.mem_latency in
-        redirect_fetch t (fetch_cycle + lat)
-      end;
-      let ready_src r = if Reg.carries_dependency r then t.reg_ready.(r) else 0 in
-      let deps =
-        let a = ready_src ins.src1 and b = ready_src ins.src2 in
-        if a > b then a else b
-      in
-      let window_free = if t.filled < t.cfg.window then 0 else t.completions.(t.head) in
-      let issue = max fetch_cycle (max deps window_free) in
-      let latency =
-        match ins.op with
-        | Opcode.Load -> load_latency t ins.addr
-        | Opcode.Store ->
-          (* stores retire off the critical path but still occupy the cache *)
-          ignore (load_latency t ins.addr : int);
-          1
-        | op -> Opcode.latency op
-      in
-      let completion = issue + latency in
-      t.completions.(t.head) <- completion;
-      t.head <- (t.head + 1) mod t.cfg.window;
-      if t.filled < t.cfg.window then t.filled <- t.filled + 1;
-      if Reg.carries_dependency ins.dst then t.reg_ready.(ins.dst) <- completion;
-      if completion > t.last_cycle then t.last_cycle <- completion;
-      if Opcode.is_cond_branch ins.op then begin
-        t.cond_branches <- t.cond_branches + 1;
-        let pred = Branch_pred.predict_update t.pred ~pc:ins.pc ~taken:ins.taken in
-        if pred <> ins.taken then begin
-          t.mispredicts <- t.mispredicts + 1;
-          redirect_fetch t (completion + t.cfg.mispredict_penalty)
-        end
-      end)
+  Mica_trace.Sink.make ~name:"ooo" (fun c ->
+      let len = c.Chunk.len in
+      let pcs = c.Chunk.pc and ops = c.Chunk.op and src1 = c.Chunk.src1
+      and src2 = c.Chunk.src2 and dst = c.Chunk.dst and addrs = c.Chunk.addr
+      and taken = c.Chunk.taken in
+      for i = 0 to len - 1 do
+        step t ~pc:(Array.unsafe_get pcs i) ~code:(Array.unsafe_get ops i)
+          ~src1:(Array.unsafe_get src1 i) ~src2:(Array.unsafe_get src2 i)
+          ~dst:(Array.unsafe_get dst i) ~addr:(Array.unsafe_get addrs i)
+          ~taken:(Bytes.unsafe_get taken i <> '\000')
+      done)
 
 type result = { instructions : int; cycles : int; ipc : float; branch_mispredict_rate : float }
 

@@ -1,0 +1,37 @@
+(** Allocation-free open-addressing map from non-negative ints to ints.
+
+    Built for the analyzer hot paths: one multiplicative hash, linear
+    probing in a flat array, no allocation and no boxing on any lookup or
+    update.  It is an exact map — replacing [Hashtbl] with it changes no
+    observable analyzer result.  Keys must be non-negative ([-1] is the
+    internal empty marker); the mutating operations raise [Invalid_argument]
+    on negative keys. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+(** [create ?initial ()] makes an empty map sized for about [initial]
+    entries (rounded up to a power of two; grows automatically). *)
+
+val length : t -> int
+(** Number of distinct keys present. *)
+
+val find : t -> int -> default:int -> int
+(** [find t key ~default] is the value bound to [key], or [default]. *)
+
+val mem : t -> int -> bool
+
+val set : t -> int -> int -> unit
+(** [set t key v] binds [key] to [v], replacing any previous binding. *)
+
+val bump : t -> int -> int -> unit
+(** [bump t key delta] adds [delta] to [key]'s value, inserting [delta]
+    if the key is absent. *)
+
+val add_if_absent : t -> int -> unit
+(** [add_if_absent t key] inserts [key] with value [0] if absent; used as
+    a set. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+(** [iter t f] applies [f key value] to every binding, in no particular
+    order. *)

@@ -43,7 +43,7 @@ let prefix_law program ~n ~m =
   let (_ : int) = Mica_trace.Generator.run program ~icount:m ~sink:collector in
   let analyzer = Mica_analysis.Analyzer.create () in
   let sink = Mica_analysis.Analyzer.sink analyzer in
-  List.iter sink.Mica_trace.Sink.on_instr (read ());
+  Mica_trace.Sink.feed_list sink (read ());
   match first_diff direct (Mica_analysis.Analyzer.vector analyzer) with
   | None ->
     {

@@ -104,7 +104,7 @@ let on_instr t (ins : Instr.t) =
            target)
     | Some _ -> ()
 
-let sink t = Mica_trace.Sink.make ~name:"invariants" (fun ins -> on_instr t ins)
+let sink t = Mica_trace.Sink.of_instr_sink ~name:"invariants" (fun ins -> on_instr t ins)
 
 let instructions t = t.count
 

@@ -290,5 +290,5 @@ let check ?ppm_order program ~icount =
   let instrs = read () in
   let analyzer = Mica_analysis.Analyzer.create ?ppm_order () in
   let sink = Mica_analysis.Analyzer.sink analyzer in
-  List.iter sink.Mica_trace.Sink.on_instr instrs;
+  Mica_trace.Sink.feed_list sink instrs;
   compare_vectors ~got:(Mica_analysis.Analyzer.vector analyzer) ~oracle:(vector ?ppm_order instrs)

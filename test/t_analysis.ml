@@ -40,7 +40,7 @@ let test_ilp_serial_chain () =
   let t = A.Ilp.create ~windows:[| 32 |] () in
   let sink = A.Ilp.sink t in
   for i = 0 to 999 do
-    sink.Mica_trace.Sink.on_instr (Tutil.alu ~pc:(4 * i) ~src1:1 ~dst:1 ())
+    Tutil.push_one sink (Tutil.alu ~pc:(4 * i) ~src1:1 ~dst:1 ())
   done;
   let ipc = (A.Ilp.ipc t).(0) in
   Alcotest.(check bool) "serial IPC near 1" true (ipc > 0.95 && ipc < 1.05)
@@ -51,7 +51,7 @@ let test_ilp_independent_window_limited () =
   let t = A.Ilp.create ~windows:[| 4; 16 |] () in
   let sink = A.Ilp.sink t in
   for i = 0 to 9_999 do
-    sink.Mica_trace.Sink.on_instr (Tutil.alu ~pc:(4 * i) ())
+    Tutil.push_one sink (Tutil.alu ~pc:(4 * i) ())
   done;
   let ipc = A.Ilp.ipc t in
   Alcotest.(check bool) "window 4 -> IPC ~4" true (abs_float (ipc.(0) -. 4.0) < 0.1);
@@ -72,7 +72,7 @@ let test_ilp_zero_register_no_dependency () =
   let t = A.Ilp.create ~windows:[| 8 |] () in
   let sink = A.Ilp.sink t in
   for i = 0 to 999 do
-    sink.Mica_trace.Sink.on_instr
+    Tutil.push_one sink
       (Tutil.alu ~pc:(4 * i) ~src1:Mica_isa.Reg.zero ~dst:Mica_isa.Reg.zero ())
   done;
   let ipc = (A.Ilp.ipc t).(0) in
@@ -212,7 +212,7 @@ let test_ppm_always_taken () =
   let t = A.Ppm.create () in
   let sink = A.Ppm.sink t in
   for _ = 1 to 500 do
-    sink.Mica_trace.Sink.on_instr (always_taken_branch 0x100)
+    Tutil.push_one sink (always_taken_branch 0x100)
   done;
   List.iter
     (fun v ->
@@ -226,7 +226,7 @@ let test_ppm_alternating () =
   let t = A.Ppm.create ~order:4 () in
   let sink = A.Ppm.sink t in
   for i = 1 to 1_000 do
-    sink.Mica_trace.Sink.on_instr (Tutil.branch ~pc:0x100 ~taken:(i mod 2 = 0) ())
+    Tutil.push_one sink (Tutil.branch ~pc:0x100 ~taken:(i mod 2 = 0) ())
   done;
   List.iter
     (fun v ->
@@ -244,8 +244,8 @@ let test_ppm_global_correlation () =
   (* count only branch B's behaviour by tracking misses before/after *)
   for _ = 1 to 4_000 do
     let a = Mica_util.Rng.bool rng in
-    sink.Mica_trace.Sink.on_instr (Tutil.branch ~pc:0x100 ~taken:a ());
-    sink.Mica_trace.Sink.on_instr (Tutil.branch ~pc:0x200 ~taken:a ())
+    Tutil.push_one sink (Tutil.branch ~pc:0x100 ~taken:a ());
+    Tutil.push_one sink (Tutil.branch ~pc:0x200 ~taken:a ())
   done;
   let gag = A.Ppm.miss_rate t A.Ppm.GAg and pag = A.Ppm.miss_rate t A.Ppm.PAg in
   (* GAg predicts B perfectly (and A randomly): overall ~25%.  PAg sees
@@ -258,8 +258,8 @@ let test_ppm_per_address_tables () =
   let t = A.Ppm.create ~order:0 () in
   let sink = A.Ppm.sink t in
   for _ = 1 to 1_000 do
-    sink.Mica_trace.Sink.on_instr (Tutil.branch ~pc:0x100 ~taken:true ());
-    sink.Mica_trace.Sink.on_instr (Tutil.branch ~pc:0x200 ~taken:false ())
+    Tutil.push_one sink (Tutil.branch ~pc:0x100 ~taken:true ());
+    Tutil.push_one sink (Tutil.branch ~pc:0x200 ~taken:false ())
   done;
   let shared = A.Ppm.miss_rate t A.Ppm.GAg in
   let per_addr = A.Ppm.miss_rate t A.Ppm.GAs in

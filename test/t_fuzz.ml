@@ -186,8 +186,7 @@ let test_branch_stats_alternating_vs_constant () =
     let t = A.Branch_stats.create () in
     List.iteri
       (fun i taken ->
-        (A.Branch_stats.sink t).Mica_trace.Sink.on_instr
-          (Tutil.branch ~pc:0x100 ~taken ());
+        Tutil.push_one (A.Branch_stats.sink t) (Tutil.branch ~pc:0x100 ~taken ());
         ignore i)
       outcomes;
     (A.Branch_stats.result t).A.Branch_stats.transition_rate

@@ -63,6 +63,93 @@ let test_sink_collect_negative_limit () =
     (Invalid_argument "Sink.collect: limit must be non-negative") (fun () ->
       ignore (Sink.collect ~limit:(-1) ()))
 
+(* ---------------- Chunk transport ---------------- *)
+
+let test_chunk_roundtrip () =
+  let c = Mica_trace.Chunk.create ~capacity:4 () in
+  let instrs =
+    [
+      Tutil.alu ~pc:0x10 ~src1:1 ~src2:2 ~dst:3 ();
+      Tutil.load ~pc:0x14 ~dst:4 ~addr:0xBEEF0 ();
+      Tutil.branch ~pc:0x18 ~taken:true ();
+    ]
+  in
+  List.iter (Mica_trace.Chunk.push c) instrs;
+  Alcotest.(check int) "length" 3 (Mica_trace.Chunk.length c);
+  Alcotest.(check bool) "not yet full" false (Mica_trace.Chunk.is_full c);
+  Alcotest.(check bool) "boxed roundtrip" true (Mica_trace.Chunk.to_list c = instrs);
+  Mica_trace.Chunk.push c (Tutil.alu ());
+  Alcotest.(check bool) "full at capacity" true (Mica_trace.Chunk.is_full c);
+  Alcotest.check_raises "push past capacity" (Invalid_argument "Chunk.push: chunk is full")
+    (fun () -> Mica_trace.Chunk.push c (Tutil.alu ()));
+  Mica_trace.Chunk.clear c;
+  Alcotest.(check int) "cleared" 0 (Mica_trace.Chunk.length c)
+
+let test_chunk_create_invalid () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Chunk.create: capacity must be positive") (fun () ->
+      ignore (Mica_trace.Chunk.create ~capacity:0 ()))
+
+let chunk_lengths program ~icount =
+  let lens = ref [] in
+  let sink =
+    Sink.make ~name:"lens" (fun c -> lens := Mica_trace.Chunk.length c :: !lens)
+  in
+  let (_ : int) = G.run program ~icount ~sink in
+  List.rev !lens
+
+let test_generator_chunk_sizes () =
+  (* the delivered chunk sizes partition icount: full chunks then one
+     partial; an exactly-full final chunk is delivered once, not followed
+     by an empty one *)
+  let p = P.single ~name:"chunk-sizes" K.default in
+  let cap = Mica_trace.Chunk.default_capacity in
+  Alcotest.(check (list int)) "partial final chunk" [ cap; 5_000 - cap ]
+    (chunk_lengths p ~icount:5_000);
+  Alcotest.(check (list int)) "less than one chunk" [ 100 ] (chunk_lengths p ~icount:100);
+  Alcotest.(check (list int)) "exactly full" [ cap ] (chunk_lengths p ~icount:cap);
+  Alcotest.(check (list int)) "two exact chunks" [ cap; cap ]
+    (chunk_lengths p ~icount:(2 * cap))
+
+let test_chunking_invariance () =
+  (* chunk boundaries carry no meaning: restreaming the same instructions
+     at any capacity (straddling basic blocks arbitrarily) yields the same
+     characteristics as the generator's own chunking *)
+  let p = P.single ~name:"chunking-invariance" K.default in
+  let direct = Mica_analysis.Analyzer.analyze p ~icount:5_000 in
+  let instrs = G.preview p ~n:5_000 in
+  List.iter
+    (fun cap ->
+      let t = Mica_analysis.Analyzer.create () in
+      Sink.feed_list ~capacity:cap (Mica_analysis.Analyzer.sink t) instrs;
+      Alcotest.(check bool)
+        (Printf.sprintf "capacity %d" cap)
+        true
+        (Mica_analysis.Analyzer.vector t = direct))
+    [ 1; 7; 1024 ]
+
+let test_sink_sample_across_chunks () =
+  (* sampling is positional over the stream, not over chunks *)
+  let sampled_pcs cap =
+    let s, read = Sink.collect ~limit:100 () in
+    let sampled = Sink.sample ~every:3 s in
+    Sink.feed_list ~capacity:cap sampled (List.init 10 (fun i -> Tutil.alu ~pc:(4 * i) ()));
+    List.map (fun i -> i.Instr.pc) (read ())
+  in
+  Alcotest.(check (list int)) "expected positions" [ 0; 12; 24; 36 ] (sampled_pcs 4096);
+  Alcotest.(check (list int)) "boundary-independent" (sampled_pcs 4096) (sampled_pcs 4);
+  Alcotest.(check (list int)) "single-element chunks" (sampled_pcs 4096) (sampled_pcs 1)
+
+let test_sink_collect_across_chunks () =
+  (* a limit landing mid-chunk truncates exactly there *)
+  let pcs ~cap ~limit =
+    let sink, read = Sink.collect ~limit () in
+    Sink.feed_list ~capacity:cap sink (List.init 10 (fun i -> Tutil.alu ~pc:i ()));
+    List.map (fun i -> i.Instr.pc) (read ())
+  in
+  Alcotest.(check (list int)) "limit mid-chunk" [ 0; 1; 2; 3; 4 ] (pcs ~cap:3 ~limit:5);
+  Alcotest.(check (list int)) "limit past stream" (List.init 10 Fun.id) (pcs ~cap:4 ~limit:50)
+
 (* ---------------- Kernel validation ---------------- *)
 
 let expect_invalid spec name =
@@ -378,6 +465,12 @@ let suite =
       Alcotest.test_case "sink collect" `Quick test_sink_collect;
       Alcotest.test_case "sink collect zero limit" `Quick test_sink_collect_zero_limit;
       Alcotest.test_case "sink collect negative limit" `Quick test_sink_collect_negative_limit;
+      Alcotest.test_case "chunk roundtrip" `Quick test_chunk_roundtrip;
+      Alcotest.test_case "chunk create invalid" `Quick test_chunk_create_invalid;
+      Alcotest.test_case "generator chunk sizes" `Quick test_generator_chunk_sizes;
+      Alcotest.test_case "chunking invariance" `Quick test_chunking_invariance;
+      Alcotest.test_case "sample across chunks" `Quick test_sink_sample_across_chunks;
+      Alcotest.test_case "collect across chunks" `Quick test_sink_collect_across_chunks;
       Alcotest.test_case "kernel validate" `Quick test_kernel_validate;
       Alcotest.test_case "kernel instantiate structure" `Quick test_kernel_instantiate_structure;
       Alcotest.test_case "kernel mix rounding" `Quick test_kernel_mix_rounding;

@@ -143,7 +143,7 @@ let test_predictor_counts () =
 
 (* ---------------- timing models ---------------- *)
 
-let run_model sink instrs = List.iter sink.Mica_trace.Sink.on_instr instrs
+let run_model sink instrs = Mica_trace.Sink.feed_list sink instrs
 
 let straight_line_trace n =
   List.init n (fun i -> Tutil.alu ~pc:(0x1000 + (4 * (i mod 64))) ~dst:(i mod 8) ())
@@ -309,7 +309,7 @@ let test_machine_prefetch_helps_streaming () =
   let pf = { base with U.Machine.name = "pf"; prefetch_next_line = true } in
   let run cfg trace =
     let t = U.Machine.create cfg in
-    List.iter (U.Machine.sink t).Mica_trace.Sink.on_instr trace;
+    Mica_trace.Sink.feed_list (U.Machine.sink t) trace;
     (U.Machine.result t).U.Machine.l1d_miss_rate
   in
   let no_pf = run base stream and with_pf = run pf stream in

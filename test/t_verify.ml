@@ -130,6 +130,26 @@ let test_reference_on_golden_workloads () =
           (Format.asprintf "%a" V.Reference.pp_mismatch m))
     (golden_trio ())
 
+let test_chunked_transport_matches_reference () =
+  (* The chunked-transport law: the analyzer vector computed over the
+     generator's own struct-of-arrays chunk delivery must agree with the
+     naive per-instruction oracles recomputing all six families from the
+     boxed instruction list.  Reference.check re-feeds a collected list;
+     this goes through Analyzer.analyze so the production path — generator
+     chunk fill, fanout, monomorphic chunk loops — is the thing compared. *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let icount = 1_500 in
+      let got = Mica_analysis.Analyzer.analyze w.Workload.model ~icount in
+      let instrs = G.preview w.Workload.model ~n:icount in
+      let oracle = V.Reference.vector instrs in
+      match V.Reference.compare_vectors ~got ~oracle with
+      | [] -> ()
+      | m :: _ ->
+        Alcotest.failf "%s (chunked): %s" (Workload.id w)
+          (Format.asprintf "%a" V.Reference.pp_mismatch m))
+    (golden_trio ())
+
 let test_reference_empty_trace () =
   let v = V.Reference.vector [] in
   Alcotest.(check int) "47 characteristics" Mica_analysis.Characteristics.count
@@ -298,6 +318,8 @@ let suite =
       prop_reference_agrees_on_random_specs;
       prop_prefix_law_on_random_specs;
       Alcotest.test_case "reference: golden workloads" `Quick test_reference_on_golden_workloads;
+      Alcotest.test_case "reference: chunked transport" `Quick
+        test_chunked_transport_matches_reference;
       Alcotest.test_case "reference: empty trace" `Quick test_reference_empty_trace;
       Alcotest.test_case "reference: catches drift" `Quick test_reference_catches_drift;
       Alcotest.test_case "differential: laws" `Quick test_differential_laws;

@@ -6,8 +6,13 @@ module Opcode = Mica_isa.Opcode
 let feq = Alcotest.float 1e-9
 let feq_loose = Alcotest.float 1e-6
 
-(* Feed a list of instructions to a sink, in order. *)
-let run_sink sink instrs = List.iter sink.Mica_trace.Sink.on_instr instrs
+(* Feed a list of instructions to a sink, in order (chunked transport
+   underneath; a small capacity would exercise chunk boundaries). *)
+let run_sink ?capacity sink instrs = Mica_trace.Sink.feed_list ?capacity sink instrs
+
+(* Feed instructions one at a time: each becomes its own single-element
+   chunk, for tests that interleave feeding with observing sink state. *)
+let push_one sink ins = Mica_trace.Sink.feed_list ~capacity:1 sink [ ins ]
 
 (* Instruction constructors with compact names for hand-built traces. *)
 let alu ?(pc = 0x1000) ?(src1 = -1) ?(src2 = -1) ?(dst = -1) () =
