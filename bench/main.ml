@@ -116,6 +116,64 @@ let t_fig6 =
          let reduced = Mica_core.Dataset.select_features c.E.Context.mica [| 0; 9; 15; 20; 26; 31; 37; 43 |] in
          Sys.opaque_identity (Mica_core.Clustering.cluster ~k_max:20 reduced)))
 
+(* ---------------- selection-kernel benches ---------------- *)
+
+(* A transient 2-worker pool: on multi-core machines this exercises the
+   actual parallel path of the GA/CE kernels; on a single core it still
+   measures the pool's dispatch overhead against the inline jobs=1 path. *)
+let pool2 = lazy (Mica_util.Pool.create ~jobs:2)
+
+(* a paper-sized 8-characteristic subset for the eval micro-benches *)
+let bench_subset = [| 0; 9; 15; 20; 26; 31; 37; 43 |]
+
+(* fused single-pass subset evaluation (flat components buffer) *)
+let t_fitness_fused =
+  Test.make ~name:"fitness_fused_eval"
+    (Staged.stage (fun () ->
+         let c = Lazy.force ctx in
+         Sys.opaque_identity (Select.Fitness.paper_fitness c.E.Context.fitness bench_subset)))
+
+(* the naive reference path the fused kernel replaced: materialize the
+   subset distance vector, then reduce Pearson from scratch *)
+let naive_eval_inputs =
+  lazy
+    (let c = Lazy.force ctx in
+     let normalized = c.E.Context.mica_space.Mica_core.Space.normalized in
+     ( Stats.Distance.condensed_squared_components normalized,
+       Stats.Distance.condensed normalized ))
+
+let t_fitness_naive =
+  Test.make ~name:"fitness_naive_eval"
+    (Staged.stage (fun () ->
+         let comp, full = Lazy.force naive_eval_inputs in
+         Sys.opaque_identity
+           (Stats.Correlation.pearson (Stats.Distance.subset_distances comp bench_subset) full)))
+
+(* incremental candidate sweep: every leave-one-out rho in O(k * pairs) *)
+let t_ce_leave_one_out =
+  Test.make ~name:"ce_leave_one_out"
+    (Staged.stage (fun () ->
+         let c = Lazy.force ctx in
+         let all = Array.init Mica_analysis.Characteristics.count Fun.id in
+         Sys.opaque_identity (Select.Correlation_elimination.leave_one_out c.E.Context.fitness all)))
+
+(* pool-parallel GA population evaluation and CE sweep *)
+let t_ga_pool2 =
+  Test.make ~name:"table4_ga_select_pool2"
+    (Staged.stage (fun () ->
+         let c = Lazy.force ctx in
+         let rng = Mica_util.Rng.create ~seed:0x6A5EEDL in
+         Sys.opaque_identity
+           (Select.Genetic.run ~config:ga_small ~pool:(Lazy.force pool2) ~rng c.E.Context.fitness)))
+
+let t_ce_pool2 =
+  Test.make ~name:"fig5_ce_sweep_pool2"
+    (Staged.stage (fun () ->
+         let c = Lazy.force ctx in
+         Sys.opaque_identity
+           (Select.Correlation_elimination.run ~pool:(Lazy.force pool2)
+              ~data:c.E.Context.mica.Mica_core.Dataset.data c.E.Context.fitness)))
+
 (* ---------------- cost-model / ablation tests ---------------- *)
 
 (* the paper's headline cost claim: measuring the key subset vs all 47 *)
@@ -285,7 +343,8 @@ let t_extended =
 let tests =
   [
     t_table1; t_table2; t_characterize; t_counters; t_fig1; t_table3; t_fig2; t_fig3; t_fig4;
-    t_fig5_ce; t_table4_ga; t_fig6; t_cost_full; t_cost_reduced; t_ablation_fused;
+    t_fig5_ce; t_table4_ga; t_fig6; t_fitness_fused; t_fitness_naive; t_ce_leave_one_out;
+    t_ga_pool2; t_ce_pool2; t_cost_full; t_cost_reduced; t_ablation_fused;
     t_ablation_multipass; t_generation_only; t_ga_seed; t_pca_baseline; t_linkage; t_phases;
     t_spec_parse; t_coverage; t_machines; t_reuse; t_simpoint; t_bootstrap; t_extended;
   ]
@@ -325,14 +384,22 @@ let pretty_time ns =
   else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
   else Printf.sprintf "%8.0f ns" ns
 
-(* Seed-transport numbers for the core measurement, captured on this PR's
-   machine immediately before the chunked struct-of-arrays transport
-   replaced the per-instruction boxed-record sink protocol.  They anchor
-   the perf trajectory in BENCH_results.json: every regeneration of the
-   file re-measures the current transport against this fixed baseline. *)
-let seed_baseline_name = "characterize_one_workload"
-let seed_baseline_ns = 10_342_000.0
-let seed_baseline_minor_words = 1_636_514.0
+(* Fixed before-numbers for the optimized hot paths, captured on this
+   machine immediately before each optimization landed.  They anchor the
+   perf trajectory in BENCH_results.json: every regeneration of the file
+   re-measures the current code against these baselines.
+
+   - characterize_one_workload: before the chunked struct-of-arrays trace
+     transport replaced the per-instruction boxed-record sink protocol.
+   - table4_ga_select / fig5_ce_sweep: before the fused flat-buffer
+     fitness kernel and incremental CE replaced the allocating
+     subset_distances + pearson evaluation (the committed PR 2 numbers). *)
+let trajectory_baselines =
+  [
+    ("characterize_one_workload", "seed_transport", "chunked_transport", 10_342_000.0, 1_636_514.0);
+    ("table4_ga_select", "naive_eval", "fused_incremental", 155_846_657.7, 84_903_727.2);
+    ("fig5_ce_sweep", "naive_eval", "fused_incremental", 45_973_380.7, 21_790_651.9);
+  ]
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -352,24 +419,34 @@ let write_json path rows =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"bench_icount\": %d,\n" bench_icount);
-  (* perf trajectory for the hot path: seed (PR 1) vs current transport *)
-  (match List.find_opt (fun r -> r.name = seed_baseline_name) rows with
-  | Some r ->
+  (* perf trajectory for the optimized hot paths: fixed before-numbers vs
+     the current measurement *)
+  let measured =
+    List.filter_map
+      (fun ((name, _, _, _, _) as b) ->
+        Option.map (fun r -> (b, r)) (List.find_opt (fun r -> r.name = name) rows))
+      trajectory_baselines
+  in
+  if measured <> [] then begin
     Buffer.add_string buf "  \"trajectory\": {\n";
-    Buffer.add_string buf (Printf.sprintf "    \"%s\": {\n" seed_baseline_name);
-    Buffer.add_string buf
-      (Printf.sprintf "      \"seed_transport\": {\"ns_per_run\": %s, \"minor_words_per_run\": %s},\n"
-         (json_float seed_baseline_ns) (json_float seed_baseline_minor_words));
-    Buffer.add_string buf
-      (Printf.sprintf "      \"chunked_transport\": {\"ns_per_run\": %s, \"minor_words_per_run\": %s},\n"
-         (json_float r.ns_per_run) (json_float r.minor_words_per_run));
-    Buffer.add_string buf
-      (Printf.sprintf "      \"speedup\": %.2f,\n" (seed_baseline_ns /. r.ns_per_run));
-    Buffer.add_string buf
-      (Printf.sprintf "      \"minor_words_reduction\": %.1f\n"
-         (seed_baseline_minor_words /. Float.max 1.0 r.minor_words_per_run));
-    Buffer.add_string buf "    }\n  },\n"
-  | None -> ());
+    List.iteri
+      (fun i ((name, before_label, after_label, base_ns, base_words), r) ->
+        Buffer.add_string buf (Printf.sprintf "    \"%s\": {\n" name);
+        Buffer.add_string buf
+          (Printf.sprintf "      \"%s\": {\"ns_per_run\": %s, \"minor_words_per_run\": %s},\n"
+             before_label (json_float base_ns) (json_float base_words));
+        Buffer.add_string buf
+          (Printf.sprintf "      \"%s\": {\"ns_per_run\": %s, \"minor_words_per_run\": %s},\n"
+             after_label (json_float r.ns_per_run) (json_float r.minor_words_per_run));
+        Buffer.add_string buf (Printf.sprintf "      \"speedup\": %.2f,\n" (base_ns /. r.ns_per_run));
+        Buffer.add_string buf
+          (Printf.sprintf "      \"minor_words_reduction\": %.1f\n"
+             (base_words /. Float.max 1.0 r.minor_words_per_run));
+        Buffer.add_string buf
+          (Printf.sprintf "    }%s\n" (if i = List.length measured - 1 then "" else ",")))
+      measured;
+    Buffer.add_string buf "  },\n"
+  end;
   Buffer.add_string buf "  \"results\": [\n";
   List.iteri
     (fun i r ->
@@ -392,17 +469,18 @@ let () =
   Array.iteri
     (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then json_path := Sys.argv.(i + 1))
     Sys.argv;
-  (* smoke mode: only the core measurement, low iteration count — a CI
-     guard that the harness builds and the hot path still runs *)
+  (* smoke mode: the core measurement plus the pool-parallel selection
+     kernels, low iteration count — a CI guard that the harness builds and
+     the hot paths (chunked transport, fused GA/CE over the domain pool)
+     still run end to end *)
   let tests, quota, limit =
-    if smoke then ([ t_characterize ], 0.5, 50) else (tests, 1.0, 200)
+    if smoke then ([ t_characterize; t_ga_pool2; t_ce_pool2 ], 0.5, 50) else (tests, 1.0, 200)
   in
-  if not smoke then begin
-    (* force the context outside timing so the first test is not charged *)
-    Printf.printf "preparing context (%d workloads, %d instrs each; cached across runs)...\n%!"
-      W.Registry.count bench_icount;
-    ignore (Lazy.force ctx)
-  end;
+  (* force the context outside timing so the first test is not charged
+     (smoke needs it too: the pool-parallel selection benches read it) *)
+  Printf.printf "preparing context (%d workloads, %d instrs each; cached across runs)...\n%!"
+    W.Registry.count bench_icount;
+  ignore (Lazy.force ctx);
   Printf.printf "%-36s %16s %14s %10s\n" "benchmark" "time/run" "minor-w/run" "r^2";
   print_endline (String.make 80 '-');
   let rows =

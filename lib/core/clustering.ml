@@ -9,10 +9,10 @@ type t = {
 }
 
 let cluster ?(k_min = 1) ?(k_max = 70) ?(bic_frac = 0.9) ?(prefer = Stats.Bic.Peak)
-    ?(restarts = 3) ?(seed = 0x5EEDL) dataset =
+    ?(restarts = 3) ?(seed = 0x5EEDL) ?(pool = Mica_util.Pool.sequential) dataset =
   let normalized = Stats.Normalize.zscore dataset.Dataset.data in
   let rng = Mica_util.Rng.create ~seed in
-  let sweep = Stats.Bic.sweep ~k_min ~k_max ~restarts ~rng normalized in
+  let sweep = Stats.Bic.sweep ~k_min ~k_max ~restarts ~pool ~rng normalized in
   let k, result, _score = Stats.Bic.choose ~frac:bic_frac ~prefer sweep in
   {
     dataset;

@@ -19,11 +19,14 @@ val cluster :
   ?prefer:Mica_stats.Bic.preference ->
   ?restarts:int ->
   ?seed:int64 ->
+  ?pool:Mica_util.Pool.t ->
   Dataset.t ->
   t
 (** Normalizes the dataset (z-score) and clusters.  Defaults: K in 1..70,
     90% BIC rule taking the peak-scoring K ({!Mica_stats.Bic.Peak} — see
-    the preference discussion there), 3 k-means restarts, fixed seed. *)
+    the preference discussion there), 3 k-means restarts, fixed seed.  The
+    BIC k-sweep and the restarts within each fit fan out over [pool]; the
+    clustering is identical at any pool size. *)
 
 val members : t -> int -> string array
 (** Row names assigned to a cluster, in dataset order. *)

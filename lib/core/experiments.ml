@@ -139,11 +139,13 @@ let fig3 ?(a = default_a) ?(b = default_b) (ctx : Context.t) =
 (* ---------------- Feature selection ---------------- *)
 
 let run_ce (ctx : Context.t) =
-  Select.Correlation_elimination.run ~data:ctx.mica.Dataset.data ctx.fitness
+  Select.Correlation_elimination.run
+    ~pool:(Mica_util.Pool.default ())
+    ~data:ctx.mica.Dataset.data ctx.fitness
 
 let run_ga ?config ?(seed = 0x6A5EEDL) (ctx : Context.t) =
   let rng = Mica_util.Rng.create ~seed in
-  Select.Genetic.run ?config ~rng ctx.fitness
+  Select.Genetic.run ?config ~pool:(Mica_util.Pool.default ()) ~rng ctx.fitness
 
 (* ---------------- Figure 4 ---------------- *)
 
@@ -242,7 +244,7 @@ type fig6 = { clustering : Clustering.t; axes : string array; plots : Kiviat.plo
 
 let fig6 ?(k_max = 70) (ctx : Context.t) ~selected =
   let reduced = Dataset.select_features ctx.mica selected in
-  let clustering = Clustering.cluster ~k_max reduced in
+  let clustering = Clustering.cluster ~k_max ~pool:(Mica_util.Pool.default ()) reduced in
   let unit = Stats.Normalize.unit_range reduced.Dataset.data in
   let plots =
     List.mapi

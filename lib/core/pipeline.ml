@@ -14,7 +14,7 @@ let default_config =
     ppm_order = 8;
     cache_dir = Some "results/cache";
     progress = false;
-    jobs = min 8 (Domain.recommended_domain_count ());
+    jobs = Mica_util.Pool.default_jobs ();
   }
 
 let model_version = "v3"
@@ -67,47 +67,32 @@ let save_cache path ~features tbl =
   in
   Dataset.to_csv ds path
 
-(* Characterize the missing workloads, fanning them out over worker
-   domains.  Workloads are independent and internally deterministic, so the
-   result is identical at any parallelism; workers only compute — all cache
-   reads and writes stay in the calling domain. *)
+(* Characterize the missing workloads, fanning them out over the shared
+   domain pool.  Workloads are independent and internally deterministic, so
+   the result is identical at any parallelism; workers only compute — all
+   cache reads and writes stay in the calling domain. *)
 let characterize_many config missing =
   let jobs = max 1 config.jobs in
   let work = Array.of_list missing in
   if Array.length work = 0 then []
-  else if jobs = 1 || Array.length work = 1 then
-    Array.to_list
-      (Array.map
-         (fun w ->
-           if config.progress then
-             Logs.app (fun f ->
-                 f "characterizing %s (%d instructions)" (Workload.id w) config.icount);
-           let m, h = characterize config w in
-           (Workload.id w, m, h))
-         work)
   else begin
     if config.progress then
-      Logs.app (fun f ->
-          f "characterizing %d workloads on %d domains (%d instructions each)"
-            (Array.length work) jobs config.icount);
-    let next = Atomic.make 0 in
-    let results = Array.make (Array.length work) None in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < Array.length work then begin
-          let w = work.(i) in
-          let m, h = characterize config w in
-          results.(i) <- Some (Workload.id w, m, h);
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains;
-    Array.to_list (Array.map Option.get results)
+      if jobs = 1 || Array.length work = 1 then
+        Array.iter
+          (fun w ->
+            Logs.app (fun f ->
+                f "characterizing %s (%d instructions)" (Workload.id w) config.icount))
+          work
+      else
+        Logs.app (fun f ->
+            f "characterizing %d workloads on %d domains (%d instructions each)"
+              (Array.length work) jobs config.icount);
+    Mica_util.Pool.using ~jobs (fun pool ->
+        Array.to_list
+          (Mica_util.Pool.map pool (Array.length work) (fun i ->
+               let w = work.(i) in
+               let m, h = characterize config w in
+               (Workload.id w, m, h))))
   end
 
 let datasets ?(config = default_config) workloads =

@@ -20,7 +20,9 @@ type config = {
 
 val default_config : config
 (** 200k instructions, PPM order 8, cache under ["results/cache"],
-    progress off, parallelism = available cores capped at 8. *)
+    progress off, parallelism = {!Mica_util.Pool.default_jobs} (the
+    [MICA_JOBS] environment variable when set to a positive integer,
+    otherwise available cores capped at 8). *)
 
 val model_version : string
 (** Bumped whenever the generator or analyzers change semantics; part of

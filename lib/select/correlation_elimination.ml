@@ -1,15 +1,26 @@
 module Stats = Mica_stats
+module Pool = Mica_util.Pool
 
 type step = { removed : int; avg_abs_corr : float; remaining : int array; rho : float }
 
-let run ?(down_to = 1) ~data fitness =
+(* Which characteristic to remove is decided on the full-set correlation
+   matrix (computed once; sub-matrices are index restrictions of it).  The
+   per-step rho is evaluated incrementally: a running per-pair sum of
+   squared differences for the surviving subset is maintained, each
+   removal subtracts one component column in O(pairs), and rho is one
+   fused pass over the sums — instead of re-deriving the subset distances
+   from scratch (O(k * pairs) plus a fresh vector) every step.
+   [exact_rho] rebuilds the sums in-order before each rho for callers that
+   need the drift-free value; the removal sequence is identical either
+   way, and the rho drift is bounded by the tolerance differential law in
+   the test suite. *)
+let run ?(pool = Pool.sequential) ?(exact_rho = false) ?(down_to = 1) ~data fitness =
   let _, n = Stats.Matrix.dims data in
   let down_to = max 1 down_to in
-  (* Correlation matrix over the full set; sub-matrices are just index
-     restrictions of it, so it is computed once. *)
   let corr = Stats.Matrix.correlation_matrix data in
   let alive = Array.make n true in
   let alive_count = ref n in
+  let state = Fitness.Subset.of_cols ~pool fitness (Array.init n Fun.id) in
   let steps = ref [] in
   while !alive_count > down_to do
     (* average |r| of each live characteristic against the other live ones *)
@@ -32,11 +43,14 @@ let run ?(down_to = 1) ~data fitness =
     done;
     alive.(!best) <- false;
     decr alive_count;
-    let remaining =
-      Array.of_list (List.filter (fun i -> alive.(i)) (List.init n Fun.id))
-    in
+    Fitness.Subset.remove ~pool state !best;
+    if exact_rho then Fitness.Subset.rebuild ~pool state;
+    let remaining = Fitness.Subset.cols state in
     steps :=
-      { removed = !best; avg_abs_corr = !best_avg; remaining; rho = Fitness.rho fitness remaining }
+      { removed = !best;
+        avg_abs_corr = !best_avg;
+        remaining;
+        rho = Fitness.Subset.rho ~pool state }
       :: !steps
   done;
   List.rev !steps
@@ -45,3 +59,18 @@ let subset_of_size steps k =
   match List.find_opt (fun s -> Array.length s.remaining = k) steps with
   | Some s -> s.remaining
   | None -> raise Not_found
+
+(* Score every candidate removal of the given subset: rho of the subset
+   with that column left out, each in O(pairs) off the shared running
+   sums.  Candidates are independent, so the sweep fans out over the pool
+   (per-block distance buffers); results come back in column order. *)
+let leave_one_out ?(pool = Pool.sequential) fitness subset =
+  let state = Fitness.Subset.of_cols fitness subset in
+  let k = Array.length subset in
+  let out = Array.make k 0.0 in
+  Pool.run_blocks pool k (fun _ lo hi ->
+      let buf = Array.make (Fitness.n_pairs fitness) 0.0 in
+      for i = lo to hi do
+        out.(i) <- Fitness.Subset.rho_without ~buf state subset.(i)
+      done);
+  Array.map2 (fun c r -> (c, r)) subset out

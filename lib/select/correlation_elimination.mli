@@ -4,7 +4,12 @@
     correlation with the remaining characteristics: the one carrying the
     least additional information.  Each step records which characteristic
     was dropped and how well the surviving subset still reproduces
-    full-space distances. *)
+    full-space distances.
+
+    The removal order is decided on the full-set correlation matrix
+    (computed once); the per-step rho is evaluated incrementally off a
+    running per-pair sum-of-squares (see {!Mica_select.Fitness.Subset}),
+    making each step O(pairs) instead of O(k * pairs). *)
 
 type step = {
   removed : int;  (** index of the characteristic dropped at this step *)
@@ -13,14 +18,33 @@ type step = {
   rho : float;  (** distance correlation of the surviving subset vs. full space *)
 }
 
-val run : ?down_to:int -> data:Mica_stats.Matrix.t -> Fitness.t -> step list
+val run :
+  ?pool:Mica_util.Pool.t ->
+  ?exact_rho:bool ->
+  ?down_to:int ->
+  data:Mica_stats.Matrix.t ->
+  Fitness.t ->
+  step list
 (** [run ~data fitness] eliminates one characteristic at a time until
     [down_to] remain (default 1).  [data] is the raw (unnormalized)
     observations matrix — correlations between characteristics are scale
     invariant; [fitness] must come from the normalized version of the same
-    matrix.  Steps are returned in elimination order. *)
+    matrix.  Steps are returned in elimination order.
+
+    The removal sequence is independent of [exact_rho] and of the pool
+    size.  [exact_rho] (default false) rebuilds the running sums in-order
+    before each rho, trading the incremental O(pairs) step for a
+    drift-free value; the drift between the two is bounded by the
+    tolerance differential law in the test suite. *)
 
 val subset_of_size : step list -> int -> int array
 (** [subset_of_size steps k] is the surviving subset after elimination has
     reduced the space to [k] characteristics.  Raises [Not_found] if the
     run did not reach [k]. *)
+
+val leave_one_out :
+  ?pool:Mica_util.Pool.t -> Fitness.t -> int array -> (int * float) array
+(** [leave_one_out fitness subset] scores every candidate removal: for
+    each member column [c], the rho of [subset] without [c], evaluated in
+    O(pairs) off shared running sums.  Candidates fan out over the pool
+    (results in [subset] order, identical at any pool size). *)

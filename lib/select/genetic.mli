@@ -4,7 +4,13 @@
     paper's [f = rho * (1 - n/N)]: reward subsets whose distances correlate
     with the full space, penalize subset size.  Tournament selection,
     uniform crossover, per-bit mutation, elitism, and a convergence stop
-    when the best fitness has not improved for [stall_generations]. *)
+    when the best fitness has not improved for [stall_generations].
+
+    Each generation's cache-miss genomes are evaluated as one batch over
+    the optional pool.  The batch grouping is sequential and keyed on
+    genome content, so the result is bit-identical at any pool size; the
+    random stream is consumed only while breeding, never during
+    evaluation. *)
 
 type config = {
   population : int;
@@ -15,9 +21,17 @@ type config = {
   elite : int;  (** genomes copied unchanged each generation *)
   stall_generations : int;  (** stop after this many generations without improvement *)
   init_select_prob : float;  (** per-bit probability of 1 in the initial population *)
+  delta_eval : bool;
+      (** evaluate a mutated copy of an evaluated parent by carrying the
+          parent's running per-pair sums and flipping only the differing
+          columns (O(diff * pairs) instead of O(subset * pairs)).  Scores
+          then agree with the full in-order evaluation up to the delta
+          tolerance of DESIGN.md §9; set to [false] for scores bit-identical
+          to the naive reference path. *)
 }
 
 val default_config : config
+(** [delta_eval] defaults to [true]. *)
 
 type result = {
   selected : int array;  (** chosen characteristic indices, ascending *)
@@ -28,4 +42,5 @@ type result = {
   evaluations : int;  (** distinct genomes evaluated *)
 }
 
-val run : ?config:config -> rng:Mica_util.Rng.t -> Fitness.t -> result
+val run :
+  ?config:config -> ?pool:Mica_util.Pool.t -> rng:Mica_util.Rng.t -> Fitness.t -> result

@@ -32,15 +32,18 @@ let score m (res : Kmeans.result) =
   let free_params = kf *. (df +. 1.0) in
   log_likelihood -. (free_params /. 2.0 *. log nf)
 
-let sweep ?(k_min = 1) ?(k_max = 70) ?(restarts = 3) ~rng m =
+let sweep ?(k_min = 1) ?(k_max = 70) ?(restarts = 3) ?(pool = Mica_util.Pool.sequential)
+    ~rng m =
   let n = Array.length m in
   let k_max = min k_max n in
   let k_min = max 1 (min k_min k_max) in
-  Array.init
-    (k_max - k_min + 1)
-    (fun i ->
+  let count = k_max - k_min + 1 in
+  (* sequential pre-split, one generator per K: the swept fits are
+     independent tasks and the result is the same at any pool size *)
+  let rngs = Array.init count (fun _ -> Mica_util.Rng.split rng) in
+  Mica_util.Pool.map pool count (fun i ->
       let k = k_min + i in
-      let res = Kmeans.fit ~restarts ~rng ~k m in
+      let res = Kmeans.fit ~restarts ~pool ~rng:rngs.(i) ~k m in
       (k, res, score m res))
 
 type preference = Smallest_within | Largest_within | Peak

@@ -18,11 +18,14 @@ val sweep :
   ?k_min:int ->
   ?k_max:int ->
   ?restarts:int ->
+  ?pool:Mica_util.Pool.t ->
   rng:Mica_util.Rng.t ->
   Matrix.t ->
   (int * Kmeans.result * float) array
 (** Run k-means for each K in [k_min, k_max] (clamped to the number of
-    observations) and return (K, clustering, BIC). *)
+    observations) and return (K, clustering, BIC).  Each K draws from its
+    own generator split off [rng] up front and the swept fits fan out over
+    [pool]; the result is identical at any pool size. *)
 
 type preference =
   | Smallest_within  (** smallest K reaching the threshold (SimPoint's rule) *)

@@ -1,12 +1,19 @@
 module Rng = Mica_util.Rng
+module Pool = Mica_util.Pool
 
 type interval = { estimate : float; lo : float; hi : float; replicates : int }
 
-let interval ?(replicates = 1000) ?(confidence = 0.95) ~rng ~n f =
+let interval ?(replicates = 1000) ?(confidence = 0.95) ?(pool = Mica_util.Pool.sequential)
+    ~rng ~n f =
   if n <= 0 then invalid_arg "Bootstrap.interval: need observations";
   let estimate = f (Array.init n Fun.id) in
+  (* sequential pre-split, one generator per replicate, so the replicate
+     set is identical at any pool size *)
+  let rngs = Array.init replicates (fun _ -> Rng.split rng) in
   let stats =
-    Array.init replicates (fun _ -> f (Array.init n (fun _ -> Rng.int rng n)))
+    Pool.map pool replicates (fun r ->
+        let rng = rngs.(r) in
+        f (Array.init n (fun _ -> Rng.int rng n)))
   in
   let alpha = (1.0 -. confidence) /. 2.0 in
   {

@@ -17,6 +17,7 @@ type interval = {
 val interval :
   ?replicates:int ->
   ?confidence:float ->
+  ?pool:Mica_util.Pool.t ->
   rng:Mica_util.Rng.t ->
   n:int ->
   (int array -> float) ->
@@ -24,7 +25,9 @@ val interval :
 (** [interval ~rng ~n f] evaluates [f] on the identity sample [|0..n-1|]
     for the point estimate, then on [replicates] (default 1000) resamples
     drawn with replacement, and returns percentile bounds at [confidence]
-    (default 0.95). *)
+    (default 0.95).  Each replicate draws from its own generator split off
+    [rng] up front and the replicates fan out over [pool]; the interval is
+    identical at any pool size. *)
 
 val pair_distance_statistic :
   normalized_a:Matrix.t ->

@@ -1,4 +1,13 @@
-let sum xs = Array.fold_left ( +. ) 0.0 xs
+(* Left-to-right, same order as [Array.fold_left ( +. ) 0.0] — but as a
+   direct loop so the accumulator stays unboxed (fold_left's closure boxes
+   every intermediate float, which dominated the selection kernels'
+   allocation profile). *)
+let sum xs =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    acc := !acc +. Array.unsafe_get xs i
+  done;
+  !acc
 
 let mean xs =
   let n = Array.length xs in

@@ -1,4 +1,5 @@
 module Rng = Mica_util.Rng
+module Pool = Mica_util.Pool
 
 type result = {
   k : int;
@@ -111,21 +112,29 @@ let lloyd ~max_iters m centroids =
   done;
   (assignments, !inertia, !iterations)
 
-let fit ?(max_iters = 100) ?(restarts = 1) ~rng ~k m =
+let fit ?(max_iters = 100) ?(restarts = 1) ?(pool = Pool.sequential) ~rng ~k m =
   let n = Array.length m in
   if k < 1 || k > n then invalid_arg "Kmeans.fit: k out of range";
-  let best = ref None in
-  for _ = 1 to max 1 restarts do
-    let centroids = seed rng k m in
-    let assignments, inertia, iterations = lloyd ~max_iters m centroids in
-    match !best with
-    | Some (_, _, best_inertia, _) when best_inertia <= inertia -> ()
-    | Some _ | None -> best := Some (assignments, centroids, inertia, iterations)
+  let restarts = max 1 restarts in
+  (* one generator per restart, split off sequentially up front: the
+     restarts are then independent tasks whose streams — and the winning
+     clustering — do not depend on the pool size *)
+  let rngs = Array.init restarts (fun _ -> Rng.split rng) in
+  let results =
+    Pool.map pool restarts (fun r ->
+        let centroids = seed rngs.(r) k m in
+        let assignments, inertia, iterations = lloyd ~max_iters m centroids in
+        (assignments, centroids, inertia, iterations))
+  in
+  (* ordered reduce: the earliest restart with minimal inertia wins *)
+  let best = ref 0 in
+  for r = 1 to restarts - 1 do
+    let _, _, best_inertia, _ = results.(!best) in
+    let _, _, inertia, _ = results.(r) in
+    if inertia < best_inertia then best := r
   done;
-  match !best with
-  | Some (assignments, centroids, inertia, iterations) ->
-    { k; assignments; centroids; inertia; iterations }
-  | None -> assert false
+  let assignments, centroids, inertia, iterations = results.(!best) in
+  { k; assignments; centroids; inertia; iterations }
 
 let cluster_members result =
   let members = Array.make result.k [] in

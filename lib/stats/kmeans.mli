@@ -13,10 +13,18 @@ type result = {
 }
 
 val fit :
-  ?max_iters:int -> ?restarts:int -> rng:Mica_util.Rng.t -> k:int -> Matrix.t -> result
+  ?max_iters:int ->
+  ?restarts:int ->
+  ?pool:Mica_util.Pool.t ->
+  rng:Mica_util.Rng.t ->
+  k:int ->
+  Matrix.t ->
+  result
 (** [fit ~rng ~k m] clusters the rows of [m].  With [restarts] > 1 the best
-    inertia over independent seedings wins.  Requires
-    [1 <= k <= Array.length m]. *)
+    inertia over independent seedings wins (earliest restart on a tie);
+    each restart draws from its own generator split off [rng] up front, so
+    the restarts may run on [pool] with a result independent of the pool
+    size.  Requires [1 <= k <= Array.length m]. *)
 
 val cluster_members : result -> int list array
 (** Observation indices per cluster, ascending. *)

@@ -32,7 +32,19 @@ let covariance m =
   let rows, cols = dims m in
   if rows = 0 then make ~rows:cols ~cols 0.0
   else begin
-    let means = Array.init cols (fun j -> Descriptive.mean (column m j)) in
+    (* column means in one row-major sweep — no per-column array, and the
+       same per-column summation order as [Descriptive.mean (column m j)] *)
+    let means = Array.make cols 0.0 in
+    for i = 0 to rows - 1 do
+      let r = m.(i) in
+      for j = 0 to cols - 1 do
+        means.(j) <- means.(j) +. r.(j)
+      done
+    done;
+    let nf = float_of_int rows in
+    for j = 0 to cols - 1 do
+      means.(j) <- means.(j) /. nf
+    done;
     let cov = make ~rows:cols ~cols 0.0 in
     for i = 0 to rows - 1 do
       for a = 0 to cols - 1 do

@@ -1,0 +1,215 @@
+(* A reusable pool of worker domains with static index partitioning.
+
+   Design constraints, in order:
+
+   1. Determinism.  There is no work stealing and no dynamic queue: [run]
+      splits [0, n) into at most [jobs] contiguous blocks, block [b] is
+      always the same index range for a given (n, jobs), and every task
+      writes only to its own slot of the caller's result structure.  For
+      tasks that are pure per index the observable result is therefore
+      identical at any [jobs] — including 1 — which is the contract the
+      selection/clustering kernels and their differential tests rely on.
+
+   2. Zero cost when sequential.  [jobs = 1] (the common case on small
+      machines) never spawns a domain, never takes a lock, and runs the
+      body inline, so threading a pool through a hot path costs nothing
+      when parallelism is off.
+
+   3. Reuse.  Worker domains are spawned once (lazily, on first parallel
+      [run]) and parked on a condition variable between calls, so every
+      selection-stage fan-out does not pay domain spawn/join.
+
+   Nested calls: a body that itself calls [run] on the same pool (for
+   example BIC's k-sweep calling k-means restarts) runs inline — the
+   [active] flag makes the inner call sequential instead of deadlocking on
+   the busy workers.  This is also deterministic: inner tasks are pure per
+   index either way. *)
+
+type state = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* workers park here between epochs *)
+  finished : Condition.t;  (* the submitter parks here until pending = 0 *)
+  mutable epoch : int;
+  mutable body : int -> unit;  (* worker index -> run that worker's block *)
+  mutable pending : int;
+  mutable stop : bool;
+  mutable error : exn option;  (* first worker exception, re-raised by [run] *)
+}
+
+type t = {
+  jobs : int;
+  state : state;
+  mutable domains : unit Domain.t array;  (* spawned on first parallel run *)
+  active : bool Atomic.t;
+}
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  {
+    jobs;
+    state =
+      {
+        mutex = Mutex.create ();
+        work = Condition.create ();
+        finished = Condition.create ();
+        epoch = 0;
+        body = ignore;
+        pending = 0;
+        stop = false;
+        error = None;
+      };
+    domains = [||];
+    active = Atomic.make false;
+  }
+
+let sequential = create ~jobs:1
+let jobs t = t.jobs
+
+(* [epoch0] is the state's epoch when the spawn was decided: only the
+   submitter advances the epoch, and it does so after spawning, so a fresh
+   worker must ignore every epoch up to [epoch0] (on respawn after
+   [shutdown] the counter is already past 0). *)
+let worker st ~epoch0 w =
+  let last = ref epoch0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock st.mutex;
+    while (not st.stop) && st.epoch = !last do
+      Condition.wait st.work st.mutex
+    done;
+    if st.stop then begin
+      Mutex.unlock st.mutex;
+      running := false
+    end
+    else begin
+      last := st.epoch;
+      let body = st.body in
+      Mutex.unlock st.mutex;
+      let err = try body w; None with e -> Some e in
+      Mutex.lock st.mutex;
+      (match err with Some e when st.error = None -> st.error <- Some e | _ -> ());
+      st.pending <- st.pending - 1;
+      if st.pending = 0 then Condition.signal st.finished;
+      Mutex.unlock st.mutex
+    end
+  done
+
+let ensure_spawned t =
+  if Array.length t.domains = 0 && t.jobs > 1 then begin
+    let epoch0 = t.state.epoch in
+    t.domains <-
+      Array.init (t.jobs - 1) (fun i -> Domain.spawn (fun () -> worker t.state ~epoch0 (i + 1)))
+  end
+
+(* Contiguous block of worker [w] among [blocks] over [0, n). *)
+let block_range ~n ~blocks w = (w * n / blocks, ((w + 1) * n / blocks) - 1)
+
+let run t n f =
+  if n > 0 then begin
+    if t.jobs = 1 || n = 1 || not (Atomic.compare_and_set t.active false true) then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      ensure_spawned t;
+      let blocks = min t.jobs n in
+      let st = t.state in
+      Mutex.lock st.mutex;
+      st.body <-
+        (fun w ->
+          if w < blocks then begin
+            let lo, hi = block_range ~n ~blocks w in
+            for i = lo to hi do
+              f i
+            done
+          end);
+      st.pending <- Array.length t.domains;
+      st.error <- None;
+      st.epoch <- st.epoch + 1;
+      Condition.broadcast st.work;
+      Mutex.unlock st.mutex;
+      let my_err =
+        try
+          let lo, hi = block_range ~n ~blocks 0 in
+          for i = lo to hi do
+            f i
+          done;
+          None
+        with e -> Some e
+      in
+      Mutex.lock st.mutex;
+      while st.pending > 0 do
+        Condition.wait st.finished st.mutex
+      done;
+      let worker_err = st.error in
+      st.error <- None;
+      Mutex.unlock st.mutex;
+      Atomic.set t.active false;
+      match (my_err, worker_err) with
+      | Some e, _ | None, Some e -> raise e
+      | None, None -> ()
+    end
+  end
+
+let run_blocks t n f =
+  if n > 0 then begin
+    let blocks = if t.jobs = 1 then 1 else min t.jobs n in
+    if blocks = 1 then f 0 0 (n - 1)
+    else
+      run t blocks (fun b ->
+          let lo, hi = block_range ~n ~blocks b in
+          f b lo hi)
+  end
+
+let map t n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run t n (fun i -> out.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let shutdown t =
+  if Array.length t.domains > 0 then begin
+    let st = t.state in
+    Mutex.lock st.mutex;
+    st.stop <- true;
+    Condition.broadcast st.work;
+    Mutex.unlock st.mutex;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||];
+    st.stop <- false
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_parallelism () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let default_jobs () =
+  match Sys.getenv_opt "MICA_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> default_parallelism ())
+  | None -> default_parallelism ()
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some t -> t
+  | None ->
+    let t = create ~jobs:(default_jobs ()) in
+    default_pool := Some t;
+    at_exit (fun () -> shutdown t);
+    t
+
+let using ~jobs f =
+  let jobs = max 1 jobs in
+  if jobs = 1 then f sequential
+  else begin
+    let d = default () in
+    if d.jobs = jobs then f d else with_pool ~jobs f
+  end

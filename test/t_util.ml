@@ -75,6 +75,97 @@ let prop_csv_roundtrip =
       let line = String.concat "," (List.map Csv.escape_field fields) in
       Csv.parse_line line = fields)
 
+(* ---------------- Pool ---------------- *)
+
+module Pool = Mica_util.Pool
+
+let test_pool_run_covers_each_index_once () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun n ->
+              let hits = Array.make (max n 1) 0 in
+              Pool.run pool n (fun i -> hits.(i) <- hits.(i) + 1);
+              if n = 0 then Alcotest.(check int) "nothing ran" 0 hits.(0)
+              else
+                Array.iteri
+                  (fun i h -> Alcotest.(check int) (Printf.sprintf "index %d once" i) 1 h)
+                  hits)
+            [ 0; 1; 2; 7; 100 ]))
+    [ 1; 3; 8 ]
+
+let test_pool_map_ordered_and_jobs_invariant () =
+  let expected = Array.init 33 (fun i -> i * i) in
+  let at jobs = Pool.with_pool ~jobs (fun pool -> Pool.map pool 33 (fun i -> i * i)) in
+  Alcotest.(check (array int)) "jobs=1" expected (at 1);
+  Alcotest.(check (array int)) "jobs=4" expected (at 4)
+
+let test_pool_run_blocks_partition () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 37 in
+      let owner = Array.make n (-1) in
+      let blocks = ref [] in
+      Pool.run_blocks pool n (fun b lo hi ->
+          blocks := (b, lo, hi) :: !blocks;
+          for i = lo to hi do
+            owner.(i) <- b
+          done);
+      Array.iteri
+        (fun i b -> if b < 0 then Alcotest.failf "index %d not covered" i)
+        owner;
+      (* contiguous: the owner can only step up by one along the range *)
+      for i = 1 to n - 1 do
+        if owner.(i) < owner.(i - 1) || owner.(i) > owner.(i - 1) + 1 then
+          Alcotest.failf "non-contiguous partition at %d" i
+      done;
+      Alcotest.(check bool) "at most jobs blocks" true (List.length !blocks <= 4))
+
+let test_pool_exception_propagates_and_pool_survives () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (try
+         Pool.run pool 20 (fun i -> if i = 13 then failwith "boom");
+         Alcotest.fail "expected exception"
+       with Failure m -> Alcotest.(check string) "exception text" "boom" m);
+      (* the pool must still work after a failed run *)
+      let out = Pool.map pool 20 (fun i -> i + 1) in
+      Alcotest.(check int) "usable after error" 20 out.(19))
+
+let test_pool_nested_runs_inline () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let out = Array.make 6 0 in
+      Pool.run pool 2 (fun o ->
+          Pool.run pool 3 (fun i -> out.((o * 3) + i) <- (o * 3) + i + 1));
+      Alcotest.(check (array int)) "nested covered" [| 1; 2; 3; 4; 5; 6 |] out)
+
+let test_pool_survives_shutdown () =
+  let pool = Pool.create ~jobs:3 in
+  let sum () =
+    let out = Pool.map pool 11 (fun i -> i) in
+    Array.fold_left ( + ) 0 out
+  in
+  Alcotest.(check int) "before shutdown" 55 (sum ());
+  Pool.shutdown pool;
+  Alcotest.(check int) "after shutdown (workers respawn)" 55 (sum ());
+  Pool.shutdown pool
+
+let test_pool_default_jobs_env () =
+  let set v = Unix.putenv "MICA_JOBS" v in
+  set "";
+  let fallback = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> set "")
+    (fun () ->
+      set "3";
+      Alcotest.(check int) "MICA_JOBS=3 respected" 3 (Pool.default_jobs ());
+      set " 5 ";
+      Alcotest.(check int) "whitespace tolerated" 5 (Pool.default_jobs ());
+      set "0";
+      Alcotest.(check int) "non-positive falls back" fallback (Pool.default_jobs ());
+      set "nope";
+      Alcotest.(check int) "garbage falls back" fallback (Pool.default_jobs ());
+      Alcotest.(check bool) "fallback positive" true (fallback >= 1))
+
 let suite =
   ( "util",
     [
@@ -86,4 +177,11 @@ let suite =
       Alcotest.test_case "csv parsing" `Quick test_csv_parse;
       Alcotest.test_case "csv file roundtrip" `Quick test_csv_file_roundtrip;
       prop_csv_roundtrip;
+      Alcotest.test_case "pool covers indices" `Quick test_pool_run_covers_each_index_once;
+      Alcotest.test_case "pool map ordered" `Quick test_pool_map_ordered_and_jobs_invariant;
+      Alcotest.test_case "pool block partition" `Quick test_pool_run_blocks_partition;
+      Alcotest.test_case "pool exceptions" `Quick test_pool_exception_propagates_and_pool_survives;
+      Alcotest.test_case "pool nested inline" `Quick test_pool_nested_runs_inline;
+      Alcotest.test_case "pool shutdown respawn" `Quick test_pool_survives_shutdown;
+      Alcotest.test_case "pool MICA_JOBS" `Quick test_pool_default_jobs_env;
     ] )

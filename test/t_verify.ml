@@ -197,6 +197,223 @@ let test_differential_cache_roundtrip () =
   let o = V.Differential.cache_roundtrip [ List.hd (golden_trio ()) ] ~icount:1_000 in
   if not o.V.Differential.ok then Alcotest.fail o.V.Differential.detail
 
+(* ---------------- selection/clustering kernel laws ----------------
+
+   The fused fitness kernel must agree with the naive
+   subset_distances + pearson reference *exactly* (same operations, same
+   order); the incremental Subset delta path may drift but only within the
+   DESIGN.md §9 tolerance; and every pooled kernel must give bit-identical
+   results at jobs = 1 and jobs = 4. *)
+
+module Stats = Mica_stats
+module Select = Mica_select
+module Rng = Mica_util.Rng
+module Pool = Mica_util.Pool
+
+let delta_tol = 1e-9
+
+let random_normalized rng ~rows ~cols =
+  Stats.Normalize.zscore
+    (Array.init rows (fun _ -> Array.init cols (fun _ -> Rng.gaussian rng ~mu:0.0 ~sigma:1.0)))
+
+let random_subset rng ~cols =
+  let g = Array.init cols (fun _ -> Rng.bool rng) in
+  if not (Array.exists Fun.id g) then g.(Rng.int rng cols) <- true;
+  let out = ref [] in
+  for c = cols - 1 downto 0 do
+    if g.(c) then out := c :: !out
+  done;
+  Array.of_list !out
+
+let test_fused_fitness_matches_naive_reference () =
+  let rng = Rng.create ~seed:0xF05EDL in
+  let cols = 9 in
+  let normalized = random_normalized rng ~rows:25 ~cols in
+  let fit = Select.Fitness.create normalized in
+  let comp = Stats.Distance.condensed_squared_components normalized in
+  let full = Stats.Distance.condensed normalized in
+  Array.iteri
+    (fun p d ->
+      if d <> (Select.Fitness.full_distances fit).(p) then
+        Alcotest.failf "full distance %d not bit-identical" p)
+    full;
+  for trial = 1 to 50 do
+    let subset = random_subset rng ~cols in
+    let naive = Stats.Correlation.pearson (Stats.Distance.subset_distances comp subset) full in
+    let naive_fitness =
+      naive *. (1.0 -. (float_of_int (Array.length subset) /. float_of_int cols))
+    in
+    if Select.Fitness.rho fit subset <> naive then
+      Alcotest.failf "trial %d: fused rho not bit-identical to naive reference" trial;
+    if Select.Fitness.paper_fitness fit subset <> naive_fitness then
+      Alcotest.failf "trial %d: fused fitness not bit-identical to naive reference" trial
+  done
+
+let test_subset_delta_within_tolerance () =
+  let rng = Rng.create ~seed:0xDE17AL in
+  let cols = 10 in
+  let normalized = random_normalized rng ~rows:20 ~cols in
+  let fit = Select.Fitness.create normalized in
+  let state = Select.Fitness.Subset.of_cols fit (random_subset rng ~cols) in
+  for _ = 1 to 200 do
+    (* random add/remove walk, accumulating delta updates *)
+    let c = Rng.int rng cols in
+    if Select.Fitness.Subset.mem state c && Select.Fitness.Subset.cardinal state > 1 then
+      Select.Fitness.Subset.remove state c
+    else Select.Fitness.Subset.add state c;
+    let via_delta = Select.Fitness.Subset.rho state in
+    let exact = Select.Fitness.rho fit (Select.Fitness.Subset.cols state) in
+    if Float.abs (via_delta -. exact) > delta_tol then
+      Alcotest.failf "delta drift %g exceeds %g" (Float.abs (via_delta -. exact)) delta_tol
+  done;
+  (* rebuild clears the drift entirely *)
+  Select.Fitness.Subset.rebuild state;
+  let exact = Select.Fitness.rho fit (Select.Fitness.Subset.cols state) in
+  if Select.Fitness.Subset.rho state <> exact then
+    Alcotest.fail "rebuilt rho not bit-identical to the fused recompute"
+
+let test_ce_leave_one_out_matches_naive () =
+  let rng = Rng.create ~seed:0xCE100L in
+  let cols = 9 in
+  let normalized = random_normalized rng ~rows:22 ~cols in
+  let fit = Select.Fitness.create normalized in
+  let comp = Stats.Distance.condensed_squared_components normalized in
+  let full = Stats.Distance.condensed normalized in
+  for _ = 1 to 20 do
+    let subset = random_subset rng ~cols in
+    if Array.length subset >= 2 then
+      Array.iter
+        (fun (c, got) ->
+          let without = Array.of_list (List.filter (( <> ) c) (Array.to_list subset)) in
+          let naive =
+            Stats.Correlation.pearson (Stats.Distance.subset_distances comp without) full
+          in
+          if Float.abs (got -. naive) > delta_tol then
+            Alcotest.failf "leave-one-out of %d drifts %g from naive reference" c
+              (Float.abs (got -. naive)))
+        (Select.Correlation_elimination.leave_one_out fit subset)
+  done
+
+let test_ce_matches_naive_elimination () =
+  let rng = Rng.create ~seed:0xCE2L in
+  let cols = 8 in
+  let data = Array.init 20 (fun _ -> Array.init cols (fun _ -> Rng.gaussian rng ~mu:0.0 ~sigma:1.0)) in
+  let normalized = Stats.Normalize.zscore data in
+  let fit = Select.Fitness.create normalized in
+  let comp = Stats.Distance.condensed_squared_components normalized in
+  let full = Stats.Distance.condensed normalized in
+  (* naive reference elimination: same avg |r| rule, rho re-derived from
+     scratch each step *)
+  let corr = Stats.Matrix.correlation_matrix data in
+  let alive = Array.make cols true in
+  let naive_steps = ref [] in
+  for _ = 1 to cols - 1 do
+    let best = ref (-1) and best_avg = ref neg_infinity in
+    for i = 0 to cols - 1 do
+      if alive.(i) then begin
+        let acc = ref 0.0 and cnt = ref 0 in
+        for j = 0 to cols - 1 do
+          if alive.(j) && j <> i then begin
+            acc := !acc +. Float.abs corr.(i).(j);
+            incr cnt
+          end
+        done;
+        let avg = if !cnt = 0 then 0.0 else !acc /. float_of_int !cnt in
+        if avg > !best_avg then begin
+          best_avg := avg;
+          best := i
+        end
+      end
+    done;
+    alive.(!best) <- false;
+    let remaining = ref [] in
+    for i = cols - 1 downto 0 do
+      if alive.(i) then remaining := i :: !remaining
+    done;
+    let remaining = Array.of_list !remaining in
+    let rho = Stats.Correlation.pearson (Stats.Distance.subset_distances comp remaining) full in
+    naive_steps := (!best, remaining, rho) :: !naive_steps
+  done;
+  let naive_steps = List.rev !naive_steps in
+  let check label steps =
+    List.iter2
+      (fun (nr, nrem, nrho) (s : Select.Correlation_elimination.step) ->
+        Alcotest.(check int) (label ^ ": same removal") nr s.Select.Correlation_elimination.removed;
+        Alcotest.(check (array int)) (label ^ ": same remaining") nrem
+          s.Select.Correlation_elimination.remaining;
+        if Float.abs (nrho -. s.Select.Correlation_elimination.rho) > delta_tol then
+          Alcotest.failf "%s: step rho drifts %g from naive reference" label
+            (Float.abs (nrho -. s.Select.Correlation_elimination.rho)))
+      naive_steps steps
+  in
+  check "incremental" (Select.Correlation_elimination.run ~data fit);
+  (* with exact_rho the in-order rebuild makes every step rho bit-identical *)
+  List.iter2
+    (fun (_, _, nrho) (s : Select.Correlation_elimination.step) ->
+      if nrho <> s.Select.Correlation_elimination.rho then
+        Alcotest.fail "exact_rho step not bit-identical to naive reference")
+    naive_steps
+    (Select.Correlation_elimination.run ~exact_rho:true ~data fit)
+
+let test_selection_jobs_invariance () =
+  let rng = Rng.create ~seed:0x10B5L in
+  let cols = 8 in
+  let data = Array.init 18 (fun _ -> Array.init cols (fun _ -> Rng.gaussian rng ~mu:0.0 ~sigma:1.0)) in
+  let normalized = Stats.Normalize.zscore data in
+  let fit = Select.Fitness.create normalized in
+  let config =
+    { Select.Genetic.default_config with
+      Select.Genetic.population = 12; max_generations = 12; stall_generations = 6 }
+  in
+  let at jobs f = Pool.with_pool ~jobs f in
+  let ga1 = at 1 (fun pool -> Select.Genetic.run ~config ~pool ~rng:(Rng.create ~seed:7L) fit) in
+  let ga4 = at 4 (fun pool -> Select.Genetic.run ~config ~pool ~rng:(Rng.create ~seed:7L) fit) in
+  Alcotest.(check (array int)) "GA selection jobs-invariant" ga1.Select.Genetic.selected
+    ga4.Select.Genetic.selected;
+  if ga1.Select.Genetic.fitness <> ga4.Select.Genetic.fitness then
+    Alcotest.fail "GA fitness not bit-identical across jobs";
+  if ga1.Select.Genetic.best_history <> ga4.Select.Genetic.best_history then
+    Alcotest.fail "GA history not bit-identical across jobs";
+  let ce1 = at 1 (fun pool -> Select.Correlation_elimination.run ~pool ~data fit) in
+  let ce4 = at 4 (fun pool -> Select.Correlation_elimination.run ~pool ~data fit) in
+  if ce1 <> ce4 then Alcotest.fail "CE steps not bit-identical across jobs";
+  let subset = Array.init cols Fun.id in
+  let loo1 = at 1 (fun pool -> Select.Correlation_elimination.leave_one_out ~pool fit subset) in
+  let loo4 = at 4 (fun pool -> Select.Correlation_elimination.leave_one_out ~pool fit subset) in
+  if loo1 <> loo4 then Alcotest.fail "leave-one-out not bit-identical across jobs"
+
+let test_clustering_jobs_invariance () =
+  let rng = Rng.create ~seed:0xC105L in
+  let m =
+    Array.init 24 (fun i ->
+        let cx = if i < 12 then -.3.0 else 3.0 in
+        Array.init 3 (fun _ -> cx +. Rng.gaussian rng ~mu:0.0 ~sigma:0.5))
+  in
+  let at jobs f = Pool.with_pool ~jobs f in
+  let km j =
+    at j (fun pool -> Stats.Kmeans.fit ~restarts:4 ~pool ~rng:(Rng.create ~seed:3L) ~k:2 m)
+  in
+  let k1 = km 1 and k4 = km 4 in
+  Alcotest.(check (array int)) "kmeans assignments jobs-invariant"
+    k1.Stats.Kmeans.assignments k4.Stats.Kmeans.assignments;
+  if k1.Stats.Kmeans.inertia <> k4.Stats.Kmeans.inertia then
+    Alcotest.fail "kmeans inertia not bit-identical across jobs";
+  let sweep j =
+    at j (fun pool ->
+        Array.map
+          (fun (k, _, s) -> (k, s))
+          (Stats.Bic.sweep ~k_min:1 ~k_max:5 ~restarts:2 ~pool ~rng:(Rng.create ~seed:5L) m))
+  in
+  if sweep 1 <> sweep 4 then Alcotest.fail "BIC sweep not bit-identical across jobs";
+  let boot j =
+    at j (fun pool ->
+        let xs = Array.init 40 (fun i -> float_of_int i) in
+        Stats.Bootstrap.interval ~replicates:60 ~pool ~rng:(Rng.create ~seed:9L) ~n:40
+          (fun sample ->
+            Stats.Descriptive.mean (Array.map (fun i -> xs.(i)) sample)))
+  in
+  if boot 1 <> boot 4 then Alcotest.fail "bootstrap interval not bit-identical across jobs"
+
 (* ---------------- pipeline cache staleness and corruption ---------------- *)
 
 let with_temp_cache_dir f =
@@ -326,6 +543,18 @@ let suite =
       Alcotest.test_case "differential: prefix invalid" `Quick test_differential_prefix_invalid;
       Alcotest.test_case "differential: jobs equality" `Quick test_differential_jobs_equality;
       Alcotest.test_case "differential: cache roundtrip" `Quick test_differential_cache_roundtrip;
+      Alcotest.test_case "kernels: fused fitness vs naive" `Quick
+        test_fused_fitness_matches_naive_reference;
+      Alcotest.test_case "kernels: subset delta tolerance" `Quick
+        test_subset_delta_within_tolerance;
+      Alcotest.test_case "kernels: leave-one-out vs naive" `Quick
+        test_ce_leave_one_out_matches_naive;
+      Alcotest.test_case "kernels: CE vs naive elimination" `Quick
+        test_ce_matches_naive_elimination;
+      Alcotest.test_case "kernels: selection jobs invariance" `Quick
+        test_selection_jobs_invariance;
+      Alcotest.test_case "kernels: clustering jobs invariance" `Quick
+        test_clustering_jobs_invariance;
       Alcotest.test_case "cache: hit consumed" `Quick test_cache_hit_is_consumed;
       Alcotest.test_case "cache: stale version invalidated" `Quick
         test_cache_stale_version_invalidated;
