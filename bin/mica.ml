@@ -37,8 +37,25 @@ let verbose =
   let doc = "Verbose logging." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
-let config_of icount no_cache verbose =
+let faults =
+  let doc =
+    "Install a deterministic fault-injection plan (testing/chaos runs), e.g. \
+     'seed=7,pool.worker=0.3' or 'trace.gen=1@5'. Points: trace.gen, analyzer.chunk, \
+     cache.read, cache.write, pool.worker, pool.crash. Equivalent to setting \
+     $(b,MICA_FAULTS)."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let config_of icount no_cache verbose faults =
   setup_logs verbose;
+  (match faults with
+  | None -> ()
+  | Some spec -> (
+    match Mica_util.Fault.parse spec with
+    | Ok plan -> Mica_util.Fault.install (Some plan)
+    | Error msg ->
+      Printf.eprintf "error: bad --faults spec: %s\n" msg;
+      exit 2));
   {
     Mica_core.Pipeline.default_config with
     icount;
@@ -46,7 +63,15 @@ let config_of icount no_cache verbose =
     progress = true;
   }
 
-let config_term = Term.(const config_of $ icount $ no_cache $ verbose)
+let config_term = Term.(const config_of $ icount $ no_cache $ verbose $ faults)
+
+(* Render a batch's run report: the one-line summary on stderr (it is
+   operational metadata, stdout stays parseable), failure details when
+   any, and a nonzero exit for commands that required every workload. *)
+let surface_report report =
+  let module R = Mica_core.Run_report in
+  Logs.info (fun f -> f "run report: %s" (R.summary report));
+  if not (R.all_ok report) then prerr_string (R.render report)
 
 let workload_arg p =
   let doc = "Workload identifier, e.g. 'SPEC2000/bzip2/graphic' or 'blast'." in
@@ -99,7 +124,10 @@ let list_cmd =
 let characterize_cmd =
   let run config name =
     let w = resolve name in
-    let mica, _ = Mica_core.Pipeline.characterize config w in
+    let mica, _, report = Mica_core.Pipeline.datasets_report ~config [ w ] in
+    surface_report report;
+    if not (Mica_core.Run_report.all_ok report) then exit 1;
+    let row = Mica_core.Dataset.row_exn mica (Mica_workloads.Workload.id w) in
     Printf.printf "MICA characteristics of %s (%d instructions):\n"
       (Mica_workloads.Workload.id w) config.Mica_core.Pipeline.icount;
     Array.iteri
@@ -108,7 +136,7 @@ let characterize_cmd =
           Mica_analysis.Characteristics.short_names.(i)
           v
           Mica_analysis.Characteristics.names.(i))
-      mica
+      row
   in
   Cmd.v
     (Cmd.info "characterize"
@@ -210,6 +238,9 @@ let select_ga_cmd =
   in
   let run config seed generations =
     let ctx = E.Context.load ~config () in
+    (* Graceful degradation: the table is computed over the surviving
+       workloads; failures are named on stderr. *)
+    surface_report ctx.E.Context.report;
     let ga_config =
       { Select.Genetic.default_config with Select.Genetic.max_generations = generations }
     in

@@ -18,15 +18,29 @@ let create ?(ppm_order = 8) ?ilp_windows () =
   }
 
 let sink t =
-  Mica_trace.Sink.fanout
-    [
-      Mix.sink t.mix;
-      Ilp.sink t.ilp;
-      Regtraffic.sink t.regtraffic;
-      Working_set.sink t.working_set;
-      Strides.sink t.strides;
-      Ppm.sink t.ppm;
-    ]
+  let fanout =
+    Mica_trace.Sink.fanout
+      [
+        Mix.sink t.mix;
+        Ilp.sink t.ilp;
+        Regtraffic.sink t.regtraffic;
+        Working_set.sink t.working_set;
+        Strides.sink t.strides;
+        Ppm.sink t.ppm;
+      ]
+  in
+  (* Fault-injection point: an analyzer failure at chunk granularity,
+     before the sub-analyzers see the chunk.  The wrapper only exists when
+     a plan is installed at sink-construction time, so the normal path is
+     the bare fanout. *)
+  if not (Mica_util.Fault.enabled ()) then fanout
+  else begin
+    let fed = ref 0 in
+    Mica_trace.Sink.make ~name:"analyzer" (fun chunk ->
+        Mica_util.Fault.check Mica_util.Fault.Analyzer_chunk ~key:!fed;
+        incr fed;
+        fanout.Mica_trace.Sink.on_chunk chunk)
+  end
 
 let mix t = Mix.result t.mix
 let ilp_ipc t = Ilp.ipc t.ilp

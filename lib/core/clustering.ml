@@ -12,7 +12,10 @@ let cluster ?(k_min = 1) ?(k_max = 70) ?(bic_frac = 0.9) ?(prefer = Stats.Bic.Pe
     ?(restarts = 3) ?(seed = 0x5EEDL) ?(pool = Mica_util.Pool.sequential) dataset =
   let normalized = Stats.Normalize.zscore dataset.Dataset.data in
   let rng = Mica_util.Rng.create ~seed in
-  let sweep = Stats.Bic.sweep ~k_min ~k_max ~restarts ~pool ~rng normalized in
+  let sweep =
+    Stats.Bic.sweep ~k_min ~k_max ~restarts ~pool ~features:dataset.Dataset.features ~rng
+      normalized
+  in
   let k, result, _score = Stats.Bic.choose ~frac:bic_frac ~prefer sweep in
   {
     dataset;

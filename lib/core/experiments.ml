@@ -12,14 +12,30 @@ module Context = struct
     mica_space : Space.t;
     hpc_space : Space.t;
     fitness : Select.Fitness.t;
+    report : Run_report.t;
   }
 
+  (* Graceful degradation: permanently failed workloads are dropped from
+     [workloads] (keeping it aligned with the dataset rows) and carried in
+     [report] for the caller to surface; every experiment then runs over
+     the survivors. *)
   let load ?(config = Pipeline.default_config) ?(workloads = Workloads.Registry.all) () =
-    let mica, hpc = Pipeline.datasets ~config workloads in
+    let mica, hpc, report = Pipeline.datasets_report ~config workloads in
+    (match Run_report.failures report with
+    | [] -> ()
+    | failed ->
+      Logs.warn (fun f ->
+          f "%d workload(s) failed characterization; continuing with %d survivors"
+            (List.length failed) (Dataset.rows mica)));
+    let workloads =
+      List.filter
+        (fun w -> Dataset.row_index mica (Workloads.Workload.id w) <> None)
+        workloads
+    in
     let mica_space = Space.of_dataset mica in
     let hpc_space = Space.of_dataset hpc in
     let fitness = Select.Fitness.create mica_space.Space.normalized in
-    { config; workloads; mica; hpc; mica_space; hpc_space; fitness }
+    { config; workloads; mica; hpc; mica_space; hpc_space; fitness; report }
 end
 
 (* ---------------- Table I ---------------- *)

@@ -14,11 +14,15 @@ module Context : sig
     mica_space : Space.t;
     hpc_space : Space.t;
     fitness : Mica_select.Fitness.t;  (** over the normalized MICA space *)
+    report : Run_report.t;  (** where each row came from; names any failures *)
   }
 
   val load : ?config:Pipeline.config -> ?workloads:Mica_workloads.Workload.t list -> unit -> t
   (** Characterizes (or loads from cache) every workload.  Defaults to the
-      full 122-benchmark registry. *)
+      full 122-benchmark registry.  Degrades gracefully: workloads whose
+      characterization fails permanently are dropped from [workloads] and
+      the datasets (and reported in [report]) instead of aborting the
+      experiment. *)
 end
 
 (** {1 Table I — benchmark inventory} *)

@@ -1,4 +1,6 @@
 module Workload = Mica_workloads.Workload
+module Fault = Mica_util.Fault
+module Csv = Mica_util.Csv
 
 type config = {
   icount : int;
@@ -6,6 +8,7 @@ type config = {
   cache_dir : string option;
   progress : bool;
   jobs : int;
+  retries : int;
 }
 
 let default_config =
@@ -15,6 +18,7 @@ let default_config =
     cache_dir = Some "results/cache";
     progress = false;
     jobs = Mica_util.Pool.default_jobs ();
+    retries = 2;
   }
 
 let model_version = "v3"
@@ -35,46 +39,298 @@ let cache_path config kind =
     (fun dir -> Filename.concat dir (Printf.sprintf "%s-%s-%d.csv" kind model_version config.icount))
     config.cache_dir
 
-(* A cache file is an optimization, never a dependency: anything wrong with
-   it (corrupt CSV, truncated rows, unreadable file) means the rows are
-   recomputed, not crashed on. *)
-let load_cache path =
-  if Sys.file_exists path then begin
-    try
-      let ds = Dataset.of_csv path in
-      let tbl = Hashtbl.create (Dataset.rows ds) in
-      Array.iteri (fun i name -> Hashtbl.replace tbl name ds.Dataset.data.(i)) ds.Dataset.names;
-      tbl
-    with Failure _ | Sys_error _ | Invalid_argument _ -> Hashtbl.create 16
-  end
-  else Hashtbl.create 16
-
 let rec mkdir_p dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
   end
 
-let save_cache path ~features tbl =
+(* ---------------- crash-safe file commits ----------------
+
+   Cache and checkpoint files are committed atomically: the contents go to
+   a sibling [.tmp] file which is renamed over the target, so a kill at
+   any instant leaves either the old file or the new one — never a
+   truncated mix.  [save_cache] additionally prepends a
+   [#mica-cache <version> md5:<hex>] line over the CSV body; [load_cache]
+   verifies it and quarantines (renames aside) any file whose body does
+   not match its recorded digest, instead of silently consuming a
+   half-written or bit-rotted table. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let atomic_write path contents =
+  Fault.check Fault.Cache_write ~key:(Hashtbl.hash path);
   mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let cache_header_prefix = "#mica-cache "
+
+let checksum_header prefix body =
+  Printf.sprintf "%s%s md5:%s\n" prefix model_version (Digest.to_hex (Digest.string body))
+
+(* [Some body] iff the header names this model version and the digest
+   matches; [Error] distinguishes "stale/foreign version" (ignore the
+   file) from "corrupt" (quarantine it). *)
+let verify_checksum header body =
+  match String.split_on_char ' ' (String.trim header) with
+  | [ version; digest ] when String.length digest > 4 && String.sub digest 0 4 = "md5:" ->
+    if version <> model_version then Error `Stale
+    else if String.sub digest 4 (String.length digest - 4) = Digest.to_hex (Digest.string body)
+    then Ok body
+    else Error `Corrupt
+  | _ -> Error `Corrupt
+
+let split_first_line s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let quarantine path reason =
+  let dest = path ^ ".quarantined" in
+  (try Sys.rename path dest with Sys_error _ -> ());
+  Logs.warn (fun f -> f "cache %s %s; quarantined as %s, rows will be recomputed" path reason dest)
+
+(* The CSV body, laid out exactly like [Dataset.to_csv] (sorted rows,
+   %.17g floats) so caches round-trip bit-exactly and two runs over the
+   same workloads commit byte-identical files. *)
+let cache_body ~features tbl =
   let entries = Hashtbl.fold (fun name row acc -> (name, row) :: acc) tbl [] in
   let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
-  let ds =
-    Dataset.create
-      ~names:(Array.of_list (List.map fst entries))
-      ~features
-      (Array.of_list (List.map snd entries))
-  in
-  Dataset.to_csv ds path
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (String.concat "," (List.map Csv.escape_field ("name" :: Array.to_list features)));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (name, row) ->
+      Buffer.add_string b (Csv.escape_field name);
+      Array.iter (fun v -> Buffer.add_string b (Printf.sprintf ",%.17g" v)) row;
+      Buffer.add_char b '\n')
+    entries;
+  Buffer.contents b
 
-(* Characterize the missing workloads, fanning them out over the shared
-   domain pool.  Workloads are independent and internally deterministic, so
-   the result is identical at any parallelism; workers only compute — all
-   cache reads and writes stay in the calling domain. *)
+let save_cache path ~features tbl =
+  let body = cache_body ~features tbl in
+  atomic_write path (checksum_header cache_header_prefix body ^ body)
+
+(* ---------------- lenient cache loading ----------------
+
+   A cache file is an optimization, never a dependency: this function
+   never raises.  Files written by [save_cache] carry a checksum header
+   and are quarantined wholesale on mismatch; headerless files (older
+   caches, hand-edited tables) fall through to per-row parsing where any
+   malformed row — wrong arity, unparsable or non-finite value — discards
+   only that entry. *)
+let load_cache ~features path =
+  let empty () = Hashtbl.create 64 in
+  if not (Sys.file_exists path) then empty ()
+  else begin
+    match
+      Fault.check Fault.Cache_read ~key:(Hashtbl.hash path);
+      read_file path
+    with
+    | exception Fault.Injected _ ->
+      Logs.warn (fun f -> f "cache %s: injected read fault; recomputing" path);
+      empty ()
+    | exception Sys_error msg ->
+      Logs.warn (fun f -> f "cache %s unreadable (%s); recomputing" path msg);
+      empty ()
+    | contents ->
+      let csv =
+        if String.length contents >= String.length cache_header_prefix
+           && String.sub contents 0 (String.length cache_header_prefix) = cache_header_prefix
+        then begin
+          let header, body = split_first_line contents in
+          let header =
+            String.sub header (String.length cache_header_prefix)
+              (String.length header - String.length cache_header_prefix)
+          in
+          match verify_checksum header body with
+          | Ok body -> Some body
+          | Error `Stale ->
+            Logs.warn (fun f -> f "cache %s was written by another model version; ignoring" path);
+            None
+          | Error `Corrupt ->
+            quarantine path "failed its content checksum";
+            None
+        end
+        else Some contents (* legacy headerless cache: parse leniently *)
+      in
+      match csv with
+      | None -> empty ()
+      | Some csv ->
+        let arity = Array.length features in
+        let tbl = empty () in
+        let dropped = ref 0 in
+        let parse_row line =
+          match Csv.parse_line line with
+          | name :: fields when List.length fields = arity -> (
+            let row = Array.make arity 0.0 in
+            try
+              List.iteri
+                (fun j s ->
+                  match float_of_string_opt s with
+                  | Some v when Float.is_finite v -> row.(j) <- v
+                  | Some _ | None -> raise Exit)
+                fields;
+              Hashtbl.replace tbl name row
+            with Exit -> incr dropped)
+          | "name" :: _ -> () (* feature header (arity checked below) *)
+          | _ -> incr dropped
+        in
+        (match String.split_on_char '\n' csv with
+        | [] -> ()
+        | header :: body ->
+          (* A header with different features means the whole table answers
+             a different question (column mismatch): ignore it all. *)
+          if Csv.parse_line header = "name" :: Array.to_list features then
+            List.iter
+              (fun line -> if String.trim line <> "" then parse_row line)
+              body
+          else
+            Logs.warn (fun f -> f "cache %s has a foreign feature header; ignoring" path));
+        if !dropped > 0 then
+          Logs.warn (fun f -> f "cache %s: discarded %d malformed row(s)" path !dropped);
+        tbl
+  end
+
+(* ---------------- per-workload checkpoints ----------------
+
+   During [characterize_many] each worker commits its finished workload to
+   a private checkpoint file (atomic rename, own checksum header), so a
+   run killed mid-batch resumes from the last committed workload instead
+   of the last committed batch.  Checkpoints are merged into the caches on
+   the next run and deleted once the main cache commit succeeds. *)
+
+let ckpt_header_prefix = "#mica-ckpt "
+
+let checkpoint_dir config = Option.map (fun d -> Filename.concat d "checkpoints") config.cache_dir
+
+let checkpoint_path config dir id =
+  let key = Digest.to_hex (Digest.string (Printf.sprintf "%s|%d|%s" model_version config.icount id)) in
+  Filename.concat dir (Printf.sprintf "ckpt-%s.csv" key)
+
+let checkpoint_body config id (m, h) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "%s,%d\n" (Csv.escape_field id) config.icount);
+  let row values =
+    Array.iteri
+      (fun j v -> Buffer.add_string b (Printf.sprintf "%s%.17g" (if j = 0 then "" else ",") v))
+      values;
+    Buffer.add_char b '\n'
+  in
+  row m;
+  row h;
+  Buffer.contents b
+
+(* Called from worker domains; each task owns a distinct file, and a
+   checkpoint is pure optimization, so commit failures (disk, injected
+   fault) are swallowed — the workload's result still reaches the caches
+   through the outcome array. *)
+let commit_checkpoint config dir w (m, h) =
+  let id = Workload.id w in
+  let body = checkpoint_body config id (m, h) in
+  try atomic_write (checkpoint_path config dir id) (checksum_header ckpt_header_prefix body ^ body)
+  with Fault.Injected _ | Sys_error _ ->
+    Logs.debug (fun f -> f "checkpoint for %s not committed" id)
+
+let read_checkpoint config path =
+  match
+    Fault.check Fault.Cache_read ~key:(Hashtbl.hash path);
+    read_file path
+  with
+  | exception (Fault.Injected _ | Sys_error _) -> None
+  | contents ->
+    if String.length contents < String.length ckpt_header_prefix
+       || String.sub contents 0 (String.length ckpt_header_prefix) <> ckpt_header_prefix
+    then None
+    else begin
+      let header, body = split_first_line contents in
+      let header =
+        String.sub header (String.length ckpt_header_prefix)
+          (String.length header - String.length ckpt_header_prefix)
+      in
+      match verify_checksum header body with
+      | Error (`Stale | `Corrupt) -> None
+      | Ok body -> (
+        let parse_row arity line =
+          let fields = Csv.parse_line line in
+          if List.length fields <> arity then None
+          else begin
+            let row = Array.make arity 0.0 in
+            try
+              List.iteri
+                (fun j s ->
+                  match float_of_string_opt s with
+                  | Some v when Float.is_finite v -> row.(j) <- v
+                  | Some _ | None -> raise Exit)
+                fields;
+              Some row
+            with Exit -> None
+          end
+        in
+        match String.split_on_char '\n' body with
+        | id_line :: m_line :: h_line :: _ -> (
+          match
+            ( Csv.parse_line id_line,
+              parse_row Mica_analysis.Characteristics.count m_line,
+              parse_row Mica_uarch.Hw_counters.count h_line )
+          with
+          | [ id; icount ], Some m, Some h when int_of_string_opt icount = Some config.icount ->
+            Some (id, m, h)
+          | _ -> None)
+        | _ -> None)
+    end
+
+(* Committed checkpoints of an interrupted run, in deterministic (sorted
+   filename) order.  Unreadable or stale checkpoint files — including
+   [.tmp] leftovers of a mid-commit kill — are deleted. *)
+let load_checkpoints config =
+  match checkpoint_dir config with
+  | None -> []
+  | Some dir ->
+    if not (Sys.file_exists dir) then []
+    else begin
+      let files =
+        (try Array.to_list (Sys.readdir dir) with Sys_error _ -> [])
+        |> List.filter (fun f -> String.length f >= 5 && String.sub f 0 5 = "ckpt-")
+        |> List.sort compare
+      in
+      List.filter_map
+        (fun f ->
+          let path = Filename.concat dir f in
+          match read_checkpoint config path with
+          | Some r -> Some (path, r)
+          | None ->
+            (try Sys.remove path with Sys_error _ -> ());
+            Logs.debug (fun fmt -> fmt "discarded unusable checkpoint %s" path);
+            None)
+        files
+    end
+
+(* ---------------- supervised characterization ----------------
+
+   Workloads fan out over the domain pool in supervised mode: a failing
+   workload is retried up to [config.retries] extra attempts and then
+   reported, never aborting its batch-mates.  Workloads are independent
+   and internally deterministic, so the outcome array is identical at any
+   parallelism.  Workers compute and commit their own checkpoint; the main
+   cache files are only ever written by the calling domain. *)
 let characterize_many config missing =
   let jobs = max 1 config.jobs in
   let work = Array.of_list missing in
-  if Array.length work = 0 then []
+  if Array.length work = 0 then [||]
   else begin
     if config.progress then
       if jobs = 1 || Array.length work = 1 then
@@ -87,18 +343,37 @@ let characterize_many config missing =
         Logs.app (fun f ->
             f "characterizing %d workloads on %d domains (%d instructions each)"
               (Array.length work) jobs config.icount);
+    let ckpt_dir = checkpoint_dir config in
+    Option.iter mkdir_p ckpt_dir;
     Mica_util.Pool.using ~jobs (fun pool ->
-        Array.to_list
-          (Mica_util.Pool.map pool (Array.length work) (fun i ->
-               let w = work.(i) in
-               let m, h = characterize config w in
-               (Workload.id w, m, h))))
+        Mica_util.Pool.run_results ~retries:(max 0 config.retries) pool (Array.length work)
+          (fun i ->
+            let w = work.(i) in
+            let m, h = characterize config w in
+            Option.iter (fun dir -> commit_checkpoint config dir w (m, h)) ckpt_dir;
+            (Workload.id w, m, h)))
   end
 
-let datasets ?(config = default_config) workloads =
+let datasets_report ?(config = default_config) workloads =
+  let mica_features = Mica_analysis.Characteristics.short_names in
+  let hpc_features = Mica_uarch.Hw_counters.short_names in
   let mica_path = cache_path config "mica" and hpc_path = cache_path config "hpc" in
-  let mica_cache = Option.fold ~none:(Hashtbl.create 16) ~some:load_cache mica_path in
-  let hpc_cache = Option.fold ~none:(Hashtbl.create 16) ~some:load_cache hpc_path in
+  let mica_cache =
+    Option.fold ~none:(Hashtbl.create 16) ~some:(load_cache ~features:mica_features) mica_path
+  in
+  let hpc_cache =
+    Option.fold ~none:(Hashtbl.create 16) ~some:(load_cache ~features:hpc_features) hpc_path
+  in
+  (* Fold in per-workload checkpoints left by an interrupted run. *)
+  let checkpoints = load_checkpoints config in
+  let resumed_ids = Hashtbl.create 16 in
+  List.iter
+    (fun (_, (id, m, h)) ->
+      if not (Hashtbl.mem mica_cache id && Hashtbl.mem hpc_cache id) then
+        Hashtbl.replace resumed_ids id ();
+      Hashtbl.replace mica_cache id m;
+      Hashtbl.replace hpc_cache id h)
+    checkpoints;
   let cached id =
     match (Hashtbl.find_opt mica_cache id, Hashtbl.find_opt hpc_cache id) with
     | Some m, Some h
@@ -108,39 +383,103 @@ let datasets ?(config = default_config) workloads =
     | _ -> None
   in
   let missing = List.filter (fun w -> cached (Workload.id w) = None) workloads in
-  let computed = characterize_many config missing in
-  let dirty = computed <> [] in
-  List.iter
-    (fun (id, m, h) ->
-      Hashtbl.replace mica_cache id m;
-      Hashtbl.replace hpc_cache id h)
-    computed;
+  let outcomes = characterize_many config missing in
+  let missing_arr = Array.of_list missing in
+  let outcome_entries = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (o : _ Mica_util.Pool.outcome) ->
+      let id = Workload.id missing_arr.(i) in
+      let status =
+        match o.Mica_util.Pool.result with
+        | Ok (id', m, h) ->
+          Hashtbl.replace mica_cache id' m;
+          Hashtbl.replace hpc_cache id' h;
+          Run_report.Computed { attempts = o.Mica_util.Pool.attempts }
+        | Error { Mica_util.Pool.error; backtrace } ->
+          Run_report.Failed
+            {
+              attempts = o.Mica_util.Pool.attempts;
+              error = Printexc.to_string error;
+              backtrace;
+            }
+      in
+      Hashtbl.replace outcome_entries id status)
+    outcomes;
+  let report =
+    Run_report.create
+      (List.map
+         (fun w ->
+           let id = Workload.id w in
+           let status =
+             match Hashtbl.find_opt outcome_entries id with
+             | Some s -> s
+             | None -> if Hashtbl.mem resumed_ids id then Run_report.Resumed else Run_report.Cached
+           in
+           { Run_report.id; status })
+         workloads)
+  in
+  (* Commit the merged caches.  A failed commit (disk trouble, injected
+     write fault) degrades to a warning — results still flow to the caller
+     — and keeps the checkpoints so the work is not lost for next time. *)
+  let computed_ok =
+    Array.exists
+      (fun (o : _ Mica_util.Pool.outcome) ->
+        match o.Mica_util.Pool.result with Ok _ -> true | Error _ -> false)
+      outcomes
+  in
+  if computed_ok || checkpoints <> [] then begin
+    let saved =
+      try
+        Option.iter (fun p -> save_cache p ~features:mica_features mica_cache) mica_path;
+        Option.iter (fun p -> save_cache p ~features:hpc_features hpc_cache) hpc_path;
+        true
+      with Fault.Injected _ | Sys_error _ ->
+        Logs.warn (fun f -> f "cache commit failed; keeping checkpoints for resume");
+        false
+    in
+    if saved then begin
+      (* Checkpoints are subsumed by the committed caches. *)
+      List.iter (fun (p, _) -> try Sys.remove p with Sys_error _ -> ()) checkpoints;
+      match checkpoint_dir config with
+      | None -> ()
+      | Some dir ->
+        Array.iteri
+          (fun i (o : _ Mica_util.Pool.outcome) ->
+            match o.Mica_util.Pool.result with
+            | Ok _ -> (
+              let p = checkpoint_path config dir (Workload.id missing_arr.(i)) in
+              try Sys.remove p with Sys_error _ -> ())
+            | Error _ -> ())
+          outcomes
+    end
+  end;
   let rows =
-    List.map
+    List.filter_map
       (fun w ->
         let id = Workload.id w in
-        match cached id with
-        | Some (m, h) -> (id, m, h)
-        | None -> assert false (* just computed *))
+        Option.map (fun (m, h) -> (id, m, h)) (cached id))
       workloads
   in
-  if dirty then begin
-    Option.iter
-      (fun p -> save_cache p ~features:Mica_analysis.Characteristics.short_names mica_cache)
-      mica_path;
-    Option.iter
-      (fun p -> save_cache p ~features:Mica_uarch.Hw_counters.short_names hpc_cache)
-      hpc_path
-  end;
   let names = Array.of_list (List.map (fun (id, _, _) -> id) rows) in
   let mica =
-    Dataset.create ~names ~features:Mica_analysis.Characteristics.short_names
+    Dataset.create ~names ~features:mica_features
       (Array.of_list (List.map (fun (_, m, _) -> m) rows))
   in
   let hpc =
-    Dataset.create ~names ~features:Mica_uarch.Hw_counters.short_names
+    Dataset.create ~names ~features:hpc_features
       (Array.of_list (List.map (fun (_, _, h) -> h) rows))
   in
+  (mica, hpc, report)
+
+let datasets ?config workloads =
+  let mica, hpc, report = datasets_report ?config workloads in
+  (match Run_report.failures report with
+  | [] -> ()
+  | { Run_report.id; status = Failed { attempts; error; _ } } :: _ ->
+    failwith
+      (Printf.sprintf "Pipeline.datasets: workload %s failed after %d attempt(s): %s" id attempts
+         error)
+  | _ :: _ -> assert false);
   (mica, hpc)
 
 let mica_dataset ?config workloads = fst (datasets ?config workloads)

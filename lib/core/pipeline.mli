@@ -6,7 +6,13 @@
     running ATOM and DCPI over the same execution.
 
     Results are cached as CSV under [cache_dir] keyed by trace length and
-    model version, so repeated experiments and the CLI share work. *)
+    model version, so repeated experiments and the CLI share work.  The
+    cache tier is crash-safe: files are committed atomically (temp file +
+    rename) under a content checksum, corrupt files are quarantined and
+    recomputed, and each finished workload is checkpointed so a run killed
+    mid-batch resumes from the last committed workload.  Workload failures
+    are contained per task (bounded retry, then reported in
+    {!Run_report.t}) instead of aborting the batch. *)
 
 type config = {
   icount : int;  (** dynamic instructions per workload trace *)
@@ -16,25 +22,39 @@ type config = {
   jobs : int;
       (** worker domains for characterization; workloads are independent
           and deterministic, so results are identical at any parallelism *)
+  retries : int;
+      (** extra attempts per workload before it is reported as failed *)
 }
 
 val default_config : config
 (** 200k instructions, PPM order 8, cache under ["results/cache"],
     progress off, parallelism = {!Mica_util.Pool.default_jobs} (the
     [MICA_JOBS] environment variable when set to a positive integer,
-    otherwise available cores capped at 8). *)
+    otherwise available cores capped at 8), 2 retries. *)
 
 val model_version : string
 (** Bumped whenever the generator or analyzers change semantics; part of
     the cache key. *)
 
 val characterize : config -> Mica_workloads.Workload.t -> float array * float array
-(** [(mica_47, hpc_7)] for one workload (no caching). *)
+(** [(mica_47, hpc_7)] for one workload (no caching, no supervision). *)
+
+val datasets_report :
+  ?config:config ->
+  Mica_workloads.Workload.t list ->
+  Dataset.t * Dataset.t * Run_report.t
+(** [(mica, hpc, report)] over the given workloads.  Rows are workload
+    ids, in request order, restricted to the workloads that produced a
+    vector — from the cache, from a resumed checkpoint, or freshly
+    computed (with up to [config.retries] retries).  Workloads whose
+    attempt budget is exhausted are simply absent from the datasets and
+    carried as [Failed] entries in the report; this function never raises
+    on workload or cache-file failure. *)
 
 val datasets : ?config:config -> Mica_workloads.Workload.t list -> Dataset.t * Dataset.t
-(** [(mica, hpc)] datasets over the given workloads, in order.  Rows are
-    workload ids.  Cached rows are reused; missing rows are computed and
-    the cache updated. *)
+(** {!datasets_report} with strict semantics: raises [Failure] naming the
+    first permanently failed workload, so callers that must have every row
+    fail loudly. *)
 
 val mica_dataset : ?config:config -> Mica_workloads.Workload.t list -> Dataset.t
 val hpc_dataset : ?config:config -> Mica_workloads.Workload.t list -> Dataset.t

@@ -1,0 +1,40 @@
+(** Structured outcome of a characterization batch.
+
+    {!Pipeline.datasets_report} returns one entry per requested workload
+    saying where its row came from — the cache, a resumed checkpoint, a
+    fresh (possibly retried) computation — or why it is missing, with the
+    failing exception and backtrace.  Consumers degrade gracefully: the
+    CLI renders the report and keeps going with the surviving rows. *)
+
+type status =
+  | Computed of { attempts : int }
+      (** freshly characterized; [attempts > 1] means retries happened *)
+  | Cached  (** served from the on-disk cache *)
+  | Resumed  (** recovered from an interrupted run's checkpoint *)
+  | Failed of { attempts : int; error : string; backtrace : string }
+      (** attempt budget exhausted; no row for this workload *)
+
+type entry = { id : string; status : status }
+
+type t
+
+val create : entry list -> t
+val entries : t -> entry list
+val total : t -> int
+val computed : t -> int
+val cached : t -> int
+val resumed : t -> int
+
+val retried : t -> int
+(** Workloads that needed more than one attempt (whether or not they
+    eventually succeeded). *)
+
+val failures : t -> entry list
+val all_ok : t -> bool
+
+val summary : t -> string
+(** One line: ["5 computed (1 retried), 116 cached, 1 resumed, 0 failed"]. *)
+
+val render : t -> string
+(** Multi-line report: the summary plus one block per failure with its
+    error and backtrace. *)

@@ -9,6 +9,12 @@
    with R observations, M dimensions, K clusters and R_i members in
    cluster i.  Larger is better. *)
 let score m (res : Kmeans.result) =
+  (* A non-finite inertia would flow through [log] into a silently
+     non-finite BIC and corrupt the K selection downstream. *)
+  if not (Float.is_finite res.inertia) then
+    invalid_arg
+      (Printf.sprintf "Bic.score: non-finite inertia %g for k=%d clustering" res.inertia
+         res.k);
   let n = Array.length m in
   let dims = if n = 0 then 0 else Array.length m.(0) in
   let k = res.k in
@@ -33,7 +39,7 @@ let score m (res : Kmeans.result) =
   log_likelihood -. (free_params /. 2.0 *. log nf)
 
 let sweep ?(k_min = 1) ?(k_max = 70) ?(restarts = 3) ?(pool = Mica_util.Pool.sequential)
-    ~rng m =
+    ?features ~rng m =
   let n = Array.length m in
   let k_max = min k_max n in
   let k_min = max 1 (min k_min k_max) in
@@ -43,7 +49,7 @@ let sweep ?(k_min = 1) ?(k_max = 70) ?(restarts = 3) ?(pool = Mica_util.Pool.seq
   let rngs = Array.init count (fun _ -> Mica_util.Rng.split rng) in
   Mica_util.Pool.map pool count (fun i ->
       let k = k_min + i in
-      let res = Kmeans.fit ~restarts ~pool ~rng:rngs.(i) ~k m in
+      let res = Kmeans.fit ~restarts ~pool ?features ~rng:rngs.(i) ~k m in
       (k, res, score m res))
 
 type preference = Smallest_within | Largest_within | Peak

@@ -12,13 +12,15 @@
     [min + frac * (max - min)] over the swept K range. *)
 
 val score : Matrix.t -> Kmeans.result -> float
-(** BIC of a clustering; larger is better. *)
+(** BIC of a clustering; larger is better.  Raises [Invalid_argument] on a
+    non-finite inertia rather than let NaN corrupt the K selection. *)
 
 val sweep :
   ?k_min:int ->
   ?k_max:int ->
   ?restarts:int ->
   ?pool:Mica_util.Pool.t ->
+  ?features:string array ->
   rng:Mica_util.Rng.t ->
   Matrix.t ->
   (int * Kmeans.result * float) array

@@ -112,9 +112,33 @@ let lloyd ~max_iters m centroids =
   done;
   (assignments, !inertia, !iterations)
 
-let fit ?(max_iters = 100) ?(restarts = 1) ?(pool = Pool.sequential) ~rng ~k m =
+(* A NaN anywhere poisons clustering silently: every distance comparison
+   involving NaN is false, so assignments and inertia become arbitrary
+   without any error surfacing.  Reject non-finite inputs upfront, naming
+   the offending observation and characteristic column. *)
+let check_finite ?features m =
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          if not (Float.is_finite v) then begin
+            let column =
+              match features with
+              | Some fs when j < Array.length fs -> Printf.sprintf "%S" fs.(j)
+              | Some _ | None -> Printf.sprintf "#%d" j
+            in
+            invalid_arg
+              (Printf.sprintf
+                 "Kmeans.fit: non-finite value %g in observation %d, characteristic %s" v i
+                 column)
+          end)
+        row)
+    m
+
+let fit ?(max_iters = 100) ?(restarts = 1) ?(pool = Pool.sequential) ?features ~rng ~k m =
   let n = Array.length m in
   if k < 1 || k > n then invalid_arg "Kmeans.fit: k out of range";
+  check_finite ?features m;
   let restarts = max 1 restarts in
   (* one generator per restart, split off sequentially up front: the
      restarts are then independent tasks whose streams — and the winning

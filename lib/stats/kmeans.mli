@@ -16,6 +16,7 @@ val fit :
   ?max_iters:int ->
   ?restarts:int ->
   ?pool:Mica_util.Pool.t ->
+  ?features:string array ->
   rng:Mica_util.Rng.t ->
   k:int ->
   Matrix.t ->
@@ -24,7 +25,10 @@ val fit :
     inertia over independent seedings wins (earliest restart on a tie);
     each restart draws from its own generator split off [rng] up front, so
     the restarts may run on [pool] with a result independent of the pool
-    size.  Requires [1 <= k <= Array.length m]. *)
+    size.  Requires [1 <= k <= Array.length m] and finite inputs: a
+    NaN/Inf anywhere in [m] raises [Invalid_argument] naming the
+    observation and the characteristic column (labelled via [features]
+    when given) instead of silently corrupting assignments. *)
 
 val cluster_members : result -> int list array
 (** Observation indices per cluster, ascending. *)

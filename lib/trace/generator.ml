@@ -22,6 +22,11 @@ let op_return = Opcode.to_int Opcode.Return
 
 let flush st =
   if st.chunk.Chunk.len > 0 then begin
+    (* Fault-injection point: a generator hiccup at chunk granularity.
+       [emitted] at flush time is a deterministic per-chunk key.  With no
+       plan installed this is one atomic load per chunk, nothing per
+       instruction. *)
+    Mica_util.Fault.check Mica_util.Fault.Trace_gen ~key:st.emitted;
     st.deliver st.chunk;
     Chunk.clear st.chunk
   end

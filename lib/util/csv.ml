@@ -72,7 +72,8 @@ let of_file path =
                String.sub line 0 (String.length line - 1)
              else line
            in
-           if String.trim line <> "" then rows := parse_line line :: !rows
+           let stripped = String.trim line in
+           if stripped <> "" && stripped.[0] <> '#' then rows := parse_line line :: !rows
          done
        with End_of_file -> ());
       List.rev !rows)

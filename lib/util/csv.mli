@@ -17,4 +17,5 @@ val parse_line : string -> string list
 (** Parse one physical line (no embedded newlines supported on input). *)
 
 val of_file : string -> string list list
-(** Read all rows of [path], skipping blank lines. *)
+(** Read all rows of [path], skipping blank lines and [#] comment lines
+    (such as the cache tier's checksum headers). *)

@@ -181,6 +181,74 @@ let shutdown t =
     st.stop <- false
   end
 
+(* ---- supervised execution ----
+
+   [run_results] is [map] with a containment boundary per task: the body's
+   exceptions are caught, retried up to a budget, and returned as
+   per-index outcomes instead of aborting the whole batch.  Scheduling is
+   the same static partition as [run], and the retry loop is driven per
+   index, so with a deterministic body (and deterministic faults — see
+   [Fault]) the outcome array is bit-identical at any [jobs].
+
+   A [Fault.Pool_crash] that escapes the per-task supervision models a
+   worker domain dying mid-block: [run] re-raises it after the epoch
+   drains, we discard the current workers ([shutdown]; they respawn
+   lazily), and a sequential recovery pass recomputes every index the lost
+   workers never delivered. *)
+
+type failure = { error : exn; backtrace : string }
+type 'a outcome = { result : ('a, failure) result; attempts : int }
+
+(* Deterministic jittered exponential backoff; [backoff = 0] sleeps not at
+   all (the test-suite setting). *)
+let backoff_delay ~seed ~task ~attempt ~backoff =
+  if backoff <= 0.0 then 0.0
+  else begin
+    let h = ref (seed lxor (task * 0x9E3779B9) lxor (attempt * 0x85EBCA6B)) in
+    h := !h * 0x27D4EB2F;
+    let u = float_of_int (!h land 0xFFFF) /. 65536.0 in
+    let scale = float_of_int (1 lsl min 6 (attempt - 1)) in
+    Float.min 1.0 (backoff *. scale *. (0.5 +. u))
+  end
+
+let run_results ?(retries = 2) ?(backoff = 0.0) ?(seed = 0) t n f =
+  if n = 0 then [||]
+  else begin
+    Printexc.record_backtrace true;
+    let attempt_task i =
+      let rec go attempt =
+        match
+          Fault.with_context ~task:i ~attempt (fun () ->
+              Fault.check Fault.Pool_worker ~key:0;
+              f i)
+        with
+        | v -> { result = Ok v; attempts = attempt }
+        | exception e ->
+          let backtrace = Printexc.get_backtrace () in
+          if attempt > retries then
+            { result = Error { error = e; backtrace }; attempts = attempt }
+          else begin
+            let d = backoff_delay ~seed ~task:i ~attempt ~backoff in
+            if d > 0.0 then Unix.sleepf d;
+            go (attempt + 1)
+          end
+      in
+      go 1
+    in
+    let out = Array.make n None in
+    (try
+       run t n (fun i ->
+           Fault.with_context ~task:i ~attempt:0 (fun () ->
+               Fault.check Fault.Pool_crash ~key:0);
+           out.(i) <- Some (attempt_task i))
+     with _crash ->
+       (* A worker died mid-block.  Discard the current domains (they
+          respawn lazily on the next parallel run) and fall through to the
+          recovery pass below. *)
+       shutdown t);
+    Array.mapi (fun i o -> match o with Some o -> o | None -> attempt_task i) out
+  end
+
 let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

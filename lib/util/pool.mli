@@ -47,6 +47,27 @@ val shutdown : t -> unit
 (** Stop and join the worker domains.  The pool may be used again
     afterwards (workers respawn lazily). *)
 
+type failure = { error : exn; backtrace : string }
+
+type 'a outcome = { result : ('a, failure) result; attempts : int }
+(** Per-index result of a supervised run.  [attempts] counts executions of
+    the body for that index (1 = first try succeeded); a [Failed] outcome
+    has consumed its whole attempt budget. *)
+
+val run_results :
+  ?retries:int -> ?backoff:float -> ?seed:int -> t -> int -> (int -> 'a) -> 'a outcome array
+(** [run_results t n f] is {!map} with per-task fault containment: the
+    body's exceptions are caught and retried up to [retries] extra
+    attempts (default 2) with deterministic seeded-jitter exponential
+    backoff ([backoff] scales the delay; default [0.] = no sleeping), and
+    each index yields an [outcome] instead of aborting the batch — this
+    function never raises.  Scheduling uses the same static partition as
+    {!run}; with a deterministic body the outcome array is bit-identical
+    at any [jobs], and with no fault plan installed the values equal
+    [map t n f]'s.  An escaped [Fault.Injected] crash (the
+    [pool.crash] injection point) kills and respawns the workers, then a
+    sequential recovery pass recomputes the lost indices. *)
+
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
     afterwards, exception-safe. *)

@@ -196,6 +196,143 @@ let test_branch_stats_alternating_vs_constant () =
   Alcotest.check Tutil.feq "alternating: all transitions" 1.0
     (measure (List.init 100 (fun i -> i mod 2 = 0)))
 
+(* ---------------- fault-injection matrix ---------------- *)
+
+module Fault = Mica_util.Fault
+module Pipeline = Mica_core.Pipeline
+module Run_report = Mica_core.Run_report
+module Dataset = Mica_core.Dataset
+
+let fault_trio () =
+  List.map W.Registry.find_exn
+    [ "MiBench/sha/large"; "SPEC2000/mcf/ref"; "SPEC2000/swim/ref" ]
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mica_fuzz_cache_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Sys.mkdir dir 0o755;
+  let rec remove_tree path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> remove_tree (Filename.concat path e)) (Sys.readdir path);
+        try Sys.rmdir path with Sys_error _ -> ()
+      end
+      else try Sys.remove path with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+let fault_config ?(jobs = 2) ?(retries = 0) dir =
+  {
+    Pipeline.default_config with
+    Pipeline.icount = 1_500;
+    cache_dir = dir;
+    progress = false;
+    jobs;
+    retries;
+  }
+
+(* Seeded sweep over every injection point and several retry budgets:
+   (a) a no-fault supervised run is bit-identical to the unsupervised
+       baseline,
+   (b) an injected fault never corrupts *other* workloads' results — every
+       row a faulted run does produce equals the baseline row exactly,
+   (c) exhausted attempt budgets surface in [Run_report.t] with the whole
+       budget consumed, and the same plan replayed gives the same report
+       (the injection is deterministic). *)
+let test_fault_matrix () =
+  let trio = fault_trio () in
+  let ids = List.map W.Workload.id trio in
+  let baseline =
+    let mica, hpc = Pipeline.datasets ~config:(fault_config ~jobs:1 None) trio in
+    fun id ->
+      (Dataset.row_exn mica id, Dataset.row_exn hpc id)
+  in
+  (* (a) no plan installed: supervised = baseline, rows in request order *)
+  with_temp_dir (fun dir ->
+      let mica, hpc, report = Pipeline.datasets_report ~config:(fault_config (Some dir)) trio in
+      Alcotest.(check bool) "no-fault run all ok" true (Run_report.all_ok report);
+      List.iteri
+        (fun i id ->
+          let bm, bh = baseline id in
+          if Dataset.row_exn mica id <> bm || Dataset.row_exn hpc id <> bh then
+            Alcotest.failf "no-fault row %d (%s) differs from baseline" i id)
+        ids);
+  (* (b)/(c) the matrix *)
+  List.iter
+    (fun point ->
+      List.iter
+        (fun retries ->
+          let spec = Printf.sprintf "seed=41,%s=0.35" (Fault.point_name point) in
+          let run () =
+            with_temp_dir (fun dir ->
+                Fault.with_plan
+                  (Some
+                     (match Fault.parse spec with
+                     | Ok p -> p
+                     | Error e -> Alcotest.failf "bad spec %s: %s" spec e))
+                  (fun () ->
+                    let mica, _, report =
+                      Pipeline.datasets_report ~config:(fault_config ~retries (Some dir)) trio
+                    in
+                    let statuses =
+                      List.map
+                        (fun (e : Run_report.entry) ->
+                          match e.Run_report.status with
+                          | Run_report.Computed { attempts } -> (e.Run_report.id, `Ok attempts)
+                          | Run_report.Cached -> (e.Run_report.id, `Cached)
+                          | Run_report.Resumed -> (e.Run_report.id, `Resumed)
+                          | Run_report.Failed { attempts; _ } -> (e.Run_report.id, `Failed attempts))
+                        (Run_report.entries report)
+                    in
+                    let rows =
+                      List.filter_map
+                        (fun id ->
+                          if Dataset.row_index mica id <> None then
+                            Some (id, Dataset.row_exn mica id)
+                          else None)
+                        ids
+                    in
+                    (statuses, rows)))
+          in
+          let statuses, rows = run () in
+          (* no fault may corrupt a produced row *)
+          List.iter
+            (fun (id, row) ->
+              let bm, _ = baseline id in
+              if row <> bm then
+                Alcotest.failf "%s retries=%d: surviving row %s corrupted" spec retries id)
+            rows;
+          (* failures consumed their whole budget and are reported *)
+          List.iter
+            (fun (id, st) ->
+              match st with
+              | `Failed attempts ->
+                if attempts <> retries + 1 then
+                  Alcotest.failf "%s retries=%d: %s failed with %d attempts" spec retries id
+                    attempts;
+                if List.mem_assoc id rows then
+                  Alcotest.failf "%s: failed workload %s still has a row" spec id
+              | `Ok _ | `Cached | `Resumed -> ())
+            statuses;
+          (* cache and crash faults are fully absorbed by recovery *)
+          (match point with
+          | Fault.Cache_read | Fault.Cache_write | Fault.Pool_crash ->
+            List.iter
+              (fun (id, st) ->
+                match st with
+                | `Failed _ -> Alcotest.failf "%s: %s failed but the point is recoverable" spec id
+                | _ -> ())
+              statuses
+          | Fault.Trace_gen | Fault.Analyzer_chunk | Fault.Pool_worker -> ());
+          (* (c) determinism: the same plan replays to the same outcome *)
+          let statuses2, rows2 = run () in
+          if statuses <> statuses2 || rows <> rows2 then
+            Alcotest.failf "%s retries=%d: fault injection not deterministic" spec retries)
+        [ 0; 2 ])
+    Fault.all_points
+
 let suite =
   ( "fuzz",
     [
@@ -210,4 +347,5 @@ let suite =
       Alcotest.test_case "branch stats exact" `Quick test_branch_stats_exact;
       Alcotest.test_case "branch stats transition" `Quick
         test_branch_stats_alternating_vs_constant;
+      Alcotest.test_case "fault matrix sweep" `Quick test_fault_matrix;
     ] )

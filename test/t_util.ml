@@ -166,6 +166,162 @@ let test_pool_default_jobs_env () =
       Alcotest.(check int) "garbage falls back" fallback (Pool.default_jobs ());
       Alcotest.(check bool) "fallback positive" true (fallback >= 1))
 
+(* ---------------- Fault ---------------- *)
+
+module Fault = Mica_util.Fault
+
+let plan_exn spec =
+  match Fault.parse spec with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "plan %S rejected: %s" spec msg
+
+let test_fault_parse_roundtrip () =
+  let p = plan_exn "seed=7,pool.worker=0.3,cache.read=1@2" in
+  Alcotest.(check string)
+    "normalized" "seed=7,pool.worker=0.3,cache.read=1@2" (Fault.to_string p);
+  (match Fault.parse (Fault.to_string p) with
+  | Ok p' -> Alcotest.(check string) "roundtrip" (Fault.to_string p) (Fault.to_string p')
+  | Error msg -> Alcotest.failf "roundtrip rejected: %s" msg);
+  List.iter
+    (fun bad ->
+      match Fault.parse bad with
+      | Ok _ -> Alcotest.failf "accepted bad spec %S" bad
+      | Error _ -> ())
+    [ ""; "seed=7"; "pool.worker"; "nosuch.point=0.5"; "pool.worker=1.5";
+      "pool.worker=nan"; "pool.worker=0.5@-1"; "seed=x,pool.worker=0.1";
+      "pool.worker=0.1,pool.worker=0.2" ]
+
+let test_fault_disabled_is_silent () =
+  Fault.with_plan None (fun () ->
+      Alcotest.(check bool) "disabled" false (Fault.enabled ());
+      for key = 0 to 100 do
+        List.iter (fun p -> Fault.check p ~key) Fault.all_points
+      done)
+
+let test_fault_deterministic_and_scoped () =
+  let plan = plan_exn "seed=11,trace.gen=0.5" in
+  Fault.with_plan (Some plan) (fun () ->
+      let pattern () =
+        List.init 64 (fun key -> Fault.fires Fault.Trace_gen ~key)
+      in
+      Alcotest.(check (list bool)) "pure function of key" (pattern ()) (pattern ());
+      Alcotest.(check bool) "some fire" true (List.mem true (pattern ()));
+      Alcotest.(check bool) "some don't" true (List.mem false (pattern ()));
+      (* other points are untouched by a trace.gen rule *)
+      for key = 0 to 63 do
+        Alcotest.(check bool) "other point silent" false (Fault.fires Fault.Pool_worker ~key)
+      done;
+      (* a different attempt re-rolls the decision *)
+      let at_attempt a =
+        Fault.with_context ~task:0 ~attempt:a (fun () ->
+            List.init 64 (fun key -> Fault.fires Fault.Trace_gen ~key))
+      in
+      Alcotest.(check bool) "attempt changes the roll" true (at_attempt 1 <> at_attempt 2));
+  Alcotest.(check bool) "plan restored" false (Fault.enabled ())
+
+let test_fault_task_filter () =
+  let plan = plan_exn "seed=3,pool.worker=1@2" in
+  Fault.with_plan (Some plan) (fun () ->
+      let fires_for task =
+        Fault.with_context ~task ~attempt:1 (fun () -> Fault.fires Fault.Pool_worker ~key:0)
+      in
+      Alcotest.(check bool) "task 2 fires" true (fires_for 2);
+      Alcotest.(check bool) "task 1 silent" false (fires_for 1);
+      Alcotest.(check bool) "task 3 silent" false (fires_for 3))
+
+(* ---------------- Pool.run_results ---------------- *)
+
+let outcome_values out =
+  Array.map
+    (fun (o : _ Pool.outcome) ->
+      match o.Pool.result with Ok v -> v | Error _ -> Alcotest.fail "unexpected failure")
+    out
+
+let test_run_results_matches_map () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun n ->
+              let expected = Pool.map pool n (fun i -> (i * 7) mod 13) in
+              let out = Pool.run_results pool n (fun i -> (i * 7) mod 13) in
+              Alcotest.(check (array int))
+                (Printf.sprintf "jobs=%d n=%d" jobs n)
+                expected (outcome_values out);
+              Array.iter
+                (fun (o : _ Pool.outcome) ->
+                  Alcotest.(check int) "single attempt" 1 o.Pool.attempts)
+                out)
+            [ 0; 1; 5; 64 ]))
+    [ 1; 4 ]
+
+let test_run_results_contains_failure () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let out =
+        Pool.run_results ~retries:1 pool 20 (fun i ->
+            if i = 13 then failwith "boom13" else i)
+      in
+      Array.iteri
+        (fun i (o : _ Pool.outcome) ->
+          if i = 13 then begin
+            (match o.Pool.result with
+            | Error { Pool.error = Failure m; _ } ->
+              Alcotest.(check string) "error text" "boom13" m
+            | Error _ -> Alcotest.fail "wrong error captured"
+            | Ok _ -> Alcotest.fail "index 13 should fail");
+            Alcotest.(check int) "budget consumed" 2 o.Pool.attempts
+          end
+          else
+            match o.Pool.result with
+            | Ok v -> Alcotest.(check int) "neighbor intact" i v
+            | Error _ -> Alcotest.failf "index %d corrupted by neighbor failure" i)
+        out;
+      (* the pool is still usable afterwards *)
+      let again = outcome_values (Pool.run_results pool 20 (fun i -> i)) in
+      Alcotest.(check int) "pool survives" 19 again.(19))
+
+let test_run_results_retry_clears_transient () =
+  (* pool.worker=1@7 fires on every attempt of task 7... but only because
+     the hash includes the attempt; use probability to let a retry pass *)
+  let plan = plan_exn "seed=5,pool.worker=0.6@7" in
+  Fault.with_plan (Some plan) (fun () ->
+      Pool.with_pool ~jobs:2 (fun pool ->
+          let out = Pool.run_results ~retries:8 pool 16 (fun i -> i * 3) in
+          Array.iteri
+            (fun i (o : _ Pool.outcome) ->
+              match o.Pool.result with
+              | Ok v ->
+                Alcotest.(check int) "value" (i * 3) v;
+                if i <> 7 then Alcotest.(check int) "only task 7 retried" 1 o.Pool.attempts
+              | Error _ -> Alcotest.failf "task %d never recovered" i)
+            out;
+          let seven = out.(7) in
+          Alcotest.(check bool) "task 7 was retried" true (seven.Pool.attempts > 1)))
+
+let test_run_results_exhausted_budget () =
+  let plan = plan_exn "seed=5,pool.worker=1@3" in
+  Fault.with_plan (Some plan) (fun () ->
+      Pool.with_pool ~jobs:2 (fun pool ->
+          let out = Pool.run_results ~retries:2 pool 8 (fun i -> i) in
+          match out.(3).Pool.result with
+          | Error { Pool.error = Fault.Injected _; _ } ->
+            Alcotest.(check int) "attempts = 1 + retries" 3 out.(3).Pool.attempts
+          | Error _ -> Alcotest.fail "wrong error"
+          | Ok _ -> Alcotest.fail "task 3 must exhaust its budget"))
+
+let test_run_results_crash_recovery () =
+  (* a crash kills the worker's whole block; the recovery pass must still
+     produce every index, at any jobs *)
+  let plan = plan_exn "seed=9,pool.crash=0.2" in
+  let at jobs =
+    Fault.with_plan (Some plan) (fun () ->
+        Pool.with_pool ~jobs (fun pool ->
+            outcome_values (Pool.run_results pool 32 (fun i -> i * i))))
+  in
+  let expected = Array.init 32 (fun i -> i * i) in
+  Alcotest.(check (array int)) "jobs=1 all recovered" expected (at 1);
+  Alcotest.(check (array int)) "jobs=4 all recovered" expected (at 4)
+
 let suite =
   ( "util",
     [
@@ -184,4 +340,13 @@ let suite =
       Alcotest.test_case "pool nested inline" `Quick test_pool_nested_runs_inline;
       Alcotest.test_case "pool shutdown respawn" `Quick test_pool_survives_shutdown;
       Alcotest.test_case "pool MICA_JOBS" `Quick test_pool_default_jobs_env;
+      Alcotest.test_case "fault spec roundtrip" `Quick test_fault_parse_roundtrip;
+      Alcotest.test_case "fault disabled silent" `Quick test_fault_disabled_is_silent;
+      Alcotest.test_case "fault deterministic" `Quick test_fault_deterministic_and_scoped;
+      Alcotest.test_case "fault task filter" `Quick test_fault_task_filter;
+      Alcotest.test_case "run_results = map" `Quick test_run_results_matches_map;
+      Alcotest.test_case "run_results contains failure" `Quick test_run_results_contains_failure;
+      Alcotest.test_case "run_results retry clears" `Quick test_run_results_retry_clears_transient;
+      Alcotest.test_case "run_results budget exhausted" `Quick test_run_results_exhausted_budget;
+      Alcotest.test_case "run_results crash recovery" `Quick test_run_results_crash_recovery;
     ] )

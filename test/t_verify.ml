@@ -422,12 +422,15 @@ let with_temp_cache_dir f =
       (Printf.sprintf "mica_test_cache_%d_%d" (Unix.getpid ()) (Random.bits ()))
   in
   Sys.mkdir dir 0o755;
-  Fun.protect
-    ~finally:(fun () ->
-      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
-        (Sys.readdir dir);
-      try Sys.rmdir dir with Sys_error _ -> ())
-    (fun () -> f dir)
+  let rec remove_tree path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+        try Sys.rmdir path with Sys_error _ -> ()
+      end
+      else try Sys.remove path with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
 
 let cache_config dir =
   { Pipeline.default_config with Pipeline.icount = 1_000; cache_dir = Some dir;
@@ -505,6 +508,155 @@ let test_cache_truncated_recomputed () =
       Alcotest.check Tutil.feq "recomputed over truncated cache"
         fresh.Mica_core.Dataset.data.(0).(0) got.Mica_core.Dataset.data.(0).(0))
 
+(* ---------------- supervised pool and crash-safe caches ---------------- *)
+
+module Fault = Mica_util.Fault
+module Run_report = Mica_core.Run_report
+
+let plan_exn spec =
+  match Fault.parse spec with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "plan %S rejected: %s" spec msg
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Acceptance differential: with faults disabled, supervised execution is
+   bit-identical to [Pool.run] over the real characterization body, at
+   jobs=1 and jobs=4. *)
+let test_run_results_matches_run_differential () =
+  let workloads = Array.of_list (golden_trio ()) in
+  let config = { (cache_config "/nonexistent") with Pipeline.cache_dir = None } in
+  let body i = Pipeline.characterize config workloads.(i) in
+  let via_run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let out = Array.make (Array.length workloads) None in
+        Pool.run pool (Array.length workloads) (fun i -> out.(i) <- Some (body i));
+        Array.map Option.get out)
+  in
+  let via_results jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Array.map
+          (fun (o : _ Pool.outcome) ->
+            match o.Pool.result with
+            | Ok v -> v
+            | Error _ -> Alcotest.fail "unexpected failure without faults")
+          (Pool.run_results pool (Array.length workloads) body))
+  in
+  List.iter
+    (fun jobs ->
+      if via_run jobs <> via_results jobs then
+        Alcotest.failf "run_results differs from run at jobs=%d" jobs)
+    [ 1; 4 ];
+  if via_results 1 <> via_results 4 then
+    Alcotest.fail "run_results not bit-identical across jobs"
+
+let test_cache_checksum_quarantine () =
+  with_temp_cache_dir (fun dir ->
+      let w = List.hd (golden_trio ()) in
+      let config = cache_config dir in
+      let fresh = Pipeline.mica_dataset ~config [ w ] in
+      let path = cache_file dir "mica" in
+      (* flip one digit inside the committed body, keeping the CSV shape
+         valid: only the checksum can catch this *)
+      let contents = read_file path in
+      let pos = String.length contents - 5 in
+      let flipped = if contents.[pos] = '1' then '2' else '1' in
+      let oc = open_out_bin path in
+      output_string oc (String.sub contents 0 pos);
+      output_char oc flipped;
+      output_string oc (String.sub contents (pos + 1) (String.length contents - pos - 1));
+      close_out oc;
+      let got = Pipeline.mica_dataset ~config [ w ] in
+      Alcotest.check Tutil.feq "recomputed, not silently consumed"
+        fresh.Mica_core.Dataset.data.(0).(0) got.Mica_core.Dataset.data.(0).(0);
+      Alcotest.(check bool) "corrupt file quarantined" true
+        (Sys.file_exists (path ^ ".quarantined"));
+      Alcotest.(check bool) "fresh cache rewritten" true (Sys.file_exists path))
+
+(* Killed-mid-batch resume: fail the main cache commit (and workload 0's
+   checkpoint) with an injected cache.write fault, leaving only the other
+   workloads' checkpoints on disk — the state a kill after two of three
+   workloads leaves behind.  The rerun must resume from checkpoints and
+   commit caches byte-identical to an uninterrupted run. *)
+let test_crash_resume_bit_identical () =
+  let trio = golden_trio () in
+  with_temp_cache_dir (fun ref_dir ->
+      with_temp_cache_dir (fun dir ->
+          let reference =
+            let config = cache_config ref_dir in
+            let mica, hpc, _ = Pipeline.datasets_report ~config trio in
+            ignore mica;
+            ignore hpc;
+            (read_file (cache_file ref_dir "mica"), read_file (cache_file ref_dir "hpc"))
+          in
+          let config = cache_config dir in
+          (* interrupted run: the main cache save runs at ambient task 0,
+             so cache.write=1@0 kills it (plus task 0's checkpoint) *)
+          Fault.with_plan
+            (Some (plan_exn "seed=1,cache.write=1@0"))
+            (fun () ->
+              let _, _, report = Pipeline.datasets_report ~config trio in
+              Alcotest.(check int) "interrupted run computed everything" 3
+                (Run_report.computed report));
+          Alcotest.(check bool) "main cache not committed" false
+            (Sys.file_exists (cache_file dir "mica"));
+          let ckpt_dir = Filename.concat dir "checkpoints" in
+          Alcotest.(check int) "two checkpoints survive the interruption" 2
+            (Array.length (Sys.readdir ckpt_dir));
+          (* resumed run *)
+          let _, _, report = Pipeline.datasets_report ~config trio in
+          Alcotest.(check int) "resumed from checkpoints" 2 (Run_report.resumed report);
+          Alcotest.(check int) "recomputed the lost workload" 1 (Run_report.computed report);
+          Alcotest.(check (list string)) "checkpoints cleaned up" []
+            (Array.to_list (Sys.readdir ckpt_dir));
+          Alcotest.(check string) "mica cache bit-identical to uninterrupted run"
+            (fst reference)
+            (read_file (cache_file dir "mica"));
+          Alcotest.(check string) "hpc cache bit-identical to uninterrupted run"
+            (snd reference)
+            (read_file (cache_file dir "hpc"))))
+
+(* Graceful degradation: one permanently failing workload must not cost the
+   others their rows, and the report must name it with a backtrace. *)
+let test_failing_workload_degrades_gracefully () =
+  with_temp_cache_dir (fun dir ->
+      let trio = golden_trio () in
+      let failing_id = Workload.id (List.nth trio 1) in
+      let config = { (cache_config dir) with Pipeline.retries = 1 } in
+      Fault.with_plan
+        (Some (plan_exn "seed=2,trace.gen=1@1"))
+        (fun () ->
+          let mica, hpc, report = Pipeline.datasets_report ~config trio in
+          Alcotest.(check int) "survivors emitted" 2 (Mica_core.Dataset.rows mica);
+          Alcotest.(check int) "hpc rows match" 2 (Mica_core.Dataset.rows hpc);
+          Alcotest.(check bool) "failed row absent" true
+            (Mica_core.Dataset.row_index mica failing_id = None);
+          match Run_report.failures report with
+          | [ { Run_report.id; status = Failed { attempts; error; backtrace } } ] ->
+            Alcotest.(check string) "failure names the workload" failing_id id;
+            Alcotest.(check int) "budget consumed" 2 attempts;
+            Alcotest.(check bool) "error mentions the injection" true
+              (String.length error > 0);
+            Alcotest.(check bool) "backtrace captured" true (String.length backtrace > 0)
+          | other -> Alcotest.failf "expected exactly one failure, got %d" (List.length other));
+      (* strict [datasets] must refuse the same run loudly *)
+      Fault.with_plan
+        (Some (plan_exn "seed=2,trace.gen=1@1"))
+        (fun () ->
+          match Pipeline.datasets ~config:{ config with Pipeline.cache_dir = None } trio with
+          | _ -> Alcotest.fail "datasets must raise on a failed workload"
+          | exception Failure msg ->
+            Alcotest.(check bool) "message names the workload" true
+              (let re = failing_id in
+               let len = String.length re in
+               let n = String.length msg in
+               let rec scan i = i + len <= n && (String.sub msg i len = re || scan (i + 1)) in
+               scan 0)))
+
 (* ---------------- suite ---------------- *)
 
 let test_suite_smoke () =
@@ -560,5 +712,12 @@ let suite =
         test_cache_stale_version_invalidated;
       Alcotest.test_case "cache: corrupt recomputed" `Quick test_cache_corrupt_recomputed;
       Alcotest.test_case "cache: truncated recomputed" `Quick test_cache_truncated_recomputed;
+      Alcotest.test_case "supervised: run_results vs run differential" `Quick
+        test_run_results_matches_run_differential;
+      Alcotest.test_case "cache: checksum quarantine" `Quick test_cache_checksum_quarantine;
+      Alcotest.test_case "cache: crash-resume bit-identical" `Quick
+        test_crash_resume_bit_identical;
+      Alcotest.test_case "supervised: failing workload degrades" `Quick
+        test_failing_workload_degrades_gracefully;
       Alcotest.test_case "suite smoke" `Quick test_suite_smoke;
     ] )
