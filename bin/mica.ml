@@ -46,8 +46,25 @@ let faults =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
 
-let config_of icount no_cache verbose faults =
+let metrics_opt =
+  let doc =
+    "Enable the observability layer and write the final metrics snapshot (counters, \
+     gauges, histograms and span timings across all domains) as JSON to $(docv) when \
+     the command exits."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* The snapshot is written from [at_exit] so every exit path of every
+   subcommand — including the [exit 1/2] error paths — still commits it. *)
+let setup_metrics = function
+  | None -> ()
+  | Some path ->
+    Mica_obs.Obs.set_enabled true;
+    at_exit (fun () -> Mica_obs.Obs.write_json path (Mica_obs.Obs.snapshot ()))
+
+let config_of icount no_cache verbose faults metrics =
   setup_logs verbose;
+  setup_metrics metrics;
   (match faults with
   | None -> ()
   | Some spec -> (
@@ -63,7 +80,7 @@ let config_of icount no_cache verbose faults =
     progress = true;
   }
 
-let config_term = Term.(const config_of $ icount $ no_cache $ verbose $ faults)
+let config_term = Term.(const config_of $ icount $ no_cache $ verbose $ faults $ metrics_opt)
 
 (* Render a batch's run report: the one-line summary on stderr (it is
    operational metadata, stdout stays parseable), failure details when
@@ -98,7 +115,8 @@ let list_cmd =
     let doc = "Only list this suite." in
     Arg.(value & opt (some string) None & info [ "suite" ] ~docv:"SUITE" ~doc)
   in
-  let run suite =
+  let run metrics suite =
+    setup_metrics metrics;
     let workloads =
       match suite with
       | None -> Mica_workloads.Registry.all
@@ -117,7 +135,7 @@ let list_cmd =
     Printf.printf "%d workloads\n" (List.length workloads)
   in
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark models (Table I).")
-    Term.(const run $ suite_filter)
+    Term.(const run $ metrics_opt $ suite_filter)
 
 (* ---------------- characterize ---------------- *)
 
@@ -517,7 +535,8 @@ let characterize_trace_cmd =
     let doc = "Trace file recorded with dump-trace." in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
   in
-  let run input format =
+  let run metrics input format =
+    setup_metrics metrics;
     let analyzer = Mica_analysis.Analyzer.create () in
     let sink = Mica_analysis.Analyzer.sink analyzer in
     let n =
@@ -536,7 +555,7 @@ let characterize_trace_cmd =
   Cmd.v
     (Cmd.info "characterize-trace"
        ~doc:"Measure the 47 characteristics from a recorded trace file.")
-    Term.(const run $ input $ format_arg)
+    Term.(const run $ metrics_opt $ input $ format_arg)
 
 (* ---------------- machines / locality / simpoint ---------------- *)
 
@@ -587,8 +606,9 @@ let verify_cmd =
     in
     Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
   in
-  let run verbose quick names =
+  let run verbose quick metrics names =
     setup_logs verbose;
+    setup_metrics metrics;
     let workloads =
       match names with [] -> None | names -> Some (List.map resolve names)
     in
@@ -605,7 +625,209 @@ let verify_cmd =
        ~doc:
          "Run the oracle suite: stream invariants, naive reference analyzers and \
           metamorphic pipeline laws.  Exits nonzero on any violation.")
-    Term.(const run $ verbose $ quick $ workload_names)
+    Term.(const run $ verbose $ quick $ metrics_opt $ workload_names)
+
+(* ---------------- profile ---------------- *)
+
+module Obs = Mica_obs.Obs
+
+(* Spans every run of the given stage must have produced.  [--check] (the
+   CI smoke contract) fails if any is missing or any registered metric is
+   non-finite or a negative counter. *)
+let profile_expected_spans stage =
+  let characterize =
+    [
+      "pipeline.characterize";
+      "trace.gen";
+      "analyzer.mix";
+      "analyzer.ilp";
+      "analyzer.regtraffic";
+      "analyzer.working_set";
+      "analyzer.strides";
+      "analyzer.ppm";
+    ]
+  in
+  characterize
+  @
+  match stage with
+  | `Characterize | `Classify -> []
+  | `Ga -> [ "select.ga" ]
+  | `Ce -> [ "select.ce" ]
+  | `Cluster -> [ "select.ga"; "stats.kmeans"; "cluster.bic" ]
+
+let profile_check stage (snap : Obs.snapshot) =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name snap.Obs.spans with
+      | None -> err "required span %S was never recorded" name
+      | Some s ->
+        if s.Obs.sp_count <= 0 then err "span %S has count %d" name s.Obs.sp_count;
+        if not (Float.is_finite s.Obs.sp_total_s && Float.is_finite s.Obs.sp_self_s) then
+          err "span %S has non-finite time" name)
+    (profile_expected_spans stage);
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Obs.Counter c ->
+        if not (Float.is_finite c) then err "counter %S is non-finite (%g)" name c
+        else if c < 0.0 then err "counter %S is negative (%g)" name c
+      | Obs.Gauge g -> if not (Float.is_finite g) then err "gauge %S is non-finite (%g)" name g
+      | Obs.Histogram h ->
+        if not (Float.is_finite h.Obs.h_sum) then err "histogram %S has non-finite sum" name)
+    snap.Obs.metrics;
+  List.rev !errors
+
+(* The per-stage table: like bench/probe.ml's, but computed from the span
+   statistics of any real run instead of a dedicated micro-harness. *)
+let render_profile ~wall (snap : Obs.snapshot) =
+  let counter name =
+    match List.assoc_opt name snap.Obs.metrics with Some (Obs.Counter c) -> c | _ -> 0.0
+  in
+  let throughput name (s : Obs.span_stat) =
+    let rate unit amount =
+      if s.Obs.sp_total_s <= 0.0 then "-"
+      else Printf.sprintf "%11.3e %s" (amount /. s.Obs.sp_total_s) unit
+    in
+    match name with
+    | "trace.gen" -> rate "instr/s" (counter "trace.instrs")
+    | "analyzer.mix" | "analyzer.ilp" | "analyzer.regtraffic" | "analyzer.working_set"
+    | "analyzer.strides" | "analyzer.ppm" ->
+      rate "instr/s" (counter "trace.instrs")
+    | "pipeline.characterize" -> rate "workload/s" (float_of_int s.Obs.sp_count)
+    | "select.ga" -> rate "gen/s" (counter "ga.generations")
+    | "stats.kmeans" -> rate "iter/s" (counter "kmeans.iterations")
+    | _ -> "-"
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-24s %8s %10s %6s %10s %11s  %s\n" "span" "count" "total(ms)" "%"
+       "self(ms)" "minor(Mw)" "throughput");
+  let spans =
+    List.sort (fun (_, a) (_, b) -> compare b.Obs.sp_total_s a.Obs.sp_total_s) snap.Obs.spans
+  in
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-24s %8d %10.2f %6.1f %10.2f %11.3f  %s\n" name s.Obs.sp_count
+           (1e3 *. s.Obs.sp_total_s)
+           (if wall > 0.0 then 100.0 *. s.Obs.sp_total_s /. wall else 0.0)
+           (1e3 *. s.Obs.sp_self_s)
+           (s.Obs.sp_minor_words /. 1e6)
+           (throughput name s)))
+    spans;
+  Buffer.contents b
+
+let profile_cmd =
+  let stage =
+    let stages =
+      [
+        ("characterize", `Characterize);
+        ("classify", `Classify);
+        ("select-ga", `Ga);
+        ("select-ce", `Ce);
+        ("cluster", `Cluster);
+      ]
+    in
+    let doc =
+      "Pipeline stage to profile: characterize, classify, select-ga, select-ce or cluster."
+    in
+    Arg.(required & pos 0 (some (enum stages)) None & info [] ~docv:"STAGE" ~doc)
+  in
+  let quick =
+    let doc = "Small workload subset and short traces (CI-friendly)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let check =
+    let doc =
+      "Validate the snapshot: fail if any required span is missing or any registered \
+       counter is NaN or negative."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run config quick check stage =
+    Obs.set_enabled true;
+    (* Profile real work, not cache reads: caching is disabled so every
+       stage below the one being profiled actually executes. *)
+    let config =
+      {
+        config with
+        Mica_core.Pipeline.cache_dir = None;
+        progress = false;
+        icount = (if quick then min config.Mica_core.Pipeline.icount 5_000 else config.Mica_core.Pipeline.icount);
+      }
+    in
+    let workloads =
+      if quick then
+        List.filteri (fun i _ -> i < 12) Mica_workloads.Registry.all
+      else Mica_workloads.Registry.all
+    in
+    let t0 = Unix.gettimeofday () in
+    (match stage with
+    | `Characterize ->
+      let _, _, report = Mica_core.Pipeline.datasets_report ~config workloads in
+      surface_report report;
+      let timings = Mica_core.Run_report.timings report in
+      let timings =
+        List.sort
+          (fun (_, a) (_, b) ->
+            compare b.Mica_core.Run_report.elapsed_s a.Mica_core.Run_report.elapsed_s)
+          timings
+      in
+      Printf.printf "slowest workloads:\n";
+      List.iteri
+        (fun i (id, tm) ->
+          if i < 5 then
+            Printf.printf "  %-45s %8.2f ms %10.3f Mw\n" id
+              (1e3 *. tm.Mica_core.Run_report.elapsed_s)
+              (tm.Mica_core.Run_report.minor_words /. 1e6))
+        timings;
+      print_newline ()
+    | `Classify ->
+      let ctx = E.Context.load ~config ~workloads () in
+      ignore (E.table3 ctx)
+    | `Ga ->
+      let ctx = E.Context.load ~config ~workloads () in
+      let ga_config =
+        if quick then
+          { Select.Genetic.default_config with Select.Genetic.max_generations = 12 }
+        else Select.Genetic.default_config
+      in
+      ignore (E.run_ga ~config:ga_config ctx)
+    | `Ce ->
+      let ctx = E.Context.load ~config ~workloads () in
+      ignore (E.run_ce ctx)
+    | `Cluster ->
+      let ctx = E.Context.load ~config ~workloads () in
+      let ga_config =
+        if quick then
+          { Select.Genetic.default_config with Select.Genetic.max_generations = 12 }
+        else Select.Genetic.default_config
+      in
+      let ga = E.run_ga ~config:ga_config ctx in
+      ignore (E.fig6 ~k_max:(if quick then 6 else 70) ctx ~selected:ga.Select.Genetic.selected));
+    let wall = Unix.gettimeofday () -. t0 in
+    let snap = Obs.snapshot () in
+    Printf.printf "stage profile (wall %.3f s, %d workloads, %d instructions each):\n%s" wall
+      (List.length workloads) config.Mica_core.Pipeline.icount
+      (render_profile ~wall snap);
+    if check then begin
+      match profile_check stage snap with
+      | [] -> Printf.printf "check: ok\n"
+      | errors ->
+        List.iter (fun e -> Printf.eprintf "check failed: %s\n" e) errors;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one pipeline stage with metrics enabled and print a per-stage table of \
+          wall time, share of the run, GC minor words and throughput.  With \
+          $(b,--metrics) the full snapshot is also written as JSON; $(b,--check) \
+          turns the run into a CI smoke test.")
+    Term.(const run $ config_term $ quick $ check $ stage)
 
 (* ---------------- export ---------------- *)
 
@@ -665,6 +887,7 @@ let main =
       locality_cmd;
       simpoint_cmd;
       verify_cmd;
+      profile_cmd;
       export_cmd;
     ]
 

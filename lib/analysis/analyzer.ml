@@ -17,16 +17,26 @@ let create ?(ppm_order = 8) ?ilp_windows () =
     ppm = Ppm.create ~order:ppm_order ();
   }
 
+(* Per-family chunk-time spans.  One atomic load per chunk per family when
+   metrics are off; per-chunk granularity (4096 instructions) keeps the
+   enabled-path cost negligible too. *)
+let timed name (s : Mica_trace.Sink.t) =
+  {
+    s with
+    Mica_trace.Sink.on_chunk =
+      (fun c -> Mica_obs.Obs.span name (fun () -> s.Mica_trace.Sink.on_chunk c));
+  }
+
 let sink t =
   let fanout =
     Mica_trace.Sink.fanout
       [
-        Mix.sink t.mix;
-        Ilp.sink t.ilp;
-        Regtraffic.sink t.regtraffic;
-        Working_set.sink t.working_set;
-        Strides.sink t.strides;
-        Ppm.sink t.ppm;
+        timed "analyzer.mix" (Mix.sink t.mix);
+        timed "analyzer.ilp" (Ilp.sink t.ilp);
+        timed "analyzer.regtraffic" (Regtraffic.sink t.regtraffic);
+        timed "analyzer.working_set" (Working_set.sink t.working_set);
+        timed "analyzer.strides" (Strides.sink t.strides);
+        timed "analyzer.ppm" (Ppm.sink t.ppm);
       ]
   in
   (* Fault-injection point: an analyzer failure at chunk granularity,

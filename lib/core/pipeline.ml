@@ -1,6 +1,13 @@
 module Workload = Mica_workloads.Workload
 module Fault = Mica_util.Fault
 module Csv = Mica_util.Csv
+module Obs = Mica_obs.Obs
+
+let m_cache_hits = Obs.counter "cache.hits"
+let m_cache_misses = Obs.counter "cache.misses"
+let m_cache_quarantined = Obs.counter "cache.quarantined"
+let m_cache_resumed = Obs.counter "cache.resumed"
+let m_workloads = Obs.counter "pipeline.workloads"
 
 type config = {
   icount : int;
@@ -24,6 +31,7 @@ let default_config =
 let model_version = "v3"
 
 let characterize config w =
+  Obs.span "pipeline.characterize" @@ fun () ->
   let analyzer = Mica_analysis.Analyzer.create ~ppm_order:config.ppm_order () in
   let counters = Mica_uarch.Hw_counters.create () in
   let sink =
@@ -99,6 +107,7 @@ let split_first_line s =
   | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
 
 let quarantine path reason =
+  Obs.incr m_cache_quarantined;
   let dest = path ^ ".quarantined" in
   (try Sys.rename path dest with Sys_error _ -> ());
   Logs.warn (fun f -> f "cache %s %s; quarantined as %s, rows will be recomputed" path reason dest)
@@ -121,6 +130,7 @@ let cache_body ~features tbl =
   Buffer.contents b
 
 let save_cache path ~features tbl =
+  Obs.span "cache.save" @@ fun () ->
   let body = cache_body ~features tbl in
   atomic_write path (checksum_header cache_header_prefix body ^ body)
 
@@ -133,6 +143,7 @@ let save_cache path ~features tbl =
    malformed row — wrong arity, unparsable or non-finite value — discards
    only that entry. *)
 let load_cache ~features path =
+  Obs.span "cache.load" @@ fun () ->
   let empty () = Hashtbl.create 64 in
   if not (Sys.file_exists path) then empty ()
   else begin
@@ -349,9 +360,20 @@ let characterize_many config missing =
         Mica_util.Pool.run_results ~retries:(max 0 config.retries) pool (Array.length work)
           (fun i ->
             let w = work.(i) in
+            (* Stage cost is measured unconditionally (two clock and two GC
+               counter reads per workload), so reports have the same shape
+               whether or not metrics are enabled. *)
+            let t0 = Unix.gettimeofday () in
+            let minor0 = Gc.minor_words () in
             let m, h = characterize config w in
+            let timing =
+              {
+                Run_report.elapsed_s = Unix.gettimeofday () -. t0;
+                minor_words = Gc.minor_words () -. minor0;
+              }
+            in
             Option.iter (fun dir -> commit_checkpoint config dir w (m, h)) ckpt_dir;
-            (Workload.id w, m, h)))
+            (Workload.id w, m, h, timing)))
   end
 
 let datasets_report ?(config = default_config) workloads =
@@ -383,39 +405,49 @@ let datasets_report ?(config = default_config) workloads =
     | _ -> None
   in
   let missing = List.filter (fun w -> cached (Workload.id w) = None) workloads in
+  Obs.add m_workloads (float_of_int (List.length workloads));
+  Obs.add m_cache_misses (float_of_int (List.length missing));
+  let served w = cached (Workload.id w) <> None in
+  let resumed w = Hashtbl.mem resumed_ids (Workload.id w) in
+  Obs.add m_cache_hits
+    (float_of_int (List.length (List.filter (fun w -> served w && not (resumed w)) workloads)));
+  Obs.add m_cache_resumed
+    (float_of_int (List.length (List.filter (fun w -> served w && resumed w) workloads)));
   let outcomes = characterize_many config missing in
   let missing_arr = Array.of_list missing in
   let outcome_entries = Hashtbl.create 16 in
   Array.iteri
     (fun i (o : _ Mica_util.Pool.outcome) ->
       let id = Workload.id missing_arr.(i) in
-      let status =
+      let status, timing =
         match o.Mica_util.Pool.result with
-        | Ok (id', m, h) ->
+        | Ok (id', m, h, timing) ->
           Hashtbl.replace mica_cache id' m;
           Hashtbl.replace hpc_cache id' h;
-          Run_report.Computed { attempts = o.Mica_util.Pool.attempts }
+          (Run_report.Computed { attempts = o.Mica_util.Pool.attempts }, Some timing)
         | Error { Mica_util.Pool.error; backtrace } ->
-          Run_report.Failed
-            {
-              attempts = o.Mica_util.Pool.attempts;
-              error = Printexc.to_string error;
-              backtrace;
-            }
+          ( Run_report.Failed
+              {
+                attempts = o.Mica_util.Pool.attempts;
+                error = Printexc.to_string error;
+                backtrace;
+              },
+            None )
       in
-      Hashtbl.replace outcome_entries id status)
+      Hashtbl.replace outcome_entries id (status, timing))
     outcomes;
   let report =
     Run_report.create
       (List.map
          (fun w ->
            let id = Workload.id w in
-           let status =
+           let status, timing =
              match Hashtbl.find_opt outcome_entries id with
-             | Some s -> s
-             | None -> if Hashtbl.mem resumed_ids id then Run_report.Resumed else Run_report.Cached
+             | Some st -> st
+             | None ->
+               ((if Hashtbl.mem resumed_ids id then Run_report.Resumed else Run_report.Cached), None)
            in
-           { Run_report.id; status })
+           { Run_report.id; status; timing })
          workloads)
   in
   (* Commit the merged caches.  A failed commit (disk trouble, injected
@@ -475,7 +507,7 @@ let datasets ?config workloads =
   let mica, hpc, report = datasets_report ?config workloads in
   (match Run_report.failures report with
   | [] -> ()
-  | { Run_report.id; status = Failed { attempts; error; _ } } :: _ ->
+  | { Run_report.id; status = Failed { attempts; error; _ }; _ } :: _ ->
     failwith
       (Printf.sprintf "Pipeline.datasets: workload %s failed after %d attempt(s): %s" id attempts
          error)

@@ -4,7 +4,8 @@ type status =
   | Resumed
   | Failed of { attempts : int; error : string; backtrace : string }
 
-type entry = { id : string; status : status }
+type timing = { elapsed_s : float; minor_words : float }
+type entry = { id : string; status : status; timing : timing option }
 type t = { entries : entry list }
 
 let create entries = { entries }
@@ -25,6 +26,9 @@ let retried =
 
 let failures t =
   List.filter (fun e -> match e.status with Failed _ -> true | _ -> false) t.entries
+
+let timings t =
+  List.filter_map (fun e -> Option.map (fun tm -> (e.id, tm)) e.timing) t.entries
 
 let all_ok t = failures t = []
 

@@ -14,7 +14,13 @@ type status =
   | Failed of { attempts : int; error : string; backtrace : string }
       (** attempt budget exhausted; no row for this workload *)
 
-type entry = { id : string; status : status }
+type timing = { elapsed_s : float; minor_words : float }
+(** Per-workload characterization cost, measured unconditionally (two
+    clock reads and two GC counter reads per workload) so that report
+    structure does not depend on whether metrics are enabled. *)
+
+type entry = { id : string; status : status; timing : timing option }
+(** [timing] is [Some] only for freshly computed workloads. *)
 
 type t
 
@@ -31,6 +37,10 @@ val retried : t -> int
 
 val failures : t -> entry list
 val all_ok : t -> bool
+
+val timings : t -> (string * timing) list
+(** Per-workload stage timings for the entries that were computed this
+    run, in report order.  Used by [mica profile]. *)
 
 val summary : t -> string
 (** One line: ["5 computed (1 retried), 116 cached, 1 resumed, 0 failed"]. *)

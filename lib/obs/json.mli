@@ -1,0 +1,24 @@
+(** Minimal JSON reader used by the metrics exporter round-trip tests and
+    the [mica profile --check] validator.  Accepts standard JSON plus the
+    bare tokens [nan], [inf] and [-inf] that the exporter may emit for
+    non-finite floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document.  [Error msg] carries a byte offset. *)
+
+val parse_exn : string -> t
+(** Like {!parse} but raises [Failure]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up [key]; [None] on missing key or non-object. *)
+
+val to_num : t -> float option
+val to_str : t -> string option

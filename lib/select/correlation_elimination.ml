@@ -1,5 +1,8 @@
 module Stats = Mica_stats
 module Pool = Mica_util.Pool
+module Obs = Mica_obs.Obs
+
+let m_steps = Obs.counter "ce.steps"
 
 type step = { removed : int; avg_abs_corr : float; remaining : int array; rho : float }
 
@@ -14,7 +17,10 @@ type step = { removed : int; avg_abs_corr : float; remaining : int array; rho : 
    need the drift-free value; the removal sequence is identical either
    way, and the rho drift is bounded by the tolerance differential law in
    the test suite. *)
-let run ?(pool = Pool.sequential) ?(exact_rho = false) ?(down_to = 1) ~data fitness =
+(* Kept as a plain function (the [select.ce] span wraps a call to it in
+   [run]) so the body's free variables stay ordinary arguments rather than
+   closure-environment fields. *)
+let run_body ~pool ~exact_rho ~down_to ~data fitness =
   let _, n = Stats.Matrix.dims data in
   let down_to = max 1 down_to in
   let corr = Stats.Matrix.correlation_matrix data in
@@ -43,6 +49,7 @@ let run ?(pool = Pool.sequential) ?(exact_rho = false) ?(down_to = 1) ~data fitn
     done;
     alive.(!best) <- false;
     decr alive_count;
+    Obs.incr m_steps;
     Fitness.Subset.remove ~pool state !best;
     if exact_rho then Fitness.Subset.rebuild ~pool state;
     let remaining = Fitness.Subset.cols state in
@@ -54,6 +61,9 @@ let run ?(pool = Pool.sequential) ?(exact_rho = false) ?(down_to = 1) ~data fitn
       :: !steps
   done;
   List.rev !steps
+
+let run ?(pool = Pool.sequential) ?(exact_rho = false) ?(down_to = 1) ~data fitness =
+  Obs.span "select.ce" (fun () -> run_body ~pool ~exact_rho ~down_to ~data fitness)
 
 let subset_of_size steps k =
   match List.find_opt (fun s -> Array.length s.remaining = k) steps with

@@ -1,5 +1,9 @@
 module Rng = Mica_util.Rng
 module Pool = Mica_util.Pool
+module Obs = Mica_obs.Obs
+
+let m_generations = Obs.counter "ga.generations"
+let m_evaluations = Obs.counter "ga.evaluations"
 
 type config = {
   population : int;
@@ -53,7 +57,10 @@ let diff_to_state st genome =
   Array.iteri (fun c b -> if b <> Fitness.Subset.mem st c then incr d) genome;
   !d
 
-let run ?(config = default_config) ?(pool = Pool.sequential) ~rng fitness =
+(* Kept as a plain function (the [select.ga] span wraps a call to it in
+   [run]) so the body's free variables stay ordinary arguments rather than
+   closure-environment fields. *)
+let run_body ~config ~pool ~rng fitness =
   let n = Fitness.n_characteristics fitness in
   let pop = config.population in
   let cache : (string, float) Hashtbl.t = Hashtbl.create 1024 in
@@ -121,6 +128,7 @@ let run ?(config = default_config) ?(pool = Pool.sequential) ~rng fitness =
     Array.iteri
       (fun u i ->
         incr evaluations;
+        Obs.incr m_evaluations;
         Hashtbl.add cache keys.(i) out.(u))
       fresh;
     for i = 0 to pop - 1 do
@@ -173,6 +181,7 @@ let run ?(config = default_config) ?(pool = Pool.sequential) ~rng fitness =
   let best_ever_score = ref scores.(best_of ()) in
   while !generation < config.max_generations && !stall < config.stall_generations do
     incr generation;
+    Obs.incr m_generations;
     (* elitism: carry the best genomes over unchanged *)
     let order = Array.init pop Fun.id in
     Array.sort (fun a b -> compare scores.(b) scores.(a)) order;
@@ -226,3 +235,6 @@ let run ?(config = default_config) ?(pool = Pool.sequential) ~rng fitness =
     best_history = Array.of_list (List.rev !history);
     evaluations = !evaluations;
   }
+
+let run ?(config = default_config) ?(pool = Pool.sequential) ~rng fitness =
+  Obs.span "select.ga" (fun () -> run_body ~config ~pool ~rng fitness)

@@ -40,6 +40,7 @@ let score m (res : Kmeans.result) =
 
 let sweep ?(k_min = 1) ?(k_max = 70) ?(restarts = 3) ?(pool = Mica_util.Pool.sequential)
     ?features ~rng m =
+  Mica_obs.Obs.span "cluster.bic" @@ fun () ->
   let n = Array.length m in
   let k_max = min k_max n in
   let k_min = max 1 (min k_min k_max) in

@@ -1,5 +1,11 @@
 module Rng = Mica_util.Rng
 module Pool = Mica_util.Pool
+module Obs = Mica_obs.Obs
+
+(* Bumped on the main domain from the per-restart results, after the pool
+   fan-out returns, so readings are identical at any [jobs]. *)
+let m_restarts = Obs.counter "kmeans.restarts"
+let m_iterations = Obs.counter "kmeans.iterations"
 
 type result = {
   k : int;
@@ -136,6 +142,7 @@ let check_finite ?features m =
     m
 
 let fit ?(max_iters = 100) ?(restarts = 1) ?(pool = Pool.sequential) ?features ~rng ~k m =
+  Obs.span "stats.kmeans" @@ fun () ->
   let n = Array.length m in
   if k < 1 || k > n then invalid_arg "Kmeans.fit: k out of range";
   check_finite ?features m;
@@ -150,6 +157,8 @@ let fit ?(max_iters = 100) ?(restarts = 1) ?(pool = Pool.sequential) ?features ~
         let assignments, inertia, iterations = lloyd ~max_iters m centroids in
         (assignments, centroids, inertia, iterations))
   in
+  Obs.add m_restarts (float_of_int restarts);
+  Array.iter (fun (_, _, _, iters) -> Obs.add m_iterations (float_of_int iters)) results;
   (* ordered reduce: the earliest restart with minimal inertia wins *)
   let best = ref 0 in
   for r = 1 to restarts - 1 do

@@ -5,6 +5,11 @@ module Instr = Mica_isa.Instr
 
 exception Done
 
+module Obs = Mica_obs.Obs
+
+let m_chunks = Obs.counter "trace.chunks"
+let m_instrs = Obs.counter "trace.instrs"
+
 type state = {
   rng : Rng.t;
   chunk : Chunk.t;  (* staging buffer, refilled in place between deliveries *)
@@ -27,8 +32,11 @@ let flush st =
        plan installed this is one atomic load per chunk, nothing per
        instruction. *)
     Mica_util.Fault.check Mica_util.Fault.Trace_gen ~key:st.emitted;
+    let len = st.chunk.Chunk.len in
     st.deliver st.chunk;
-    Chunk.clear st.chunk
+    Chunk.clear st.chunk;
+    Obs.incr m_chunks;
+    Obs.add m_instrs (float_of_int len)
   end
 
 (* The one write path to the chunk.  [len < capacity] holds on entry because
@@ -209,18 +217,19 @@ let run program ~icount ~sink =
         next_pc = 0;
       }
     in
-    (try
-       let phase_idx = ref 0 in
-       while true do
-         let ph = phases.(!phase_idx mod Array.length phases) in
-         incr phase_idx;
-         let budget_end = st.emitted + ph.length in
-         while st.emitted < budget_end do
-           let inst = Rng.pick_weighted st.rng ph.kernels in
-           run_visit st inst
-         done
-       done
-     with Done -> ());
+    Obs.span "trace.gen" (fun () ->
+        try
+          let phase_idx = ref 0 in
+          while true do
+            let ph = phases.(!phase_idx mod Array.length phases) in
+            incr phase_idx;
+            let budget_end = st.emitted + ph.length in
+            while st.emitted < budget_end do
+              let inst = Rng.pick_weighted st.rng ph.kernels in
+              run_visit st inst
+            done
+          done
+        with Done -> ());
     st.emitted
   end
 

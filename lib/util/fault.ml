@@ -159,16 +159,20 @@ let fires point ~key =
     let task, attempt = Domain.DLS.get context_key in
     fires_with t point ~task ~attempt ~key
 
+let m_injected = Mica_obs.Obs.counter "fault.injected"
+
 let check point ~key =
   match Atomic.get current with
   | None -> ()
   | Some t ->
     let task, attempt = Domain.DLS.get context_key in
-    if fires_with t point ~task ~attempt ~key then
+    if fires_with t point ~task ~attempt ~key then begin
+      Mica_obs.Obs.incr m_injected;
       raise
         (Injected
            (Printf.sprintf "injected fault at %s (task %d, attempt %d, site %d)"
               (point_name point) task attempt key))
+    end
 
 (* MICA_FAULTS makes the plan ambient for whole-process runs (CI, CLI). *)
 let () =

@@ -25,6 +25,18 @@
    the busy workers.  This is also deterministic: inner tasks are pure per
    index either way. *)
 
+module Obs = Mica_obs.Obs
+
+(* Observability (inert when disabled; see DESIGN.md §11).  [pool.block]
+   span time summed across domains over wall time gives worker
+   utilization; [pool.pending] is the queue-depth gauge. *)
+let m_runs = Obs.counter "pool.runs"
+let m_tasks = Obs.counter "pool.tasks"
+let m_parallel_runs = Obs.counter "pool.parallel_runs"
+let m_retries = Obs.counter "pool.retries"
+let m_crash_recoveries = Obs.counter "pool.crash_recoveries"
+let m_pending = Obs.gauge "pool.pending"
+
 type state = {
   mutex : Mutex.t;
   work : Condition.t;  (* workers park here between epochs *)
@@ -106,23 +118,27 @@ let block_range ~n ~blocks w = (w * n / blocks, ((w + 1) * n / blocks) - 1)
 
 let run t n f =
   if n > 0 then begin
+    Obs.incr m_runs;
+    Obs.add m_tasks (float_of_int n);
     if t.jobs = 1 || n = 1 || not (Atomic.compare_and_set t.active false true) then
       for i = 0 to n - 1 do
         f i
       done
     else begin
+      Obs.incr m_parallel_runs;
+      Obs.set m_pending (float_of_int n);
       ensure_spawned t;
       let blocks = min t.jobs n in
       let st = t.state in
       Mutex.lock st.mutex;
       st.body <-
         (fun w ->
-          if w < blocks then begin
-            let lo, hi = block_range ~n ~blocks w in
-            for i = lo to hi do
-              f i
-            done
-          end);
+          if w < blocks then
+            Obs.span "pool.block" (fun () ->
+                let lo, hi = block_range ~n ~blocks w in
+                for i = lo to hi do
+                  f i
+                done));
       st.pending <- Array.length t.domains;
       st.error <- None;
       st.epoch <- st.epoch + 1;
@@ -130,10 +146,11 @@ let run t n f =
       Mutex.unlock st.mutex;
       let my_err =
         try
-          let lo, hi = block_range ~n ~blocks 0 in
-          for i = lo to hi do
-            f i
-          done;
+          Obs.span "pool.block" (fun () ->
+              let lo, hi = block_range ~n ~blocks 0 in
+              for i = lo to hi do
+                f i
+              done);
           None
         with e -> Some e
       in
@@ -145,6 +162,7 @@ let run t n f =
       st.error <- None;
       Mutex.unlock st.mutex;
       Atomic.set t.active false;
+      Obs.set m_pending 0.0;
       match (my_err, worker_err) with
       | Some e, _ | None, Some e -> raise e
       | None, None -> ()
@@ -228,6 +246,7 @@ let run_results ?(retries = 2) ?(backoff = 0.0) ?(seed = 0) t n f =
           if attempt > retries then
             { result = Error { error = e; backtrace }; attempts = attempt }
           else begin
+            Obs.incr m_retries;
             let d = backoff_delay ~seed ~task:i ~attempt ~backoff in
             if d > 0.0 then Unix.sleepf d;
             go (attempt + 1)
@@ -245,6 +264,7 @@ let run_results ?(retries = 2) ?(backoff = 0.0) ?(seed = 0) t n f =
        (* A worker died mid-block.  Discard the current domains (they
           respawn lazily on the next parallel run) and fall through to the
           recovery pass below. *)
+       Obs.incr m_crash_recoveries;
        shutdown t);
     Array.mapi (fun i o -> match o with Some o -> o | None -> attempt_task i) out
   end

@@ -225,6 +225,140 @@ let test_kiviat_svg_escapes () =
   Alcotest.(check bool) "label escaped" true (contains "a&lt;b&amp;c");
   Alcotest.(check bool) "title escaped" true (contains "x&quot;y")
 
+let test_kiviat_text_golden () =
+  (* exact output pins the bar geometry and the value formatting; note the
+     bar clamps to [0,1] while the printed number stays raw *)
+  Alcotest.(check string) "golden"
+    "  ilp        |#####...............| 0.250\n\
+    \  mem        |####################| 1.500\n"
+    (C.Kiviat.text ~axes:[| "ilp"; "mem" |] ~values:[| 0.25; 1.5 |])
+
+let test_kiviat_compact_golden () =
+  (* one glyph per axis; out-of-range values clamp to the end blocks *)
+  Alcotest.(check string) "golden" " \xe2\x96\x84\xe2\x96\x88 \xe2\x96\x88"
+    (C.Kiviat.text_compact ~values:[| 0.0; 0.5; 1.0; -3.0; 2.0 |]);
+  Alcotest.(check string) "empty axes" "" (C.Kiviat.text_compact ~values:[||])
+
+let test_kiviat_svg_empty_and_single () =
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  (* empty plot list: a valid, closed document with the title and nothing else *)
+  let empty = C.Kiviat.svg_grid ~title:"none" ~axes:[| "a" |] [] in
+  Alcotest.(check bool) "empty has root" true (contains empty "<svg");
+  Alcotest.(check bool) "empty closed" true (contains empty "</svg>");
+  Alcotest.(check bool) "empty has no polygons" false (contains empty "<polygon");
+  (* a single plot gets its cluster header and exactly one polygon *)
+  let one =
+    C.Kiviat.svg_grid ~title:"one" ~axes:[| "a"; "b"; "c" |]
+      [ { C.Kiviat.p_label = "only"; p_values = [| 0.2; 0.9; 0.4 |]; p_cluster = 0 } ]
+  in
+  Alcotest.(check bool) "header for cluster 1" true (contains one "Cluster 1");
+  let count needle hay =
+    let n = String.length needle in
+    let rec go i acc =
+      if i + n > String.length hay then acc
+      else go (i + 1) (if String.sub hay i n = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one polygon" 1 (count "<polygon" one);
+  Alcotest.(check bool) "label drawn" true (contains one ">only</text>")
+
+let test_kiviat_write_svg_roundtrip () =
+  let path = Filename.temp_file "t_core_kiviat" ".svg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let plots = [ { C.Kiviat.p_label = "w"; p_values = [| 0.5; 0.5 |]; p_cluster = 0 } ] in
+      C.Kiviat.write_svg ~path ~title:"t" ~axes:[| "a"; "b" |] plots;
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "file is exactly the rendered grid"
+        (C.Kiviat.svg_grid ~title:"t" ~axes:[| "a"; "b" |] plots)
+        contents)
+
+(* ---------------- svg_plot ---------------- *)
+
+let svg_contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let svg_count needle hay =
+  let n = String.length needle in
+  let rec go i acc =
+    if i + n > String.length hay then acc
+    else go (i + 1) (if String.sub hay i n = needle then acc + 1 else acc)
+  in
+  go 0 0
+
+let two_series () =
+  [
+    { C.Svg_plot.label = "mica"; points = [| (0.0, 0.0); (1.0, 2.0); (2.0, 1.0) |];
+      color = C.Svg_plot.default_colors.(0) };
+    { C.Svg_plot.label = "hpc & co"; points = [| (0.5, 1.5) |];
+      color = C.Svg_plot.default_colors.(1) };
+  ]
+
+let test_svg_plot_scatter () =
+  let svg =
+    C.Svg_plot.scatter ~title:"Fig 1 <demo>" ~x_label:"rank" ~y_label:"distance" (two_series ())
+  in
+  Alcotest.(check bool) "root element" true (svg_contains svg "<svg");
+  Alcotest.(check bool) "closed" true (svg_contains svg "</svg>");
+  Alcotest.(check int) "one dot per point" 4 (svg_count "<circle" svg);
+  Alcotest.(check bool) "title escaped" true (svg_contains svg "Fig 1 &lt;demo&gt;");
+  Alcotest.(check bool) "legend escaped" true (svg_contains svg "hpc &amp; co");
+  Alcotest.(check bool) "x label" true (svg_contains svg ">rank</text>");
+  Alcotest.(check bool) "y label" true (svg_contains svg ">distance</text>");
+  Alcotest.(check int) "legend swatch per series" 2 (svg_count "<rect" svg);
+  Alcotest.(check bool) "no NaN coordinates" false (svg_contains svg "nan")
+
+let test_svg_plot_lines () =
+  let svg = C.Svg_plot.lines ~title:"sweep" ~x_label:"k" ~y_label:"rho" (two_series ()) in
+  Alcotest.(check int) "one polyline per non-empty series" 2 (svg_count "<polyline" svg);
+  (* an empty series contributes a legend entry but no geometry *)
+  let with_empty =
+    C.Svg_plot.lines ~title:"sweep" ~x_label:"k" ~y_label:"rho"
+      (two_series () @ [ { C.Svg_plot.label = "void"; points = [||]; color = "#000" } ])
+  in
+  Alcotest.(check int) "empty series draws nothing" 2 (svg_count "<polyline" with_empty);
+  Alcotest.(check int) "but is in the legend" 3 (svg_count "<rect" with_empty)
+
+let test_svg_plot_degenerate_extents () =
+  (* all points identical: both ranges are zero-width and must be widened,
+     not divided through — the output carries no nan/inf anywhere *)
+  let svg =
+    C.Svg_plot.scatter ~title:"dup" ~x_label:"x" ~y_label:"y"
+      [ { C.Svg_plot.label = "s"; points = [| (3.0, 7.0); (3.0, 7.0); (3.0, 7.0) |];
+          color = "#123456" } ]
+  in
+  Alcotest.(check int) "duplicate points all drawn" 3 (svg_count "<circle" svg);
+  Alcotest.(check bool) "no nan" false (svg_contains svg "nan");
+  Alcotest.(check bool) "no inf" false (svg_contains svg "inf");
+  (* empty dataset: no series at all still renders a valid document on the
+     default [0,1] extents *)
+  let empty = C.Svg_plot.lines ~title:"empty" ~x_label:"x" ~y_label:"y" [] in
+  Alcotest.(check bool) "empty renders" true (svg_contains empty "</svg>");
+  Alcotest.(check int) "no geometry" 0 (svg_count "<polyline" empty);
+  Alcotest.(check bool) "empty has no nan" false (svg_contains empty "nan")
+
+let test_svg_plot_write_roundtrip () =
+  let path = Filename.temp_file "t_core_svg" ".svg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let svg = C.Svg_plot.scatter ~title:"w" ~x_label:"x" ~y_label:"y" (two_series ()) in
+      C.Svg_plot.write ~path svg;
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "file holds the document byte-for-byte" svg contents)
+
 (* ---------------- pipeline ---------------- *)
 
 let small_config dir =
@@ -369,6 +503,14 @@ let suite =
       Alcotest.test_case "kiviat compact" `Quick test_kiviat_compact;
       Alcotest.test_case "kiviat svg" `Quick test_kiviat_svg;
       Alcotest.test_case "kiviat svg escapes" `Quick test_kiviat_svg_escapes;
+      Alcotest.test_case "kiviat text golden" `Quick test_kiviat_text_golden;
+      Alcotest.test_case "kiviat compact golden" `Quick test_kiviat_compact_golden;
+      Alcotest.test_case "kiviat svg empty/single" `Quick test_kiviat_svg_empty_and_single;
+      Alcotest.test_case "kiviat write_svg roundtrip" `Quick test_kiviat_write_svg_roundtrip;
+      Alcotest.test_case "svg_plot scatter" `Quick test_svg_plot_scatter;
+      Alcotest.test_case "svg_plot lines" `Quick test_svg_plot_lines;
+      Alcotest.test_case "svg_plot degenerate extents" `Quick test_svg_plot_degenerate_extents;
+      Alcotest.test_case "svg_plot write roundtrip" `Quick test_svg_plot_write_roundtrip;
       Alcotest.test_case "pipeline characterize" `Quick test_pipeline_characterize;
       Alcotest.test_case "pipeline datasets" `Quick test_pipeline_datasets_shape;
       Alcotest.test_case "pipeline cache" `Quick test_pipeline_cache_roundtrip;

@@ -117,6 +117,51 @@ let test_dendrogram_max_depth () =
   in
   Alcotest.(check bool) "summarized" true (contains "benchmarks")
 
+let test_dendrogram_single_benchmark () =
+  let ds =
+    C.Dataset.create ~names:[| "lone" |] ~features:[| "x"; "y" |] [| [| 1.0; 2.0 |] |]
+  in
+  let d = C.Dendrogram.build ds in
+  Alcotest.(check int) "no merges for one benchmark" 0
+    (Array.length (S.Linkage.merge_heights d.C.Dendrogram.tree));
+  let s = C.Dendrogram.render d in
+  let contains needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "leaf named" true (contains "lone");
+  match C.Dendrogram.clusters_at d ~k:1 with
+  | [ (_, members) ] ->
+    Alcotest.(check (array string)) "single singleton cluster" [| "lone" |] members
+  | other -> Alcotest.failf "expected one cluster, got %d" (List.length other)
+
+let test_dendrogram_duplicate_points () =
+  (* two identical benchmarks: their distance is exactly zero, so the first
+     merge happens at height 0 and they stay inseparable at any cut *)
+  let ds =
+    C.Dataset.create
+      ~names:[| "twin1"; "twin2"; "far" |]
+      ~features:[| "x" |]
+      [| [| 1.0 |]; [| 1.0 |]; [| 9.0 |] |]
+  in
+  let d = C.Dendrogram.build ds in
+  let heights = S.Linkage.merge_heights d.C.Dendrogram.tree in
+  Alcotest.(check int) "two merges" 2 (Array.length heights);
+  Alcotest.check Tutil.feq "duplicates merge at height 0" 0.0 heights.(0);
+  let pair =
+    List.find (fun (_, m) -> Array.length m = 2) (C.Dendrogram.clusters_at d ~k:2)
+  in
+  Alcotest.(check (list string)) "twins inseparable" [ "twin1"; "twin2" ]
+    (List.sort compare (Array.to_list (snd pair)))
+
+let test_dendrogram_empty_dataset () =
+  match
+    C.Dendrogram.build (C.Dataset.create ~names:[||] ~features:[| "x" |] [||])
+  with
+  | (_ : C.Dendrogram.t) -> Alcotest.fail "empty dataset accepted"
+  | exception Invalid_argument _ -> ()
+
 (* ---------------- bbv ---------------- *)
 
 let test_bbv_intervals () =
@@ -779,6 +824,9 @@ let suite =
       Alcotest.test_case "dendrogram render" `Quick test_dendrogram_render;
       Alcotest.test_case "dendrogram clusters_at" `Quick test_dendrogram_clusters_at;
       Alcotest.test_case "dendrogram max_depth" `Quick test_dendrogram_max_depth;
+      Alcotest.test_case "dendrogram single benchmark" `Quick test_dendrogram_single_benchmark;
+      Alcotest.test_case "dendrogram duplicate points" `Quick test_dendrogram_duplicate_points;
+      Alcotest.test_case "dendrogram empty dataset" `Quick test_dendrogram_empty_dataset;
       Alcotest.test_case "bbv intervals" `Quick test_bbv_intervals;
       Alcotest.test_case "bbv normalized" `Quick test_bbv_rows_normalized;
       Alcotest.test_case "bbv block ids" `Quick test_bbv_blocks_are_pcs;

@@ -43,6 +43,118 @@ let prop_ring_model =
       let actual = List.init (Ring.length r) (Ring.get r) in
       actual = expected)
 
+(* Interleaved-operation model check: push/clear/get/oldest in random
+   order against a plain list model ([prop_ring_model] above is push-only,
+   so wrap-around after a mid-stream clear is never exercised there). *)
+let prop_ring_interleaved_model =
+  let op_gen =
+    QCheck2.Gen.(
+      frequency
+        [ (6, map (fun x -> `Push x) (int_bound 1000)); (1, pure `Clear); (2, pure `Probe) ])
+  in
+  Tutil.qcheck_case "ring matches model under interleaved ops"
+    QCheck2.Gen.(pair (int_range 1 8) (list_size (int_range 0 60) op_gen))
+    (fun (cap, ops) ->
+      let r = Ring.create ~capacity:cap in
+      let model = ref [] in
+      (* model: newest-first list, trimmed to capacity *)
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push x ->
+            Ring.push r x;
+            model := x :: !model;
+            if List.length !model > cap then
+              model := List.filteri (fun i _ -> i < cap) !model
+          | `Clear ->
+            Ring.clear r;
+            model := []
+          | `Probe ->
+            let n = List.length !model in
+            if Ring.length r <> n then ok := false;
+            if Ring.is_full r <> (n = cap) then ok := false;
+            List.iteri (fun i x -> if Ring.get r i <> x then ok := false) !model;
+            if n > 0 && Ring.oldest r <> List.nth !model (n - 1) then ok := false)
+        ops;
+      !ok
+      && List.init (Ring.length r) (Ring.get r) = !model
+      && Ring.capacity r = cap)
+
+(* ---------------- Int_map ---------------- *)
+
+module Int_map = Mica_util.Int_map
+
+(* Random operation sequences against a [Hashtbl] reference: the map is an
+   exact replacement for the analyzer hot paths, so every observable —
+   find/mem/length and the full binding set — must agree at every step. *)
+let prop_int_map_matches_hashtbl =
+  let op_gen =
+    QCheck2.Gen.(
+      let key = int_bound 400 in
+      frequency
+        [
+          (4, map2 (fun k v -> `Set (k, v)) key (int_range (-50) 50));
+          (4, map2 (fun k d -> `Bump (k, d)) key (int_range (-10) 10));
+          (2, map (fun k -> `Add_if_absent k) key);
+          (3, map (fun k -> `Find k) key);
+        ])
+  in
+  Tutil.qcheck_case "int_map matches hashtbl reference"
+    QCheck2.Gen.(pair (int_range 0 8) (list_size (int_range 0 200) op_gen))
+    (fun (initial, ops) ->
+      let m = Int_map.create ~initial () in
+      let h : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Set (k, v) ->
+            Int_map.set m k v;
+            Hashtbl.replace h k v
+          | `Bump (k, d) ->
+            Int_map.bump m k d;
+            Hashtbl.replace h k (Option.value (Hashtbl.find_opt h k) ~default:0 + d)
+          | `Add_if_absent k ->
+            Int_map.add_if_absent m k;
+            if not (Hashtbl.mem h k) then Hashtbl.replace h k 0
+          | `Find k ->
+            if Int_map.find m k ~default:min_int <> Option.value (Hashtbl.find_opt h k) ~default:min_int
+            then ok := false;
+            if Int_map.mem m k <> Hashtbl.mem h k then ok := false)
+        ops;
+      (* final full-state agreement *)
+      if Int_map.length m <> Hashtbl.length h then ok := false;
+      Int_map.iter m (fun k v -> if Hashtbl.find_opt h k <> Some v then ok := false);
+      let seen = ref 0 in
+      Int_map.iter m (fun _ _ -> incr seen);
+      !ok && !seen = Hashtbl.length h)
+
+let test_int_map_negative_keys_rejected () =
+  let m = Int_map.create () in
+  List.iter
+    (fun f -> try f (); Alcotest.fail "negative key accepted" with Invalid_argument _ -> ())
+    [
+      (fun () -> Int_map.set m (-1) 0);
+      (fun () -> Int_map.bump m (-3) 1);
+      (fun () -> Int_map.add_if_absent m (-2));
+    ]
+
+let prop_int_map_growth =
+  (* dense sequential insertion forces repeated rehashing past [initial] *)
+  Tutil.qcheck_case ~count:50 "int_map growth preserves bindings"
+    QCheck2.Gen.(int_range 1 600)
+    (fun n ->
+      let m = Int_map.create ~initial:1 () in
+      for k = 0 to n - 1 do
+        Int_map.set m k (k * 3)
+      done;
+      let ok = ref (Int_map.length m = n) in
+      for k = 0 to n - 1 do
+        if Int_map.find m k ~default:(-1) <> k * 3 then ok := false
+      done;
+      !ok && not (Int_map.mem m n))
+
 (* ---------------- Csv ---------------- *)
 
 let test_csv_escape () =
@@ -329,6 +441,10 @@ let suite =
       Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
       Alcotest.test_case "ring clear" `Quick test_ring_clear;
       prop_ring_model;
+      prop_ring_interleaved_model;
+      prop_int_map_matches_hashtbl;
+      Alcotest.test_case "int_map negative keys" `Quick test_int_map_negative_keys_rejected;
+      prop_int_map_growth;
       Alcotest.test_case "csv escaping" `Quick test_csv_escape;
       Alcotest.test_case "csv parsing" `Quick test_csv_parse;
       Alcotest.test_case "csv file roundtrip" `Quick test_csv_file_roundtrip;

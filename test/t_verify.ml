@@ -636,7 +636,7 @@ let test_failing_workload_degrades_gracefully () =
           Alcotest.(check bool) "failed row absent" true
             (Mica_core.Dataset.row_index mica failing_id = None);
           match Run_report.failures report with
-          | [ { Run_report.id; status = Failed { attempts; error; backtrace } } ] ->
+          | [ { Run_report.id; status = Failed { attempts; error; backtrace }; _ } ] ->
             Alcotest.(check string) "failure names the workload" failing_id id;
             Alcotest.(check int) "budget consumed" 2 attempts;
             Alcotest.(check bool) "error mentions the injection" true
@@ -656,6 +656,168 @@ let test_failing_workload_degrades_gracefully () =
                let n = String.length msg in
                let rec scan i = i + len <= n && (String.sub msg i len = re || scan (i + 1)) in
                scan 0)))
+
+(* ---------------- observability inertness ----------------
+
+   The DESIGN.md §11 contract: probes observe, they never feed back.  The
+   differentials below run the real kernels with metrics fully enabled and
+   compare the results structurally against a metrics-off run — any
+   divergence, at any [jobs], is a probe leaking into pipeline logic. *)
+
+module Obs = Mica_obs.Obs
+
+let with_metrics on f =
+  Obs.reset ();
+  Obs.set_enabled on;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let test_metrics_inert_characterization () =
+  let trio = golden_trio () in
+  let run ~jobs ~metrics =
+    with_metrics metrics (fun () ->
+        Pipeline.datasets
+          ~config:
+            { Pipeline.default_config with Pipeline.icount = 1_000; cache_dir = None;
+              progress = false; jobs }
+          trio)
+  in
+  List.iter
+    (fun jobs ->
+      let off = run ~jobs ~metrics:false in
+      let on = run ~jobs ~metrics:true in
+      if off <> on then
+        Alcotest.failf "characterization not bit-identical metrics on/off at jobs=%d" jobs;
+      (* and the instrumented run did actually record something *)
+      ignore on)
+    [ 1; 4 ];
+  (* sanity: the enabled run above exercised real probes — prove a fresh
+     instrumented run produces non-empty readings, so the differential is
+     not vacuously comparing two uninstrumented paths *)
+  with_metrics true (fun () ->
+      let (_ : Mica_core.Dataset.t * Mica_core.Dataset.t) =
+        Pipeline.datasets
+          ~config:
+            { Pipeline.default_config with Pipeline.icount = 1_000; cache_dir = None;
+              progress = false; jobs = 1 }
+          [ List.hd trio ]
+      in
+      let snap = Obs.snapshot () in
+      Alcotest.(check bool) "spans recorded" true (snap.Obs.spans <> []);
+      match List.assoc_opt "trace.instrs" snap.Obs.metrics with
+      | Some (Obs.Counter v) -> Alcotest.(check bool) "instr counter advanced" true (v > 0.0)
+      | _ -> Alcotest.fail "trace.instrs counter missing")
+
+let test_metrics_inert_selection_and_clustering () =
+  let rng = Rng.create ~seed:0x0B5E1L in
+  let cols = 8 in
+  let data =
+    Array.init 18 (fun _ -> Array.init cols (fun _ -> Rng.gaussian rng ~mu:0.0 ~sigma:1.0))
+  in
+  let normalized = Stats.Normalize.zscore data in
+  let fit = Select.Fitness.create normalized in
+  let config =
+    { Select.Genetic.default_config with
+      Select.Genetic.population = 12; max_generations = 12; stall_generations = 6 }
+  in
+  let points =
+    Array.init 24 (fun i ->
+        let cx = if i < 12 then -3.0 else 3.0 in
+        Array.init 3 (fun _ -> cx +. Rng.gaussian rng ~mu:0.0 ~sigma:0.5))
+  in
+  List.iter
+    (fun jobs ->
+      let ga metrics =
+        with_metrics metrics (fun () ->
+            Pool.with_pool ~jobs (fun pool ->
+                Select.Genetic.run ~config ~pool ~rng:(Rng.create ~seed:7L) fit))
+      in
+      let ga_off = ga false and ga_on = ga true in
+      Alcotest.(check (array int))
+        (Printf.sprintf "GA selection inert at jobs=%d" jobs)
+        ga_off.Select.Genetic.selected ga_on.Select.Genetic.selected;
+      if ga_off.Select.Genetic.fitness <> ga_on.Select.Genetic.fitness then
+        Alcotest.failf "GA fitness not bit-identical metrics on/off at jobs=%d" jobs;
+      if ga_off.Select.Genetic.best_history <> ga_on.Select.Genetic.best_history then
+        Alcotest.failf "GA history not bit-identical metrics on/off at jobs=%d" jobs;
+      let km metrics =
+        with_metrics metrics (fun () ->
+            Pool.with_pool ~jobs (fun pool ->
+                Stats.Kmeans.fit ~restarts:4 ~pool ~rng:(Rng.create ~seed:3L) ~k:2 points))
+      in
+      let km_off = km false and km_on = km true in
+      Alcotest.(check (array int))
+        (Printf.sprintf "kmeans assignments inert at jobs=%d" jobs)
+        km_off.Stats.Kmeans.assignments km_on.Stats.Kmeans.assignments;
+      if km_off.Stats.Kmeans.inertia <> km_on.Stats.Kmeans.inertia then
+        Alcotest.failf "kmeans inertia not bit-identical metrics on/off at jobs=%d" jobs;
+      let sweep metrics =
+        with_metrics metrics (fun () ->
+            Pool.with_pool ~jobs (fun pool ->
+                Array.map
+                  (fun (k, _, s) -> (k, s))
+                  (Stats.Bic.sweep ~k_min:1 ~k_max:5 ~restarts:2 ~pool
+                     ~rng:(Rng.create ~seed:5L) points)))
+      in
+      if sweep false <> sweep true then
+        Alcotest.failf "BIC sweep not bit-identical metrics on/off at jobs=%d" jobs)
+    [ 1; 4 ]
+
+(* Span-tree well-formedness under the fault-injection matrix: every
+   injection point, driven through the supervised pipeline, must leave
+   every domain's event journal as a balanced bracket sequence — the
+   injected exceptions unwind through [Obs.span]'s finalizer, so a fault
+   can truncate work but never leave a span open or cross spans over. *)
+let test_span_tree_under_fault_matrix () =
+  let trio = golden_trio () in
+  let config =
+    { Pipeline.default_config with Pipeline.icount = 1_000; cache_dir = None;
+      progress = false; jobs = 2; retries = 1 }
+  in
+  List.iter
+    (fun point ->
+      let spec = Printf.sprintf "seed=41,%s=0.35" (Fault.point_name point) in
+      Obs.reset ();
+      Obs.set_enabled true;
+      Obs.set_record_events true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.set_enabled false;
+          Obs.set_record_events false;
+          Obs.reset ())
+        (fun () ->
+          Fault.with_plan
+            (Some (plan_exn spec))
+            (fun () ->
+              let _, _, (_ : Run_report.t) = Pipeline.datasets_report ~config trio in
+              ());
+          let total = ref 0 in
+          List.iter
+            (fun (sid, evs) ->
+              total := !total + List.length evs;
+              let stack = ref [] in
+              List.iter
+                (fun e ->
+                  if e.Obs.ev_enter then stack := e.Obs.ev_name :: !stack
+                  else
+                    match !stack with
+                    | top :: rest when top = e.Obs.ev_name -> stack := rest
+                    | top :: _ ->
+                      Alcotest.failf "%s: store %d exits %S while %S is open" spec sid
+                        e.Obs.ev_name top
+                    | [] ->
+                      Alcotest.failf "%s: store %d exits %S with no span open" spec sid
+                        e.Obs.ev_name)
+                evs;
+              if !stack <> [] then
+                Alcotest.failf "%s: store %d left %d spans open" spec sid
+                  (List.length !stack))
+            (Obs.events ());
+          if !total = 0 then Alcotest.failf "%s: no events recorded" spec))
+    Fault.all_points
 
 (* ---------------- suite ---------------- *)
 
@@ -719,5 +881,11 @@ let suite =
         test_crash_resume_bit_identical;
       Alcotest.test_case "supervised: failing workload degrades" `Quick
         test_failing_workload_degrades_gracefully;
+      Alcotest.test_case "obs: characterization inert" `Quick
+        test_metrics_inert_characterization;
+      Alcotest.test_case "obs: selection/clustering inert" `Quick
+        test_metrics_inert_selection_and_clustering;
+      Alcotest.test_case "obs: span tree under faults" `Quick
+        test_span_tree_under_fault_matrix;
       Alcotest.test_case "suite smoke" `Quick test_suite_smoke;
     ] )

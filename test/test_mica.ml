@@ -5,6 +5,7 @@ let () =
     [
       T_rng.suite;
       T_util.suite;
+      T_obs.suite;
       T_isa.suite;
       T_trace.suite;
       T_analysis.suite;
