@@ -415,7 +415,7 @@ let json_escape s =
 
 let json_float x = if Float.is_nan x then "null" else Printf.sprintf "%.1f" x
 
-let write_json path rows =
+let results_json rows =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"bench_icount\": %d,\n" bench_icount);
@@ -458,10 +458,7 @@ let write_json path rows =
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Printf.printf "wrote %s\n%!" path
+  Buffer.contents buf
 
 (* Post-measurement instrumented pass.  Metrics stay disabled during
    every bechamel measurement above — the trajectory numbers are the
@@ -469,7 +466,7 @@ let write_json path rows =
    extra pass re-runs the two trajectory kernels with metrics on and
    ships the Obs snapshot alongside the trajectory, so a bench run also
    documents where the time and allocation went. *)
-let metrics_pass path =
+let metrics_pass () =
   let module Obs = Mica_obs.Obs in
   Obs.reset ();
   Obs.set_enabled true;
@@ -477,19 +474,101 @@ let metrics_pass path =
   ignore (Sys.opaque_identity (Mica_analysis.Analyzer.analyze w.W.Workload.model ~icount:bench_icount));
   ignore (Sys.opaque_identity (E.run_ga ~config:ga_small (Lazy.force ctx)));
   Obs.set_enabled false;
-  Obs.write_json path (Obs.snapshot ());
-  Printf.printf "wrote %s (instrumented pass; measurements above ran metrics-off)\n%!" path
+  Printf.printf "instrumented pass done (measurements above ran metrics-off)\n%!";
+  Obs.to_json (Obs.snapshot ())
 
-let metrics_path_of json_path =
-  match Filename.chop_suffix_opt ~suffix:".json" json_path with
-  | Some stem -> stem ^ "_metrics.json"
-  | None -> json_path ^ ".metrics.json"
+(* ---------------- run-directory commit ---------------- *)
+
+(* Every bench invocation is a run: the measurements, the metrics
+   snapshot of the instrumented pass and the characteristic-vector
+   datasets the context was built from, all under recorded checksums, so
+   [mica compare]/[mica variance] can gate and noise-qualify any two
+   bench executions. *)
+let commit_run ~root ~tag ~bench_json ~metrics_json =
+  let module R = Mica_run.Run_dir in
+  let c = Lazy.force ctx in
+  let table (ds : Mica_core.Dataset.t) =
+    {
+      R.row_names = ds.Mica_core.Dataset.names;
+      columns = ds.Mica_core.Dataset.features;
+      cells = ds.Mica_core.Dataset.data;
+    }
+  in
+  let manifest =
+    {
+      Mica_run.Manifest.schema = Mica_run.Manifest.schema_version;
+      created = R.timestamp ();
+      tag;
+      subcommand = "bench";
+      argv = Array.to_list Sys.argv;
+      git_rev = Mica_run.Run_io.git_rev ();
+      icount = bench_icount;
+      ppm_order = config.Mica_core.Pipeline.ppm_order;
+      jobs = config.Mica_core.Pipeline.jobs;
+      retries = config.Mica_core.Pipeline.retries;
+      cache = config.Mica_core.Pipeline.cache_dir <> None;
+      mica_jobs_env = Sys.getenv_opt "MICA_JOBS";
+      fault_spec = Option.map Mica_util.Fault.to_string (Mica_util.Fault.installed ());
+      seeds = [ ("ga", "0x6a5eed") ];
+      workloads = Mica_core.Dataset.rows c.E.Context.mica;
+      report = Mica_core.Run_report.summary c.E.Context.report;
+      files = [];
+    }
+  in
+  let artifacts =
+    [
+      { R.filename = R.bench_file; contents = bench_json };
+      { R.filename = R.metrics_file; contents = metrics_json };
+      { R.filename = R.mica_file; contents = R.csv_of_table (table c.E.Context.mica) };
+      { R.filename = R.hpc_file; contents = R.csv_of_table (table c.E.Context.hpc) };
+    ]
+  in
+  let dir = R.commit ~root ~manifest ~artifacts () in
+  Printf.printf "committed run %s\n%!" dir;
+  dir
+
+(* BENCH_results.json is a derived artifact: read the bench numbers back
+   out of the committed (checksum-verified) run directory and prepend
+   per-run provenance, instead of mutating the file in place. *)
+let regenerate_results ~run_dir path =
+  let r =
+    match Mica_run.Run_dir.load run_dir with
+    | Ok r -> r
+    | Error msg -> failwith ("bench: committed run does not load: " ^ msg)
+  in
+  if r.Mica_run.Run_dir.bench = None then failwith "bench: committed run has no bench.json";
+  let raw =
+    match Mica_run.Run_io.read_file (Filename.concat run_dir Mica_run.Run_dir.bench_file) with
+    | Ok s -> s
+    | Error e -> failwith ("bench: " ^ Mica_run.Run_io.describe_error e)
+  in
+  (* Splice provenance in textually so the measured numbers stay
+     byte-identical to the run's bench.json. *)
+  let body =
+    match String.index_opt raw '{' with
+    | Some i -> String.sub raw (i + 1) (String.length raw - i - 1)
+    | None -> failwith "bench: bench.json is not an object"
+  in
+  let m = r.Mica_run.Run_dir.manifest in
+  let provenance =
+    Printf.sprintf "{\n  \"provenance\": {\"run\": %S, \"created\": %S, \"git_rev\": %S},"
+      (Filename.basename run_dir) m.Mica_run.Manifest.created m.Mica_run.Manifest.git_rev
+  in
+  Mica_run.Run_io.atomic_write path (provenance ^ body);
+  Printf.printf "wrote %s (derived from %s)\n%!" path run_dir
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let json_path = ref "BENCH_results.json" in
+  let runs_root = ref "runs" in
+  let tag = ref (if smoke then "bench-smoke" else "bench") in
   Array.iteri
-    (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then json_path := Sys.argv.(i + 1))
+    (fun i a ->
+      if i + 1 < Array.length Sys.argv then begin
+        if a = "--json" then json_path := Sys.argv.(i + 1);
+        if a = "--runs" then runs_root := Sys.argv.(i + 1);
+        if a = "--tag" then tag := Sys.argv.(i + 1)
+      end)
     Sys.argv;
   (* smoke mode: the core measurement plus the pool-parallel selection
      kernels, low iteration count — a CI guard that the harness builds and
@@ -517,5 +596,7 @@ let () =
         rows)
       tests
   in
-  write_json !json_path rows;
-  metrics_pass (metrics_path_of !json_path)
+  let bench_json = results_json rows in
+  let metrics_json = metrics_pass () in
+  let run_dir = commit_run ~root:!runs_root ~tag:!tag ~bench_json ~metrics_json in
+  regenerate_results ~run_dir !json_path

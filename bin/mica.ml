@@ -5,8 +5,10 @@
      list          enumerate the 122 benchmark models
      characterize  print the 47-characteristic MICA vector of a workload
      counters      print the 7 hardware-counter metrics of a workload
-     compare       Figures 2/3-style comparison of two workloads
+     compare       Figures 2/3-style comparison of two workloads, or a
+                   regression-gated delta report between two run directories
      distance      pairwise distance between two workloads in both spaces
+     variance      run-to-run noise report over N run directories
      classify      Table III quadrant fractions
      select-ga     run the genetic algorithm feature selection
      select-ce     run correlation elimination
@@ -62,7 +64,46 @@ let setup_metrics = function
     Mica_obs.Obs.set_enabled true;
     at_exit (fun () -> Mica_obs.Obs.write_json path (Mica_obs.Obs.snapshot ()))
 
-let config_of icount no_cache verbose faults metrics =
+(* ---------------- run directories ---------------- *)
+
+let no_run =
+  let doc = "Do not commit a self-describing run directory for this invocation." in
+  Arg.(value & flag & info [ "no-run" ] ~doc)
+
+let runs_root =
+  let doc = "Root directory for committed run directories." in
+  Arg.(value & opt string "runs" & info [ "runs" ] ~docv:"DIR" ~doc)
+
+let run_tag =
+  let doc = "Tag naming this invocation's run directory (default: the subcommand)." in
+  Arg.(value & opt (some string) None & info [ "tag" ] ~docv:"TAG" ~doc)
+
+(* The subcommand, for the default run tag: first non-option argument. *)
+let subcommand_of_argv () =
+  let rec go i =
+    if i >= Array.length Sys.argv then "mica"
+    else
+      let a = Sys.argv.(i) in
+      if String.length a > 0 && a.[0] <> '-' then a else go (i + 1)
+  in
+  go 1
+
+(* The pipeline commits the run directory as soon as the datasets exist —
+   before late stages (GA, clustering) have run.  At exit the metrics
+   artifact is refreshed with the full-command snapshot so their spans
+   reach the run too.  Failure is swallowed: the run stays valid with the
+   snapshot it already holds. *)
+let setup_run_finalizer () =
+  at_exit (fun () ->
+      match Mica_core.Pipeline.committed_run_dir () with
+      | None -> ()
+      | Some dir -> (
+        try
+          Mica_run.Run_dir.refresh_artifact ~dir ~filename:Mica_run.Run_dir.metrics_file
+            ~contents:(Mica_obs.Obs.to_json (Mica_obs.Obs.snapshot ()))
+        with _ -> ()))
+
+let config_of icount no_cache verbose faults metrics no_run runs_root run_tag =
   setup_logs verbose;
   setup_metrics metrics;
   (match faults with
@@ -73,14 +114,30 @@ let config_of icount no_cache verbose faults metrics =
     | Error msg ->
       Printf.eprintf "error: bad --faults spec: %s\n" msg;
       exit 2));
+  let run =
+    if no_run then None
+    else begin
+      setup_run_finalizer ();
+      Some
+        {
+          Mica_core.Pipeline.run_root = runs_root;
+          run_tag = Option.value run_tag ~default:(subcommand_of_argv ());
+          run_seeds = [];
+        }
+    end
+  in
   {
     Mica_core.Pipeline.default_config with
     icount;
     cache_dir = (if no_cache then None else Mica_core.Pipeline.default_config.cache_dir);
     progress = true;
+    run;
   }
 
-let config_term = Term.(const config_of $ icount $ no_cache $ verbose $ faults $ metrics_opt)
+let config_term =
+  Term.(
+    const config_of $ icount $ no_cache $ verbose $ faults $ metrics_opt $ no_run $ runs_root
+    $ run_tag)
 
 (* Render a batch's run report: the one-line summary on stderr (it is
    operational metadata, stdout stays parseable), failure details when
@@ -182,27 +239,150 @@ let counters_cmd =
        ~doc:"Measure the hardware-performance-counter metrics of a workload.")
     Term.(const run $ config_term $ workload_arg 0)
 
-(* ---------------- compare ---------------- *)
+(* ---------------- compare (workloads, or run directories) ---------------- *)
+
+(* [PATH] is a run directory when it holds a manifest; the magic basename
+   [latest] resolves to the newest run under its parent (CI convenience:
+   [mica compare results/baseline runs/latest]). *)
+let resolve_run_path p =
+  let is_run d =
+    Sys.file_exists d
+    && (try Sys.is_directory d with Sys_error _ -> false)
+    && Sys.file_exists (Filename.concat d Mica_run.Run_dir.manifest_file)
+  in
+  if is_run p then Some p
+  else if Filename.basename p = "latest" then Mica_run.Run_dir.latest (Filename.dirname p)
+  else None
+
+(* A run that exists but fails verification (truncated manifest, digest
+   mismatch, foreign schema) is an unreadable run: a diagnostic and exit
+   2, never an exception. *)
+let load_run_or_exit dir =
+  match Mica_run.Run_dir.load dir with
+  | Ok r -> r
+  | Error msg ->
+    Printf.eprintf "error: unreadable run: %s\n" msg;
+    exit 2
+
+let write_json_report path json =
+  Mica_run.Run_io.atomic_write path (Mica_obs.Json.to_string ~pretty:true json ^ "\n")
+
+let tolerance_opt =
+  let doc =
+    "Relative tolerance for characteristic and counter drift between two run directories \
+     (symmetric relative delta; drift in either direction beyond this fails the compare)."
+  in
+  Arg.(
+    value
+    & opt float Mica_run.Compare.default_tolerance.Mica_run.Compare.char_rel
+    & info [ "tolerance" ] ~docv:"REL" ~doc)
+
+let tolerance_bench_opt =
+  let doc =
+    "Relative tolerance for bench-time regressions between two run directories.  Ground it \
+     in $(b,mica variance) output over repeated runs rather than guessing."
+  in
+  Arg.(
+    value
+    & opt float Mica_run.Compare.default_tolerance.Mica_run.Compare.bench_rel
+    & info [ "tolerance-bench" ] ~docv:"REL" ~doc)
+
+let json_report_opt =
+  let doc = "Also write the comparison/variance report as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let compare_runs ~tol a b json_out =
+  let ra = load_run_or_exit a and rb = load_run_or_exit b in
+  let t = Mica_run.Compare.run ~tol ra rb in
+  print_string (Mica_run.Compare.render t);
+  Option.iter (fun p -> write_json_report p (Mica_run.Compare.to_json t)) json_out;
+  if not (Mica_run.Compare.ok t) then exit 1
 
 let compare_cmd =
   let space =
     let doc = "Which characteristics to compare: 'mica' (Fig. 3) or 'hpc' (Fig. 2)." in
     Arg.(value & opt (enum [ ("mica", `Mica); ("hpc", `Hpc) ]) `Mica & info [ "space" ] ~doc)
   in
-  let run config a b space =
-    let wa = resolve a and wb = resolve b in
-    let ctx = E.Context.load ~config () in
-    let ida = Mica_workloads.Workload.id wa and idb = Mica_workloads.Workload.id wb in
-    let cmp =
-      match space with
-      | `Mica -> E.fig3 ~a:ida ~b:idb ctx
-      | `Hpc -> E.fig2 ~a:ida ~b:idb ctx
-    in
-    print_string (Mica_core.Case_study.render cmp)
+  let arg p =
+    let doc = "Workload identifier, or a run directory (then both must be run directories)." in
+    Arg.(required & pos p (some string) None & info [] ~docv:"WORKLOAD|RUN" ~doc)
+  in
+  let run config a b space tol_char tol_bench json_out =
+    match (resolve_run_path a, resolve_run_path b) with
+    | Some ra, Some rb ->
+      compare_runs
+        ~tol:{ Mica_run.Compare.char_rel = tol_char; bench_rel = tol_bench }
+        ra rb json_out
+    | Some _, None | None, Some _ ->
+      Printf.eprintf "error: to compare run directories, both arguments must be run directories\n";
+      exit 2
+    | None, None ->
+      let wa = resolve a and wb = resolve b in
+      let ctx = E.Context.load ~config () in
+      let ida = Mica_workloads.Workload.id wa and idb = Mica_workloads.Workload.id wb in
+      let cmp =
+        match space with
+        | `Mica -> E.fig3 ~a:ida ~b:idb ctx
+        | `Hpc -> E.fig2 ~a:ida ~b:idb ctx
+      in
+      print_string (Mica_core.Case_study.render cmp)
   in
   Cmd.v
-    (Cmd.info "compare" ~doc:"Compare two workloads characteristic by characteristic.")
-    Term.(const run $ config_term $ workload_arg 0 $ workload_arg 1 $ space)
+    (Cmd.info "compare"
+       ~doc:
+         "Compare two workloads characteristic by characteristic, or two run directories \
+          delta by delta (exits nonzero on drift or bench regression).")
+    Term.(
+      const run $ config_term $ arg 0 $ arg 1 $ space $ tolerance_opt $ tolerance_bench_opt
+      $ json_report_opt)
+
+(* ---------------- variance ---------------- *)
+
+let variance_cmd =
+  let runs =
+    let doc = "Run directories (two or more) produced by the same configuration." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"RUN" ~doc)
+  in
+  let budget =
+    let doc =
+      "Noise budget: flag metrics whose run-to-run coefficient of variation exceeds $(docv)."
+    in
+    Arg.(
+      value & opt float Mica_run.Variance.default_budget & info [ "noise-budget" ] ~docv:"CV" ~doc)
+  in
+  let gate =
+    let doc = "Exit nonzero when any metric exceeds the noise budget." in
+    Arg.(value & flag & info [ "gate" ] ~doc)
+  in
+  let run verbose metrics runs budget gate json_out =
+    setup_logs verbose;
+    setup_metrics metrics;
+    let dirs =
+      List.map
+        (fun p ->
+          match resolve_run_path p with
+          | Some d -> d
+          | None ->
+            Printf.eprintf "error: %s is not a run directory\n" p;
+            exit 2)
+        runs
+    in
+    if List.length dirs < 2 then begin
+      Printf.eprintf "error: variance needs at least two runs\n";
+      exit 2
+    end;
+    let loaded = List.map load_run_or_exit dirs in
+    let t = Mica_run.Variance.analyze ~budget loaded in
+    print_string (Mica_run.Variance.render t);
+    Option.iter (fun p -> write_json_report p (Mica_run.Variance.to_json t)) json_out;
+    if gate && Mica_run.Variance.noisy t <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "variance"
+       ~doc:
+         "Per-metric mean/stddev/CV over N same-config runs, flagging metrics noisier than \
+          the budget — the measured ground for $(b,mica compare) tolerances.")
+    Term.(const run $ verbose $ metrics_opt $ runs $ budget $ gate $ json_report_opt)
 
 (* ---------------- distance ---------------- *)
 
@@ -255,6 +435,17 @@ let select_ga_cmd =
       & info [ "generations" ] ~docv:"G" ~doc)
   in
   let run config seed generations =
+    (* The GA seed is invocation state the manifest must carry. *)
+    let config =
+      {
+        config with
+        Mica_core.Pipeline.run =
+          Option.map
+            (fun s ->
+              { s with Mica_core.Pipeline.run_seeds = [ ("ga", Printf.sprintf "0x%Lx" seed) ] })
+            config.Mica_core.Pipeline.run;
+      }
+    in
     let ctx = E.Context.load ~config () in
     (* Graceful degradation: the table is computed over the surviving
        workloads; failures are named on stderr. *)
@@ -870,6 +1061,7 @@ let main =
       counters_cmd;
       compare_cmd;
       distance_cmd;
+      variance_cmd;
       classify_cmd;
       select_ga_cmd;
       select_ce_cmd;

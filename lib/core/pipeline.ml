@@ -9,6 +9,12 @@ let m_cache_quarantined = Obs.counter "cache.quarantined"
 let m_cache_resumed = Obs.counter "cache.resumed"
 let m_workloads = Obs.counter "pipeline.workloads"
 
+type run_sink = {
+  run_root : string;
+  run_tag : string;
+  run_seeds : (string * string) list;
+}
+
 type config = {
   icount : int;
   ppm_order : int;
@@ -16,6 +22,7 @@ type config = {
   progress : bool;
   jobs : int;
   retries : int;
+  run : run_sink option;
 }
 
 let default_config =
@@ -26,6 +33,7 @@ let default_config =
     progress = false;
     jobs = Mica_util.Pool.default_jobs ();
     retries = 2;
+    run = None;
   }
 
 let model_version = "v3"
@@ -376,6 +384,60 @@ let characterize_many config missing =
             (Workload.id w, m, h, timing)))
   end
 
+(* ---------------- run-directory commit ----------------
+
+   With [config.run] set, every characterization batch commits a
+   self-describing run directory under [run.run_root]: manifest (full
+   config, seeds, git rev, fault spec), both datasets and the current
+   metrics snapshot, each under a recorded checksum (Mica_run.Run_dir).
+   The commit is an observation, never a dependency: failures degrade to
+   a warning and results still flow to the caller.  The CLI refreshes the
+   metrics artifact at exit via {!committed_run_dir}, so spans recorded
+   after this point (e.g. the GA stage) reach the run too. *)
+
+let last_run_dir = ref None
+let committed_run_dir () = !last_run_dir
+
+let commit_run_dir config sink (mica : Dataset.t) (hpc : Dataset.t) report =
+  let module R = Mica_run.Run_dir in
+  let table (ds : Dataset.t) =
+    { R.row_names = ds.Dataset.names; columns = ds.Dataset.features; cells = ds.Dataset.data }
+  in
+  let manifest =
+    {
+      Mica_run.Manifest.schema = Mica_run.Manifest.schema_version;
+      created = R.timestamp ();
+      tag = sink.run_tag;
+      subcommand = sink.run_tag;
+      argv = Array.to_list Sys.argv;
+      git_rev = Mica_run.Run_io.git_rev ();
+      icount = config.icount;
+      ppm_order = config.ppm_order;
+      jobs = config.jobs;
+      retries = config.retries;
+      cache = config.cache_dir <> None;
+      mica_jobs_env = Sys.getenv_opt "MICA_JOBS";
+      fault_spec = Option.map Fault.to_string (Fault.installed ());
+      seeds = sink.run_seeds;
+      workloads = Dataset.rows mica;
+      report = Run_report.summary report;
+      files = [];
+    }
+  in
+  let artifacts =
+    [
+      { R.filename = R.mica_file; contents = R.csv_of_table (table mica) };
+      { R.filename = R.hpc_file; contents = R.csv_of_table (table hpc) };
+      { R.filename = R.metrics_file; contents = Obs.to_json (Obs.snapshot ()) };
+    ]
+  in
+  match R.commit ~root:sink.run_root ~manifest ~artifacts () with
+  | dir ->
+    last_run_dir := Some dir;
+    Logs.debug (fun f -> f "committed run directory %s" dir)
+  | exception (Fault.Injected _ | Sys_error _) ->
+    Logs.warn (fun f -> f "run directory commit failed; results are unaffected")
+
 let datasets_report ?(config = default_config) workloads =
   let mica_features = Mica_analysis.Characteristics.short_names in
   let hpc_features = Mica_uarch.Hw_counters.short_names in
@@ -501,6 +563,9 @@ let datasets_report ?(config = default_config) workloads =
     Dataset.create ~names ~features:hpc_features
       (Array.of_list (List.map (fun (_, _, h) -> h) rows))
   in
+  (match config.run with
+  | None -> ()
+  | Some sink -> commit_run_dir config sink mica hpc report);
   (mica, hpc, report)
 
 let datasets ?config workloads =

@@ -14,6 +14,12 @@
     are contained per task (bounded retry, then reported in
     {!Run_report.t}) instead of aborting the batch. *)
 
+type run_sink = {
+  run_root : string;  (** run directories land under this root, e.g. ["runs"] *)
+  run_tag : string;  (** usually the CLI subcommand; names the directory *)
+  run_seeds : (string * string) list;  (** named seeds recorded in the manifest *)
+}
+
 type config = {
   icount : int;  (** dynamic instructions per workload trace *)
   ppm_order : int;  (** PPM predictor maximum context length *)
@@ -24,6 +30,11 @@ type config = {
           and deterministic, so results are identical at any parallelism *)
   retries : int;
       (** extra attempts per workload before it is reported as failed *)
+  run : run_sink option;
+      (** when set, every {!datasets_report} batch commits a
+          self-describing run directory ([Mica_run.Run_dir]) holding the
+          manifest, both datasets and the metrics snapshot; commit
+          failure degrades to a warning, never an error *)
 }
 
 val default_config : config
@@ -38,6 +49,11 @@ val model_version : string
 
 val characterize : config -> Mica_workloads.Workload.t -> float array * float array
 (** [(mica_47, hpc_7)] for one workload (no caching, no supervision). *)
+
+val committed_run_dir : unit -> string option
+(** The run directory committed by the most recent {!datasets_report}
+    with [config.run] set, if any.  The CLI uses it to refresh the run's
+    [metrics.json] at process exit with the full-command snapshot. *)
 
 val datasets_report :
   ?config:config ->

@@ -17,6 +17,13 @@ val parse : string -> (t, string) result
 val parse_exn : string -> t
 (** Like {!parse} but raises [Failure]. *)
 
+val to_string : ?pretty:bool -> t -> string
+(** Serialize.  Object key order is preserved exactly as constructed, so
+    output is byte-stable and suitable for golden tests and checksumming.
+    Integral floats print without a fractional part; non-finite floats
+    print as the bare [nan]/[inf]/[-inf] tokens {!parse} accepts.  With
+    [~pretty:true] the document is indented two spaces per level. *)
+
 val member : string -> t -> t option
 (** [member key (Obj _)] looks up [key]; [None] on missing key or non-object. *)
 

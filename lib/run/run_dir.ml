@@ -1,0 +1,204 @@
+module Json = Mica_obs.Json
+module Csv = Mica_util.Csv
+
+type table = {
+  row_names : string array;
+  columns : string array;
+  cells : float array array;
+}
+
+type t = {
+  dir : string;
+  manifest : Manifest.t;
+  mica : table option;
+  hpc : table option;
+  metrics : Json.t option;
+  bench : Json.t option;
+}
+
+let manifest_file = "manifest.json"
+let mica_file = "mica_dataset.csv"
+let hpc_file = "hpc_dataset.csv"
+let metrics_file = "metrics.json"
+let bench_file = "bench.json"
+
+let timestamp () =
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let csv_of_table t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (String.concat "," (List.map Csv.escape_field ("name" :: Array.to_list t.columns)));
+  Buffer.add_char b '\n';
+  Array.iteri
+    (fun i name ->
+      Buffer.add_string b (Csv.escape_field name);
+      Array.iter (fun v -> Buffer.add_string b (Printf.sprintf ",%.17g" v)) t.cells.(i);
+      Buffer.add_char b '\n')
+    t.row_names;
+  Buffer.contents b
+
+let table_of_csv csv =
+  match String.split_on_char '\n' csv with
+  | [] | [ "" ] -> Error "empty dataset"
+  | header :: body -> (
+    match Csv.parse_line header with
+    | "name" :: columns ->
+      let columns = Array.of_list columns in
+      let arity = Array.length columns in
+      let rows =
+        List.fold_left
+          (fun acc line ->
+            match acc with
+            | Error _ as e -> e
+            | Ok acc ->
+              if String.trim line = "" then Ok acc
+              else begin
+                match Csv.parse_line line with
+                | name :: fields when List.length fields = arity -> (
+                  let row = Array.make arity 0.0 in
+                  try
+                    List.iteri
+                      (fun j s ->
+                        match float_of_string_opt s with
+                        | Some v -> row.(j) <- v
+                        | None -> raise Exit)
+                      fields;
+                    Ok ((name, row) :: acc)
+                  with Exit -> Error (Printf.sprintf "unparsable value in row %S" name))
+                | name :: _ -> Error (Printf.sprintf "row %S has the wrong arity" name)
+                | [] -> Ok acc
+              end)
+          (Ok []) body
+      in
+      Result.map
+        (fun rows ->
+          let rows = List.rev rows in
+          {
+            row_names = Array.of_list (List.map fst rows);
+            columns;
+            cells = Array.of_list (List.map snd rows);
+          })
+        rows
+    | _ -> Error "dataset header does not start with 'name'")
+
+type artifact = { filename : string; contents : string }
+
+let write_manifest dir manifest =
+  Run_io.write_checksummed (Filename.concat dir manifest_file)
+    (Json.to_string ~pretty:true (Manifest.to_json manifest) ^ "\n")
+
+let commit ~root ?dirname ~manifest ~artifacts () =
+  let base =
+    match dirname with
+    | Some d -> d
+    | None -> Printf.sprintf "%s-%s" manifest.Manifest.created manifest.Manifest.tag
+  in
+  Run_io.mkdir_p root;
+  (* Uniquify: concurrent or same-second runs get .2, .3, ... *)
+  let rec claim n =
+    let candidate = if n = 1 then base else Printf.sprintf "%s.%d" base n in
+    let path = Filename.concat root candidate in
+    if Sys.file_exists path then claim (n + 1)
+    else begin
+      (try Sys.mkdir path 0o755 with Sys_error _ -> ());
+      path
+    end
+  in
+  let dir = claim 1 in
+  List.iter (fun a -> Run_io.atomic_write (Filename.concat dir a.filename) a.contents) artifacts;
+  let files =
+    List.sort compare (List.map (fun a -> (a.filename, Run_io.md5_hex a.contents)) artifacts)
+  in
+  write_manifest dir { manifest with Manifest.files };
+  dir
+
+let read_manifest dir =
+  match Run_io.read_checksummed (Filename.concat dir manifest_file) with
+  | Error Run_io.Missing -> Error (Printf.sprintf "%s: no %s (not a run directory)" dir manifest_file)
+  | Error e -> Error (Printf.sprintf "%s: %s %s" dir manifest_file (Run_io.describe_error e))
+  | Ok body -> (
+    match Json.parse body with
+    | Error msg -> Error (Printf.sprintf "%s: %s does not parse: %s" dir manifest_file msg)
+    | Ok json -> (
+      match Manifest.of_json json with
+      | Error msg -> Error (Printf.sprintf "%s: %s: %s" dir manifest_file msg)
+      | Ok m -> Ok m))
+
+let refresh_artifact ~dir ~filename ~contents =
+  match read_manifest dir with
+  | Error msg -> failwith ("Run_dir.refresh_artifact: " ^ msg)
+  | Ok manifest ->
+    Run_io.atomic_write (Filename.concat dir filename) contents;
+    let files =
+      List.sort compare
+        ((filename, Run_io.md5_hex contents)
+        :: List.remove_assoc filename manifest.Manifest.files)
+    in
+    write_manifest dir { manifest with Manifest.files }
+
+let load dir =
+  let ( let* ) = Result.bind in
+  let* manifest = read_manifest dir in
+  (* Every artifact the manifest records must be present and match its
+     digest: the run loads all-or-nothing. *)
+  let* artifacts =
+    List.fold_left
+      (fun acc (filename, digest) ->
+        let* acc = acc in
+        match Run_io.read_file (Filename.concat dir filename) with
+        | Error e -> Error (Printf.sprintf "%s: %s %s" dir filename (Run_io.describe_error e))
+        | Ok contents ->
+          if Run_io.md5_hex contents <> digest then
+            Error
+              (Printf.sprintf "%s: %s corrupt: content does not match its manifest digest" dir
+                 filename)
+          else Ok ((filename, contents) :: acc))
+      (Ok []) manifest.Manifest.files
+  in
+  let find name = List.assoc_opt name artifacts in
+  let* mica =
+    match find mica_file with
+    | None -> Ok None
+    | Some csv -> (
+      match table_of_csv csv with
+      | Ok t -> Ok (Some t)
+      | Error msg -> Error (Printf.sprintf "%s: %s: %s" dir mica_file msg))
+  in
+  let* hpc =
+    match find hpc_file with
+    | None -> Ok None
+    | Some csv -> (
+      match table_of_csv csv with
+      | Ok t -> Ok (Some t)
+      | Error msg -> Error (Printf.sprintf "%s: %s: %s" dir hpc_file msg))
+  in
+  let parse_json name = function
+    | None -> Ok None
+    | Some body -> (
+      match Json.parse body with
+      | Ok j -> Ok (Some j)
+      | Error msg -> Error (Printf.sprintf "%s: %s does not parse: %s" dir name msg))
+  in
+  let* metrics = parse_json metrics_file (find metrics_file) in
+  let* bench = parse_json bench_file (find bench_file) in
+  Ok { dir; manifest; mica; hpc; metrics; bench }
+
+let list_runs root =
+  if not (Sys.file_exists root) then []
+  else begin
+    let entries = try Array.to_list (Sys.readdir root) with Sys_error _ -> [] in
+    entries
+    |> List.filter (fun name ->
+           let dir = Filename.concat root name in
+           (try Sys.is_directory dir with Sys_error _ -> false)
+           && Sys.file_exists (Filename.concat dir manifest_file))
+    |> List.sort compare
+  end
+
+let latest root =
+  match List.rev (list_runs root) with
+  | [] -> None
+  | name :: _ -> Some (Filename.concat root name)

@@ -1,0 +1,134 @@
+module Fault = Mica_util.Fault
+
+let format_version = "v1"
+let header_prefix = "#mica-run "
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let atomic_write path contents =
+  Fault.check Fault.Cache_write ~key:(Hashtbl.hash path);
+  mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let md5_hex s = Digest.to_hex (Digest.string s)
+
+let write_checksummed path body =
+  atomic_write path (Printf.sprintf "%s%s md5:%s\n%s" header_prefix format_version (md5_hex body) body)
+
+type read_error =
+  | Missing
+  | Unreadable of string
+  | Corrupt of string
+  | Foreign_version of string
+
+let describe_error = function
+  | Missing -> "missing"
+  | Unreadable msg -> "unreadable: " ^ msg
+  | Corrupt msg -> "corrupt: " ^ msg
+  | Foreign_version v -> "written by foreign format version " ^ v
+
+let read_file path =
+  if not (Sys.file_exists path) then Error Missing
+  else
+    match
+      Fault.check Fault.Cache_read ~key:(Hashtbl.hash path);
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | contents -> Ok contents
+    | exception Fault.Injected msg -> Error (Unreadable ("injected fault: " ^ msg))
+    | exception Sys_error msg -> Error (Unreadable msg)
+
+let split_first_line s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let read_checksummed path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok contents ->
+    if
+      String.length contents < String.length header_prefix
+      || String.sub contents 0 (String.length header_prefix) <> header_prefix
+    then Error (Corrupt "missing checksum header")
+    else begin
+      let header, body = split_first_line contents in
+      let header =
+        String.sub header (String.length header_prefix)
+          (String.length header - String.length header_prefix)
+      in
+      match String.split_on_char ' ' (String.trim header) with
+      | [ version; digest ]
+        when String.length digest > 4 && String.sub digest 0 4 = "md5:" ->
+        if version <> format_version then Error (Foreign_version version)
+        else if String.sub digest 4 (String.length digest - 4) = md5_hex body then Ok body
+        else Error (Corrupt "content does not match its recorded digest")
+      | _ -> Error (Corrupt "malformed checksum header")
+    end
+
+(* HEAD without forking: resolve [.git/HEAD] through loose refs and
+   [packed-refs], walking up from the current directory (run directories
+   are created from the repo root in practice, but tests may chdir). *)
+let git_rev () =
+  let read path =
+    match read_file path with Ok s -> Some s | Error _ -> None
+  in
+  let rec find_git dir depth =
+    if depth > 6 then None
+    else
+      let candidate = Filename.concat dir ".git" in
+      if Sys.file_exists candidate then Some candidate
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else find_git parent (depth + 1)
+  in
+  match find_git (Sys.getcwd ()) 0 with
+  | exception Sys_error _ -> "unknown"
+  | None -> "unknown"
+  | Some git_dir -> (
+    match read (Filename.concat git_dir "HEAD") with
+    | None -> "unknown"
+    | Some head -> (
+      let head = String.trim head in
+      match String.length head >= 5 && String.sub head 0 5 = "ref: " with
+      | false -> if head = "" then "unknown" else head
+      | true -> (
+        let refname = String.trim (String.sub head 5 (String.length head - 5)) in
+        match read (Filename.concat git_dir refname) with
+        | Some rev when String.trim rev <> "" -> String.trim rev
+        | _ -> (
+          (* loose ref absent: look in packed-refs *)
+          match read (Filename.concat git_dir "packed-refs") with
+          | None -> "unknown"
+          | Some packed ->
+            let lines = String.split_on_char '\n' packed in
+            let matching =
+              List.find_opt
+                (fun line ->
+                  match String.index_opt line ' ' with
+                  | Some i -> String.sub line (i + 1) (String.length line - i - 1) = refname
+                  | None -> false)
+                lines
+            in
+            (match matching with
+            | Some line -> (
+              match String.index_opt line ' ' with
+              | Some i -> String.sub line 0 i
+              | None -> "unknown")
+            | None -> "unknown")))))

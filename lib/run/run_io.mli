@@ -1,0 +1,43 @@
+(** Checksummed, crash-safe file IO for run directories.
+
+    Every run-directory artifact is committed with the PR 4 cache
+    discipline: contents go to a sibling [.tmp] file renamed over the
+    target (a kill at any instant leaves the old file or the new one,
+    never a truncated mix), and the manifest additionally carries a
+    [#mica-run <version> md5:<hex>] first line over its body so a
+    truncated or bit-rotted manifest is detected on read instead of being
+    half-parsed.  Reads never raise: corruption is a value. *)
+
+val format_version : string
+(** Bumped when the run-directory schema changes incompatibly. *)
+
+val mkdir_p : string -> unit
+
+val atomic_write : string -> string -> unit
+(** Temp-file + rename commit; honors the [Cache_write] fault-injection
+    point so chaos runs exercise commit failure. *)
+
+val write_checksummed : string -> string -> unit
+(** [atomic_write] of [header ^ body] where the header records
+    {!format_version} and the body's MD5. *)
+
+type read_error =
+  | Missing  (** no such file *)
+  | Unreadable of string  (** OS-level read failure (or injected fault) *)
+  | Corrupt of string  (** missing/malformed header, or digest mismatch *)
+  | Foreign_version of string  (** written by another format version *)
+
+val describe_error : read_error -> string
+
+val read_file : string -> (string, read_error) result
+(** Plain read; only [Missing] or [Unreadable] possible. *)
+
+val read_checksummed : string -> (string, read_error) result
+(** Read, verify the header digest, and return the body. *)
+
+val md5_hex : string -> string
+
+val git_rev : unit -> string
+(** Best-effort HEAD commit of the enclosing repository (read from
+    [.git/HEAD] / [.git/packed-refs], no subprocess); ["unknown"] when it
+    cannot be determined. *)

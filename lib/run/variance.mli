@@ -1,0 +1,37 @@
+(** [mica variance RUN..]: run-to-run noise measurement over N runs.
+
+    For every metric the runs share — bench times ([bench/<name>]),
+    observability span wall-times ([span/<name>]) and per-characteristic
+    dataset means ([char/<name>], [counter/<name>]) — reports
+    mean/stddev/CV across runs and flags metrics whose CV exceeds a noise
+    budget.  This is how [mica compare] tolerances are grounded: a bench
+    tolerance below the measured CV of the machine would gate on noise,
+    one far above it would miss real regressions.  The characteristic
+    rows double as a determinism check — same-config runs must report
+    CV = 0 there. *)
+
+type row = {
+  metric : string;
+  present : int;  (** runs carrying this metric *)
+  stats : Mica_stats.Descriptive.summary;
+  noisy : bool;  (** CV above the budget *)
+}
+
+type t = {
+  budget : float;
+  runs : string list;  (** run directory paths, in argument order *)
+  rows : row list;  (** sorted by CV, noisiest first *)
+}
+
+val default_budget : float
+(** 0.2 — a metric whose run-to-run CV exceeds 20% is flagged. *)
+
+val metrics_of_run : Run_dir.t -> (string * float) list
+(** The scalar metrics extracted from one run (exposed for tests). *)
+
+val analyze : ?budget:float -> Run_dir.t list -> t
+(** Rows cover every metric present in at least two runs. *)
+
+val noisy : t -> row list
+val render : t -> string
+val to_json : t -> Mica_obs.Json.t

@@ -49,6 +49,39 @@ let percentile xs p =
     let frac = rank -. float_of_int lo in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
 
+(* ---------------- run-to-run variance summary ----------------
+
+   The aggregator behind [mica variance]: single Welford pass over the
+   finite samples only (non-finite inputs are dropped, not propagated —
+   the cache loader's finite-value guard, applied to measurements), so a
+   NaN wall-time from a corrupt metrics snapshot degrades one sample
+   instead of poisoning the whole report. *)
+
+type summary = { count : int; mean_v : float; stddev_v : float; cv : float }
+
+let summarize xs =
+  let n = ref 0 in
+  let m = ref 0.0 in
+  let m2 = ref 0.0 in
+  Array.iter
+    (fun x ->
+      if Float.is_finite x then begin
+        incr n;
+        let delta = x -. !m in
+        m := !m +. (delta /. float_of_int !n);
+        m2 := !m2 +. (delta *. (x -. !m))
+      end)
+    xs;
+  let count = !n in
+  let mean_v = if count = 0 then 0.0 else !m in
+  let stddev_v = if count < 2 then 0.0 else sqrt (Float.max 0.0 !m2 /. float_of_int count) in
+  let cv =
+    if stddev_v = 0.0 then 0.0
+    else if mean_v = 0.0 then Float.infinity
+    else stddev_v /. Float.abs mean_v
+  in
+  { count; mean_v; stddev_v; cv }
+
 type running = { mutable n : int; mutable m : float; mutable m2 : float }
 
 let running_create () = { n = 0; m = 0.0; m2 = 0.0 }

@@ -1,0 +1,484 @@
+(* Run-directory workbench tests: manifest golden format and round-trip,
+   checksummed IO, corruption (truncated manifest / tampered artifact must
+   surface as unreadable runs, never crashes), the compare metamorphic laws
+   (self-compare empty, antisymmetry under swap, jobs-invariance of
+   pipeline-produced runs) and the variance aggregator. *)
+
+module R = Mica_run
+module J = Mica_obs.Json
+module C = Mica_core
+module W = Mica_workloads
+
+let feq = Tutil.feq
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+(* ---------------- fixtures ---------------- *)
+
+let fresh_root () =
+  let d = Filename.temp_file "mica_runs" "" in
+  Sys.remove d;
+  d
+
+let manifest ?(tag = "t") ?(created = "20260101-000000") ?(fault_spec = None) ?(mica_jobs_env = None)
+    () =
+  {
+    R.Manifest.schema = R.Manifest.schema_version;
+    created;
+    tag;
+    subcommand = "test";
+    argv = [ "mica"; "test"; "--icount"; "1000" ];
+    git_rev = "unknown";
+    icount = 1000;
+    ppm_order = 8;
+    jobs = 1;
+    retries = 0;
+    cache = false;
+    mica_jobs_env;
+    fault_spec;
+    seeds = [ ("ga", "0x1") ];
+    workloads = 2;
+    report = "2 ok, 0 failed";
+    files = [];
+  }
+
+let table cells = { R.Run_dir.row_names = [| "w1"; "w2" |]; columns = [| "c1"; "c2" |]; cells }
+
+let bench_json rows =
+  J.to_string
+    (J.Obj
+       [
+         ( "results",
+           J.List
+             (List.map
+                (fun (name, ns) -> J.Obj [ ("name", J.Str name); ("ns_per_run", J.Num ns) ])
+                rows) );
+       ])
+
+(* Commit a synthetic run holding a 2x2 characteristic table and optional
+   bench results; returns its directory. *)
+let commit_run root ~tag ?(cells = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]) ?bench () =
+  let t = table cells in
+  let artifacts =
+    { R.Run_dir.filename = R.Run_dir.mica_file; contents = R.Run_dir.csv_of_table t }
+    ::
+    (match bench with
+    | None -> []
+    | Some rows -> [ { R.Run_dir.filename = R.Run_dir.bench_file; contents = bench_json rows } ])
+  in
+  R.Run_dir.commit ~root ~manifest:(manifest ~tag ()) ~artifacts ()
+
+let load_exn dir =
+  match R.Run_dir.load dir with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "run %s should load: %s" dir e
+
+(* ---------------- manifest golden + round-trip ---------------- *)
+
+let golden_manifest_text =
+  String.concat "\n"
+    [
+      "{";
+      "  \"schema\": \"mica-run/v1\",";
+      "  \"created\": \"20260101-000000\",";
+      "  \"tag\": \"t\",";
+      "  \"subcommand\": \"test\",";
+      "  \"argv\": [";
+      "    \"mica\",";
+      "    \"test\",";
+      "    \"--icount\",";
+      "    \"1000\"";
+      "  ],";
+      "  \"git_rev\": \"unknown\",";
+      "  \"config\": {";
+      "    \"icount\": 1000,";
+      "    \"ppm_order\": 8,";
+      "    \"jobs\": 1,";
+      "    \"retries\": 0,";
+      "    \"cache\": false";
+      "  },";
+      "  \"mica_jobs_env\": null,";
+      "  \"fault_spec\": null,";
+      "  \"seeds\": {";
+      "    \"ga\": \"0x1\"";
+      "  },";
+      "  \"workloads\": 2,";
+      "  \"report\": \"2 ok, 0 failed\",";
+      "  \"files\": {}";
+      "}";
+    ]
+
+let test_manifest_golden () =
+  (* The on-disk form is byte-stable: fixed key order, pinned here so any
+     schema drift is a deliberate, visible change. *)
+  let m = manifest () in
+  Alcotest.(check string)
+    "pretty serialization is pinned" golden_manifest_text
+    (J.to_string ~pretty:true (R.Manifest.to_json m));
+  (* serialization is deterministic *)
+  Alcotest.(check string)
+    "second serialization identical"
+    (J.to_string ~pretty:true (R.Manifest.to_json m))
+    (J.to_string ~pretty:true (R.Manifest.to_json m))
+
+let test_manifest_roundtrip () =
+  let m =
+    {
+      (manifest ()) with
+      R.Manifest.mica_jobs_env = Some "4";
+      fault_spec = Some "cache_write:0.5@7";
+      seeds = [ ("ga", "0x6a5eed"); ("fault", "0x7") ];
+      files = [ ("a.csv", "d41d8cd98f00b204e9800998ecf8427e") ];
+    }
+  in
+  (match R.Manifest.of_json (R.Manifest.to_json m) with
+  | Ok m' -> Alcotest.(check bool) "of_json (to_json m) = m" true (m = m')
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* and through the actual serializer *)
+  match J.parse (J.to_string ~pretty:true (R.Manifest.to_json m)) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j -> (
+      match R.Manifest.of_json j with
+      | Ok m' -> Alcotest.(check bool) "text round-trip" true (m = m')
+      | Error e -> Alcotest.failf "of_json failed: %s" e)
+
+let test_manifest_rejects () =
+  let reject what j =
+    match R.Manifest.of_json j with
+    | Ok _ -> Alcotest.failf "%s should be rejected" what
+    | Error e -> Alcotest.(check bool) (what ^ " has a reason") true (String.length e > 0)
+  in
+  let m = R.Manifest.to_json (manifest ()) in
+  reject "non-object" (J.Num 3.0);
+  (match m with
+  | J.Obj fields ->
+      reject "foreign schema"
+        (J.Obj
+           (List.map (fun (k, v) -> if k = "schema" then (k, J.Str "mica-run/v9") else (k, v)) fields));
+      reject "missing field" (J.Obj (List.filter (fun (k, _) -> k <> "workloads") fields));
+      reject "wrong type"
+        (J.Obj (List.map (fun (k, v) -> if k = "workloads" then (k, J.Str "x") else (k, v)) fields))
+  | _ -> Alcotest.fail "manifest json is an object")
+
+(* ---------------- checksummed IO ---------------- *)
+
+let test_checksummed_roundtrip () =
+  let path = Filename.temp_file "mica_run_io" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let body = "{\"k\": [1, 2, 3]}\n" in
+      R.Run_io.write_checksummed path body;
+      (match R.Run_io.read_checksummed path with
+      | Ok b -> Alcotest.(check string) "body round-trips" body b
+      | Error e -> Alcotest.failf "read failed: %s" (R.Run_io.describe_error e));
+      (* tamper one body byte: digest mismatch *)
+      let ic = open_in_bin path in
+      let raw = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let tampered = Bytes.of_string raw in
+      Bytes.set tampered (Bytes.length tampered - 2) 'X';
+      let oc = open_out_bin path in
+      output_bytes oc tampered;
+      close_out oc;
+      (match R.Run_io.read_checksummed path with
+      | Error (R.Run_io.Corrupt _) -> ()
+      | Ok _ -> Alcotest.fail "tampered file should not verify"
+      | Error e -> Alcotest.failf "expected Corrupt, got %s" (R.Run_io.describe_error e));
+      (* foreign format version *)
+      let oc = open_out_bin path in
+      output_string oc ("#mica-run v999 md5:" ^ R.Run_io.md5_hex body ^ "\n" ^ body);
+      close_out oc;
+      (match R.Run_io.read_checksummed path with
+      | Error (R.Run_io.Foreign_version _) -> ()
+      | _ -> Alcotest.fail "foreign version should be flagged");
+      Sys.remove path;
+      match R.Run_io.read_checksummed path with
+      | Error R.Run_io.Missing -> ()
+      | _ -> Alcotest.fail "missing file should be Missing")
+
+let test_table_csv_roundtrip () =
+  let t =
+    {
+      R.Run_dir.row_names = [| "A/b/c"; "D (e)" |];
+      columns = [| "pct_load"; "dep<=2"; "ws_d_blk" |];
+      cells = [| [| 0.1; -3.25e-7; 196.0 |]; [| 1.0 /. 3.0; 0.0; 1e17 |] |];
+    }
+  in
+  match R.Run_dir.table_of_csv (R.Run_dir.csv_of_table t) with
+  | Error e -> Alcotest.failf "csv round-trip failed: %s" e
+  | Ok t' ->
+      Alcotest.(check (array string)) "rows" t.R.Run_dir.row_names t'.R.Run_dir.row_names;
+      Alcotest.(check (array string)) "cols" t.R.Run_dir.columns t'.R.Run_dir.columns;
+      Alcotest.(check (array (array (Alcotest.float 0.0))))
+        "cells bit-exact" t.R.Run_dir.cells t'.R.Run_dir.cells
+
+(* ---------------- commit / load / corruption ---------------- *)
+
+let test_commit_and_load () =
+  let root = fresh_root () in
+  let dir = commit_run root ~tag:"alpha" ~bench:[ ("k1", 120.0) ] () in
+  let r = load_exn dir in
+  Alcotest.(check string) "tag survives" "alpha" r.R.Run_dir.manifest.R.Manifest.tag;
+  (match r.R.Run_dir.mica with
+  | Some t -> Alcotest.check feq "cell" 4.0 t.R.Run_dir.cells.(1).(1)
+  | None -> Alcotest.fail "mica table loads");
+  Alcotest.(check bool) "bench loads" true (r.R.Run_dir.bench <> None);
+  Alcotest.(check int)
+    "manifest lists both artifacts" 2
+    (List.length r.R.Run_dir.manifest.R.Manifest.files);
+  (* the run root lists it; latest resolves to the lexicographically
+     newest stamp *)
+  Alcotest.(check bool) "listed" true
+    (List.mem (Filename.basename dir) (R.Run_dir.list_runs root));
+  let dir2 = commit_run root ~tag:"beta" () in
+  Alcotest.(check (option string)) "latest" (Some dir2) (R.Run_dir.latest root);
+  (* identical created+tag collides and is uniquified, not overwritten *)
+  let dir3 = commit_run root ~tag:"beta" () in
+  Alcotest.(check bool) "collision uniquified" true (dir3 <> dir2);
+  Alcotest.(check int) "three runs listed" 3 (List.length (R.Run_dir.list_runs root))
+
+let test_truncated_manifest_unreadable () =
+  let root = fresh_root () in
+  let dir = commit_run root ~tag:"trunc" () in
+  let path = Filename.concat dir R.Run_dir.manifest_file in
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (String.sub raw 0 (String.length raw / 2));
+  close_out oc;
+  match R.Run_dir.load dir with
+  | Error e -> Alcotest.(check bool) "reason mentions manifest" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "truncated manifest must make the run unreadable"
+
+let test_tampered_artifact_unreadable () =
+  let root = fresh_root () in
+  let dir = commit_run root ~tag:"tamper" () in
+  let path = Filename.concat dir R.Run_dir.mica_file in
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "w3,9,9\n";
+  close_out oc;
+  (match R.Run_dir.load dir with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "digest-mismatched artifact must make the run unreadable");
+  (* a listed artifact going missing is equally fatal *)
+  Sys.remove path;
+  match R.Run_dir.load dir with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing artifact must make the run unreadable"
+
+let test_missing_run_unreadable () =
+  (match R.Run_dir.load "/nonexistent/run/dir" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing dir must be an error");
+  let root = fresh_root () in
+  R.Run_io.mkdir_p root;
+  Alcotest.(check (option string)) "no runs -> no latest" None (R.Run_dir.latest root)
+
+(* ---------------- compare: metamorphic laws ---------------- *)
+
+let test_compare_self_empty () =
+  let root = fresh_root () in
+  let dir = commit_run root ~tag:"self" ~bench:[ ("k1", 100.0) ] () in
+  let r = load_exn dir in
+  let cmp = R.Compare.run r r in
+  Alcotest.(check bool) "self-compare ok" true (R.Compare.ok cmp);
+  Alcotest.(check int) "no drift" 0 (List.length (R.Compare.drift cmp));
+  Alcotest.(check int) "no regressions" 0 (List.length (R.Compare.regressions cmp));
+  List.iter
+    (fun (d : R.Compare.cell_delta) -> Alcotest.check feq "zero delta" 0.0 d.R.Compare.rel)
+    cmp.R.Compare.char_deltas
+
+let test_compare_antisymmetric () =
+  let root = fresh_root () in
+  let da =
+    commit_run root ~tag:"a"
+      ~cells:[| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]
+      ~bench:[ ("k1", 100.0); ("k2", 50.0) ]
+      ()
+  in
+  let db =
+    commit_run root ~tag:"b"
+      ~cells:[| [| 1.5; 2.0 |]; [| 3.0; 8.0 |] |]
+      ~bench:[ ("k1", 300.0); ("k2", 50.0) ]
+      ()
+  in
+  let ra = load_exn da and rb = load_exn db in
+  let ab = R.Compare.run ra rb and ba = R.Compare.run rb ra in
+  let rel_of cmp col =
+    match
+      List.find_opt (fun (d : R.Compare.cell_delta) -> d.R.Compare.column = col)
+        cmp.R.Compare.char_deltas
+    with
+    | Some d -> d.R.Compare.rel
+    | None -> Alcotest.failf "column %s missing" col
+  in
+  List.iter
+    (fun col ->
+      Alcotest.check feq
+        ("rel(" ^ col ^ ") antisymmetric under swap")
+        (-.rel_of ab col) (rel_of ba col))
+    [ "c1"; "c2" ];
+  (* bench: a regression one way is an improvement the other way *)
+  let bench_of cmp name =
+    List.find (fun (d : R.Compare.bench_delta) -> d.R.Compare.bench = name)
+      cmp.R.Compare.bench_deltas
+  in
+  let fwd = bench_of ab "k1" and bwd = bench_of ba "k1" in
+  Alcotest.(check bool) "k1 regresses A->B" true fwd.R.Compare.regression;
+  Alcotest.(check bool) "k1 improves B->A" true bwd.R.Compare.improvement;
+  Alcotest.(check bool) "improvement never gates" false bwd.R.Compare.regression;
+  Alcotest.check feq "bench rel antisymmetric" (-.fwd.R.Compare.rel_ns) bwd.R.Compare.rel_ns;
+  (* and the verdicts *)
+  Alcotest.(check bool) "A->B fails (drift + regression)" false (R.Compare.ok ab);
+  Alcotest.(check bool) "B->A fails too (drift gates both ways)" false (R.Compare.ok ba)
+
+let test_compare_tolerance_gate () =
+  let root = fresh_root () in
+  let da = commit_run root ~tag:"a" ~bench:[ ("k1", 100.0) ] () in
+  let db =
+    commit_run root ~tag:"b"
+      ~cells:[| [| 1.0; 2.0 |]; [| 3.0; 4.0 +. 1e-9 |] |]
+      ~bench:[ ("k1", 120.0) ]
+      ()
+  in
+  let ra = load_exn da and rb = load_exn db in
+  (* generous tolerances absorb the tiny drift and the mild slowdown *)
+  let lax = { R.Compare.char_rel = 1e-3; bench_rel = 0.5 } in
+  Alcotest.(check bool) "within tolerance" true (R.Compare.ok (R.Compare.run ~tol:lax ra rb));
+  (* tight tolerances flag both *)
+  let strict = { R.Compare.char_rel = 1e-12; bench_rel = 0.05 } in
+  let cmp = R.Compare.run ~tol:strict ra rb in
+  Alcotest.(check bool) "beyond tolerance" false (R.Compare.ok cmp);
+  Alcotest.(check int) "one drifting column" 1 (List.length (R.Compare.drift cmp));
+  Alcotest.(check int) "one regression" 1 (List.length (R.Compare.regressions cmp))
+
+let test_compare_report_json () =
+  let root = fresh_root () in
+  let da = commit_run root ~tag:"a" ~bench:[ ("k1", 100.0) ] () in
+  let db = commit_run root ~tag:"b" ~bench:[ ("k1", 300.0) ] () in
+  let cmp = R.Compare.run (load_exn da) (load_exn db) in
+  let json = R.Compare.to_json cmp in
+  (* schema tag, stable serialization, and a parse round-trip *)
+  Alcotest.(check (option string))
+    "schema" (Some "mica-compare/v1")
+    (Option.bind (J.member "schema" json) J.to_str);
+  Alcotest.(check (option (float 1e-9)))
+    "regression count" (Some 1.0)
+    (Option.bind (J.member "regressions" json) J.to_num);
+  let s = J.to_string ~pretty:true json in
+  Alcotest.(check string) "serialization deterministic" s (J.to_string ~pretty:true json);
+  (match J.parse s with
+  | Ok j -> Alcotest.(check string) "round-trip" s (J.to_string ~pretty:true j)
+  | Error e -> Alcotest.failf "report must parse: %s" e);
+  (* the text report names the verdict *)
+  let text = R.Compare.render cmp in
+  Alcotest.(check bool) "text verdict" true (contains ~sub:"verdict: REGRESSION" text)
+
+(* jobs=1 vs jobs=4 same-seed runs through the real pipeline compare clean *)
+let test_compare_pipeline_jobs_invariant () =
+  let ws = [ W.Registry.find_exn "MiBench/sha/large"; W.Registry.find_exn "SPEC2000/mcf/ref" ] in
+  let root = fresh_root () in
+  let run_with ~tag ~jobs =
+    let config =
+      {
+        C.Pipeline.default_config with
+        C.Pipeline.icount = 3_000;
+        cache_dir = None;
+        jobs;
+        run = Some { C.Pipeline.run_root = root; run_tag = tag; run_seeds = [] };
+      }
+    in
+    let _ = C.Pipeline.datasets_report ~config ws in
+    match C.Pipeline.committed_run_dir () with
+    | Some dir -> dir
+    | None -> Alcotest.fail "pipeline should commit a run directory"
+  in
+  let d1 = run_with ~tag:"serial" ~jobs:1 in
+  let d4 = run_with ~tag:"parallel" ~jobs:4 in
+  let cmp = R.Compare.run (load_exn d1) (load_exn d4) in
+  Alcotest.(check bool) "jobs=1 vs jobs=4 compares clean" true (R.Compare.ok cmp);
+  Alcotest.(check int) "no drift" 0 (List.length (R.Compare.drift cmp));
+  Alcotest.(check int) "all 47 characteristics compared" 47
+    (List.length cmp.R.Compare.char_deltas);
+  Alcotest.(check int) "all 7 counters compared" 7 (List.length cmp.R.Compare.counter_deltas)
+
+(* ---------------- variance ---------------- *)
+
+let test_variance_aggregate () =
+  let root = fresh_root () in
+  let mk tag c00 ns =
+    let dir =
+      commit_run root ~tag ~cells:[| [| c00; 2.0 |]; [| 3.0; 4.0 |] |] ~bench:[ ("k1", ns) ] ()
+    in
+    load_exn dir
+  in
+  (* c1 column mean varies wildly run-to-run; c2 is constant; bench k1 is
+     mildly noisy *)
+  let runs = [ mk "r1" 1.0 100.0; mk "r2" 5.0 102.0; mk "r3" 9.0 98.0 ] in
+  let v = R.Variance.analyze ~budget:0.2 runs in
+  let row name =
+    match List.find_opt (fun (r : R.Variance.row) -> r.R.Variance.metric = name) v.R.Variance.rows with
+    | Some r -> r
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  let c1 = row "char/c1" and c2 = row "char/c2" and k1 = row "bench/k1" in
+  Alcotest.(check int) "c1 present in all runs" 3 c1.R.Variance.present;
+  (* c1 column means per run are 2, 4, 6: grand mean 4 *)
+  Alcotest.check Tutil.feq_loose "c1 mean of means" 4.0
+    c1.R.Variance.stats.Mica_stats.Descriptive.mean_v;
+  Alcotest.(check bool) "c1 noisy" true c1.R.Variance.noisy;
+  Alcotest.check feq "c2 deterministic -> CV 0" 0.0 c2.R.Variance.stats.Mica_stats.Descriptive.cv;
+  Alcotest.(check bool) "c2 quiet" false c2.R.Variance.noisy;
+  Alcotest.(check bool) "bench CV small" true (k1.R.Variance.stats.Mica_stats.Descriptive.cv < 0.05);
+  (* noisiest first *)
+  (match v.R.Variance.rows with
+  | first :: _ -> Alcotest.(check string) "sorted by CV" "char/c1" first.R.Variance.metric
+  | [] -> Alcotest.fail "rows nonempty");
+  Alcotest.(check int) "one noisy metric" 1 (List.length (R.Variance.noisy v));
+  (* report formats *)
+  let json = R.Variance.to_json v in
+  Alcotest.(check (option string))
+    "schema" (Some "mica-variance/v1")
+    (Option.bind (J.member "schema" json) J.to_str);
+  let s = J.to_string ~pretty:true json in
+  (match J.parse s with
+  | Ok j -> Alcotest.(check string) "variance json round-trip" s (J.to_string ~pretty:true j)
+  | Error e -> Alcotest.failf "variance json must parse: %s" e);
+  Alcotest.(check bool) "text flags noise" true (contains ~sub:"NOISY" (R.Variance.render v))
+
+let test_variance_metrics_of_run () =
+  let root = fresh_root () in
+  let dir = commit_run root ~tag:"m" ~bench:[ ("k1", 100.0) ] () in
+  let metrics = R.Variance.metrics_of_run (load_exn dir) in
+  let names = List.map fst metrics in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " extracted") true (List.mem n names))
+    [ "char/c1"; "char/c2"; "bench/k1" ];
+  Alcotest.(check (option (float 1e-9))) "bench value" (Some 100.0)
+    (List.assoc_opt "bench/k1" metrics)
+
+let suite =
+  ( "run",
+    [
+      Alcotest.test_case "manifest golden format" `Quick test_manifest_golden;
+      Alcotest.test_case "manifest round-trip" `Quick test_manifest_roundtrip;
+      Alcotest.test_case "manifest rejects bad json" `Quick test_manifest_rejects;
+      Alcotest.test_case "checksummed io round-trip + tamper" `Quick test_checksummed_roundtrip;
+      Alcotest.test_case "table csv round-trip" `Quick test_table_csv_roundtrip;
+      Alcotest.test_case "commit and load" `Quick test_commit_and_load;
+      Alcotest.test_case "truncated manifest unreadable" `Quick test_truncated_manifest_unreadable;
+      Alcotest.test_case "tampered artifact unreadable" `Quick test_tampered_artifact_unreadable;
+      Alcotest.test_case "missing run unreadable" `Quick test_missing_run_unreadable;
+      Alcotest.test_case "compare: self is empty and ok" `Quick test_compare_self_empty;
+      Alcotest.test_case "compare: antisymmetric under swap" `Quick test_compare_antisymmetric;
+      Alcotest.test_case "compare: tolerance gates" `Quick test_compare_tolerance_gate;
+      Alcotest.test_case "compare: json/text reports" `Quick test_compare_report_json;
+      Alcotest.test_case "compare: jobs=1 vs jobs=4 clean" `Slow test_compare_pipeline_jobs_invariant;
+      Alcotest.test_case "variance: aggregate over runs" `Quick test_variance_aggregate;
+      Alcotest.test_case "variance: metrics extraction" `Quick test_variance_metrics_of_run;
+    ] )

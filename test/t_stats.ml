@@ -317,6 +317,79 @@ let test_roc_single_class_rejected () =
     Alcotest.fail "expected Invalid_argument"
   with Invalid_argument _ -> ()
 
+(* ---------------- summarize (variance aggregator) ---------------- *)
+
+(* Two-pass reference implementation over the finite samples. *)
+let naive_summary xs =
+  let fin = Array.of_seq (Seq.filter Float.is_finite (Array.to_seq xs)) in
+  let n = Array.length fin in
+  let mean = if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 fin /. float_of_int n in
+  let var =
+    if n < 2 then 0.0
+    else Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 fin /. float_of_int n
+  in
+  (n, mean, sqrt var)
+
+let test_summarize_edges () =
+  let s = S.Descriptive.summarize [||] in
+  Alcotest.(check int) "empty count" 0 s.S.Descriptive.count;
+  Alcotest.check feq "empty mean" 0.0 s.S.Descriptive.mean_v;
+  Alcotest.check feq "empty cv" 0.0 s.S.Descriptive.cv;
+  let s = S.Descriptive.summarize [| 7.5 |] in
+  Alcotest.(check int) "n=1 count" 1 s.S.Descriptive.count;
+  Alcotest.check feq "n=1 mean" 7.5 s.S.Descriptive.mean_v;
+  Alcotest.check feq "n=1 stddev" 0.0 s.S.Descriptive.stddev_v;
+  Alcotest.check feq "n=1 cv" 0.0 s.S.Descriptive.cv;
+  let s = S.Descriptive.summarize [| 4.0; 4.0; 4.0; 4.0 |] in
+  Alcotest.check feq "constant stddev" 0.0 s.S.Descriptive.stddev_v;
+  Alcotest.check feq "constant cv" 0.0 s.S.Descriptive.cv;
+  (* zero-mean spread: CV is undefined, reported as infinite noise *)
+  let s = S.Descriptive.summarize [| -1.0; 1.0 |] in
+  Alcotest.(check bool) "zero-mean cv infinite" true (s.S.Descriptive.cv = Float.infinity);
+  (* non-finite samples are dropped, not propagated *)
+  let s = S.Descriptive.summarize [| 1.0; Float.nan; 3.0; Float.infinity; Float.neg_infinity |] in
+  Alcotest.(check int) "finite count" 2 s.S.Descriptive.count;
+  Alcotest.check feq "finite mean" 2.0 s.S.Descriptive.mean_v;
+  Alcotest.(check bool) "stddev finite" true (Float.is_finite s.S.Descriptive.stddev_v);
+  let s = S.Descriptive.summarize [| Float.nan; Float.nan |] in
+  Alcotest.(check int) "all-nan count" 0 s.S.Descriptive.count;
+  Alcotest.check feq "all-nan mean" 0.0 s.S.Descriptive.mean_v
+
+let sample_gen =
+  (* finite values across magnitudes, salted with non-finite junk *)
+  QCheck2.Gen.(
+    list_size (int_range 0 40)
+      (frequency
+         [
+           (8, float_range (-1e6) 1e6);
+           (2, float_range (-1e-3) 1e-3);
+           (1, return Float.nan);
+           (1, return Float.infinity);
+           (1, return Float.neg_infinity);
+         ]))
+
+let close a b =
+  (* relative closeness: Welford vs two-pass differ only in rounding *)
+  Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let prop_summarize_matches_naive xs =
+  let xs = Array.of_list xs in
+  let s = S.Descriptive.summarize xs in
+  let n, mean, sd = naive_summary xs in
+  s.S.Descriptive.count = n
+  && close s.S.Descriptive.mean_v mean
+  && close s.S.Descriptive.stddev_v sd
+  && (Float.is_finite s.S.Descriptive.cv || s.S.Descriptive.cv = Float.infinity)
+
+let prop_summarize_shift_invariant_count xs =
+  (* shifting finite samples never changes the count or the spread *)
+  let xs = Array.of_list xs in
+  let shifted = Array.map (fun x -> x +. 1000.0) xs in
+  let a = S.Descriptive.summarize xs and b = S.Descriptive.summarize shifted in
+  a.S.Descriptive.count = b.S.Descriptive.count
+  && Float.abs (a.S.Descriptive.stddev_v -. b.S.Descriptive.stddev_v)
+     <= 1e-6 *. Float.max 1.0 a.S.Descriptive.stddev_v
+
 let suite =
   ( "stats",
     [
@@ -354,4 +427,8 @@ let suite =
       Alcotest.test_case "roc monotone" `Quick test_roc_monotone_points;
       Alcotest.test_case "roc positives" `Quick test_roc_positives_labelling;
       Alcotest.test_case "roc one class" `Quick test_roc_single_class_rejected;
+      Alcotest.test_case "summarize edges" `Quick test_summarize_edges;
+      Tutil.qcheck_case "summarize = two-pass reference" sample_gen prop_summarize_matches_naive;
+      Tutil.qcheck_case "summarize shift-invariant spread" sample_gen
+        prop_summarize_shift_invariant_count;
     ] )

@@ -18,5 +18,6 @@ let () =
       T_families.suite;
       T_fuzz.suite;
       T_verify.suite;
+      T_run.suite;
       T_golden.suite;
     ]
