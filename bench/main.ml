@@ -340,6 +340,76 @@ let t_extended =
          Sys.opaque_identity
            (Mica_analysis.Extended.analyze w.W.Workload.model ~icount:bench_icount)))
 
+(* ---------------- scale benches (10k-corpus regime) ----------------
+
+   Naive-vs-scalable pairs over synthesized corpora; results_json turns
+   each pair into a "scale_speedups" entry.  The corpora are generated
+   once (lazily) outside timing; anchors characterize in milliseconds,
+   the rest is synthesis. *)
+
+let corpus2k = lazy (Mica_core.Corpus_gen.generate ~size:2_000 ())
+let corpus5k = lazy (Mica_core.Corpus_gen.generate ~size:5_000 ())
+let corpus10k = lazy (Mica_core.Corpus_gen.generate ~size:10_000 ())
+
+let zrows2k = lazy (Stats.Normalize.zscore (Lazy.force corpus2k).Mica_core.Dataset.data)
+let zcol2k = lazy (Stats.Colmat.of_matrix (Lazy.force zrows2k))
+let condensed2k_out = lazy (Array.make (Stats.Distance.pair_count 2_000) 0.0)
+
+let zcol10k =
+  lazy (Stats.Colmat.zscore (Stats.Colmat.of_matrix (Lazy.force corpus10k).Mica_core.Dataset.data))
+
+let ann10k = lazy (Stats.Ann.build (Lazy.force zcol10k))
+let query10k = lazy (Stats.Colmat.row (Lazy.force zcol10k) 17)
+
+(* the bit-identity pair: same condensed vector, row-records vs tiles.
+   The tiled kernel's win is parallel scalability (disjoint condensed
+   ranges per worker at any jobs count); on a single-core runner expect
+   parity with the naive scan, not speedup — the order-of-complexity
+   wins live in the knn and subset pairs below. *)
+let t_condensed_naive =
+  Test.make ~name:"condensed_naive_n2000"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Stats.Distance.condensed (Lazy.force zrows2k))))
+
+let pool4 = lazy (Mica_util.Pool.create ~jobs:4)
+
+let t_condensed_blocked =
+  Test.make ~name:"condensed_blocked_pool4_n2000"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Stats.Distance.condensed_blocked ~pool:(Lazy.force pool4)
+              ~out:(Lazy.force condensed2k_out) (Lazy.force zcol2k))))
+
+(* the query pair: one kNN lookup, linear scan vs ANN prune + re-rank *)
+let t_knn_naive =
+  Test.make ~name:"knn_naive_n10000"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Stats.Ann.exact_knn (Lazy.force zcol10k) ~k:10 (Lazy.force query10k))))
+
+let t_knn_ann =
+  Test.make ~name:"knn_ann_n10000"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Stats.Ann.knn (Lazy.force ann10k) ~k:10 (Lazy.force query10k))))
+
+(* the subset pair: the full query workload, normalization included on
+   both sides — O(n^2 d) condensed space + k-center vs on-demand
+   distances *)
+let t_subset_naive =
+  Test.make ~name:"subset_naive_n5000"
+    (Staged.stage (fun () ->
+         let space = Mica_core.Space.of_dataset (Lazy.force corpus5k) in
+         Sys.opaque_identity (Mica_core.Subsetting.k_center space ~k:10)))
+
+let t_subset_scalable =
+  Test.make ~name:"subset_scalable_n5000"
+    (Staged.stage (fun () ->
+         let z =
+           Stats.Colmat.zscore
+             (Stats.Colmat.of_matrix (Lazy.force corpus5k).Mica_core.Dataset.data)
+         in
+         Sys.opaque_identity (Mica_core.Subsetting.k_center_scalable z ~k:10)))
+
 let tests =
   [
     t_table1; t_table2; t_characterize; t_counters; t_fig1; t_table3; t_fig2; t_fig3; t_fig4;
@@ -347,6 +417,8 @@ let tests =
     t_ga_pool2; t_ce_pool2; t_cost_full; t_cost_reduced; t_ablation_fused;
     t_ablation_multipass; t_generation_only; t_ga_seed; t_pca_baseline; t_linkage; t_phases;
     t_spec_parse; t_coverage; t_machines; t_reuse; t_simpoint; t_bootstrap; t_extended;
+    t_condensed_naive; t_condensed_blocked; t_knn_naive; t_knn_ann; t_subset_naive;
+    t_subset_scalable;
   ]
 
 (* ---------------- driver ---------------- *)
@@ -401,6 +473,17 @@ let trajectory_baselines =
     ("fig5_ce_sweep", "naive_eval", "fused_incremental", 45_973_380.7, 21_790_651.9);
   ]
 
+(* Naive-vs-scalable pairs measured in the same run; results_json
+   derives the speedup of each.  The condensed pair is the bit-identity
+   pair (same output, cache tiling only); the query pairs are where the
+   order-of-complexity wins land. *)
+let speedup_pairs =
+  [
+    ("scale_condensed_2k", "condensed_naive_n2000", "condensed_blocked_pool4_n2000");
+    ("scale_knn_query_10k", "knn_naive_n10000", "knn_ann_n10000");
+    ("scale_subset_query_5k", "subset_naive_n5000", "subset_scalable_n5000");
+  ]
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -445,6 +528,30 @@ let results_json rows =
         Buffer.add_string buf
           (Printf.sprintf "    }%s\n" (if i = List.length measured - 1 then "" else ",")))
       measured;
+    Buffer.add_string buf "  },\n"
+  end;
+  let pairs =
+    List.filter_map
+      (fun (label, naive, fast) ->
+        match
+          ( List.find_opt (fun r -> r.name = naive) rows,
+            List.find_opt (fun r -> r.name = fast) rows )
+        with
+        | Some n, Some f -> Some (label, n, f)
+        | _ -> None)
+      speedup_pairs
+  in
+  if pairs <> [] then begin
+    Buffer.add_string buf "  \"scale_speedups\": {\n";
+    List.iteri
+      (fun i (label, n, f) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    \"%s\": {\"naive_ns\": %s, \"scalable_ns\": %s, \"speedup\": %.2f}%s\n" label
+             (json_float n.ns_per_run) (json_float f.ns_per_run)
+             (n.ns_per_run /. f.ns_per_run)
+             (if i = List.length pairs - 1 then "" else ",")))
+      pairs;
     Buffer.add_string buf "  },\n"
   end;
   Buffer.add_string buf "  \"results\": [\n";
@@ -582,6 +689,16 @@ let () =
   Printf.printf "preparing context (%d workloads, %d instrs each; cached across runs)...\n%!"
     W.Registry.count bench_icount;
   ignore (Lazy.force ctx);
+  (* likewise the scale fixtures: corpus synthesis and the one-time ANN
+     index build are setup, not the query being measured *)
+  if not smoke then begin
+    Printf.printf "preparing scale fixtures (2k/5k/10k corpora, ANN index)...\n%!";
+    ignore (Lazy.force zcol2k);
+    ignore (Lazy.force condensed2k_out);
+    ignore (Lazy.force corpus5k);
+    ignore (Lazy.force ann10k);
+    ignore (Lazy.force query10k)
+  end;
   Printf.printf "%-36s %16s %14s %10s\n" "benchmark" "time/run" "minor-w/run" "r^2";
   print_endline (String.make 80 '-');
   let rows =

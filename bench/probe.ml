@@ -25,6 +25,48 @@ let measure name f =
     ((after -. before) /. n)
     ((t1 -. t0) *. 1e9 /. n)
 
+(* Column-reduction probe: the copying [Matrix.column] accessor vs the
+   no-copy folds that replaced it in the normalization/PCA hot paths.
+   Reported per call over a registry-sized matrix (122 x 47): the
+   no-copy path should show ~0 words/call. *)
+let probe_column_stats () =
+  let module M = Mica_stats.Matrix in
+  let module D = Mica_stats.Descriptive in
+  let rng = Mica_util.Rng.create ~seed:7L in
+  let m =
+    Array.init 122 (fun _ -> Array.init 47 (fun _ -> Mica_util.Rng.float rng 100.0))
+  in
+  let sink = ref 0.0 in
+  let all_columns f =
+    for j = 0 to 46 do
+      sink := !sink +. f j
+    done
+  in
+  let measure_call name f =
+    f ();
+    let before = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let reps = 2000 in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let t1 = Unix.gettimeofday () in
+    let after = Gc.minor_words () in
+    let n = float_of_int reps in
+    Printf.printf "%-28s %8.2f words/call   %8.1f ns/call\n%!" name
+      ((after -. before) /. n)
+      ((t1 -. t0) *. 1e9 /. n)
+  in
+  measure_call "column_stats_copying" (fun () ->
+      all_columns (fun j ->
+          let col = M.column m j in
+          D.mean col +. D.stddev col));
+  measure_call "column_stats_nocopy" (fun () ->
+      all_columns (fun j ->
+          let mean, std = M.column_mean_std m j in
+          mean +. std));
+  ignore (Sys.opaque_identity !sink)
+
 let () =
   let w = W.Registry.find_exn "SPEC2000/bzip2/graphic" in
   let model = w.W.Workload.model in
@@ -39,4 +81,5 @@ let () =
   measure "ppm" (fun () -> run (A.Ppm.sink (A.Ppm.create ())));
   measure "analyzer_fanout" (fun () ->
       let a = A.Analyzer.create () in
-      run (A.Analyzer.sink a))
+      run (A.Analyzer.sink a));
+  probe_column_stats ()

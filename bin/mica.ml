@@ -14,6 +14,8 @@
      select-ce     run correlation elimination
      cluster       Figure 6-style clustering on key characteristics
      kiviat        kiviat plot of one workload over selected characteristics
+     corpus        generate a 10k-scale parameter-sweep corpus dataset
+     knn           ANN / exact nearest-neighbour queries over a stored corpus
      verify        oracle suite: invariants, reference analyzers, metamorphic laws *)
 
 open Cmdliner
@@ -660,24 +662,257 @@ let pca_cmd =
 
 (* ---------------- subset ---------------- *)
 
+let load_store path =
+  match Mica_core.Dataset_store.load path with
+  | Ok t -> t
+  | Error e ->
+    Printf.eprintf "error: %s: %s\n" path (Mica_run.Run_io.describe_error e);
+    exit 2
+
 let subset_cmd =
   let k =
     let doc = "Size of the reduced benchmark suite." in
     Arg.(value & opt int 15 & info [ "k" ] ~docv:"K" ~doc)
   in
-  let run config k =
-    let ctx = E.Context.load ~config () in
-    let ga = E.run_ga ctx in
-    let reduced =
-      Mica_core.Dataset.select_features ctx.E.Context.mica ga.Select.Genetic.selected
+  let dataset_bin =
+    let doc =
+      "Subset this stored corpus dataset instead of the 122-benchmark registry, using \
+       the scalable on-demand k-center (no O(n^2) distance matrix)."
     in
-    let space = Mica_core.Space.of_dataset reduced in
-    let t = Mica_core.Subsetting.k_center space ~k in
-    print_string (Mica_core.Subsetting.render space t)
+    Arg.(value & opt (some string) None & info [ "dataset-bin" ] ~docv:"FILE" ~doc)
+  in
+  let run config k dataset_bin =
+    match dataset_bin with
+    | Some path ->
+      let store = load_store path in
+      let module Colmat = Mica_stats.Colmat in
+      let z = Colmat.zscore store.Mica_core.Dataset_store.data in
+      let t = Mica_core.Subsetting.k_center_scalable z ~k in
+      let names = store.Mica_core.Dataset_store.names in
+      Printf.printf
+        "reduced suite of %d of %d members (covering radius %.3f, mean distance %.3f):\n"
+        (Array.length t.Mica_core.Subsetting.chosen)
+        (Colmat.rows z) t.Mica_core.Subsetting.max_distance
+        t.Mica_core.Subsetting.mean_distance;
+      Array.iter (fun c -> Printf.printf "* %s\n" names.(c)) t.Mica_core.Subsetting.chosen
+    | None ->
+      let ctx = E.Context.load ~config () in
+      let ga = E.run_ga ctx in
+      let reduced =
+        Mica_core.Dataset.select_features ctx.E.Context.mica ga.Select.Genetic.selected
+      in
+      let space = Mica_core.Space.of_dataset reduced in
+      let t = Mica_core.Subsetting.k_center space ~k in
+      print_string (Mica_core.Subsetting.render space t)
   in
   Cmd.v
     (Cmd.info "subset" ~doc:"Pick a reduced benchmark suite that covers the workload space.")
-    Term.(const run $ config_term $ k)
+    Term.(const run $ config_term $ k $ dataset_bin)
+
+(* ---------------- corpus / knn (scale layer) ---------------- *)
+
+let corpus_cmd =
+  let size =
+    let doc = "Number of corpus members to generate." in
+    Arg.(value & opt int 1024 & info [ "size" ] ~docv:"N" ~doc)
+  in
+  let anchors =
+    let doc = "Characterized anchor members per family." in
+    Arg.(value & opt int 4 & info [ "anchors" ] ~docv:"A" ~doc)
+  in
+  let anchor_icount =
+    let doc = "Trace length for anchor characterization." in
+    Arg.(value & opt int 50_000 & info [ "anchor-icount" ] ~docv:"N" ~doc)
+  in
+  let out =
+    let doc = "Write the corpus as a columnar binary dataset store." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let csv =
+    let doc = "Also write the corpus as CSV (lossless round-trip of the binary)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let run config size anchors anchor_icount out csv =
+    let ds = Mica_core.Corpus_gen.generate ~anchors ~icount:anchor_icount ~size () in
+    Option.iter
+      (fun path ->
+        Mica_core.Dataset_store.write path ds;
+        Printf.printf "wrote %s (%dx%d binary columnar)\n" path (Mica_core.Dataset.rows ds)
+          (Mica_core.Dataset.cols ds))
+      out;
+    Option.iter
+      (fun path ->
+        Mica_core.Dataset.to_csv ds path;
+        Printf.printf "wrote %s\n" path)
+      csv;
+    (* commit a run directory so CI can gate regenerated corpora with
+       [mica compare] — mica table only; compare notes the absent
+       counters table instead of failing *)
+    (match config.Mica_core.Pipeline.run with
+    | None -> ()
+    | Some sink ->
+      let module R = Mica_run.Run_dir in
+      let manifest =
+        {
+          Mica_run.Manifest.schema = Mica_run.Manifest.schema_version;
+          created = R.timestamp ();
+          tag = sink.Mica_core.Pipeline.run_tag;
+          subcommand = sink.Mica_core.Pipeline.run_tag;
+          argv = Array.to_list Sys.argv;
+          git_rev = Mica_run.Run_io.git_rev ();
+          icount = anchor_icount;
+          ppm_order = config.Mica_core.Pipeline.ppm_order;
+          jobs = config.Mica_core.Pipeline.jobs;
+          retries = config.Mica_core.Pipeline.retries;
+          cache = false;
+          mica_jobs_env = Sys.getenv_opt "MICA_JOBS";
+          fault_spec = Option.map Mica_util.Fault.to_string (Mica_util.Fault.installed ());
+          seeds = [ ("corpus-version", string_of_int Mica_workloads.Corpus.version) ];
+          workloads = Mica_core.Dataset.rows ds;
+          report = "";
+          files = [];
+        }
+      in
+      let table =
+        {
+          R.row_names = ds.Mica_core.Dataset.names;
+          columns = ds.Mica_core.Dataset.features;
+          cells = ds.Mica_core.Dataset.data;
+        }
+      in
+      let artifacts =
+        [
+          { R.filename = R.mica_file; contents = R.csv_of_table table };
+          {
+            R.filename = R.metrics_file;
+            contents = Mica_obs.Obs.to_json (Mica_obs.Obs.snapshot ());
+          };
+        ]
+      in
+      (match R.commit ~root:sink.Mica_core.Pipeline.run_root ~manifest ~artifacts () with
+      | dir -> Printf.printf "committed run %s\n" dir
+      | exception Sys_error _ ->
+        Logs.warn (fun f -> f "run directory commit failed; results are unaffected")));
+    let per_family = (size + 2) / 3 in
+    Printf.printf "corpus: %d members x %d characteristics (%d families, <=%d each, %d anchors)\n"
+      size (Mica_core.Dataset.cols ds)
+      (List.length Mica_workloads.Corpus.families)
+      per_family anchors
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Generate a parameter-sweep corpus dataset (anchored synthesis over the gen/* \
+          workload families) and optionally store it in binary columnar form.")
+    Term.(const run $ config_term $ size $ anchors $ anchor_icount $ out $ csv)
+
+let knn_cmd =
+  let k =
+    let doc = "Number of nearest neighbours." in
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let budget =
+    let doc = "ANN candidate budget (exactly re-ranked candidates); default 4k." in
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let exact =
+    let doc = "Use the exact linear scan instead of the ANN index." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let range =
+    let doc = "Range query: all rows within $(docv) (normalized space) instead of kNN." in
+    Arg.(value & opt (some float) None & info [ "range" ] ~docv:"RADIUS" ~doc)
+  in
+  let check_recall =
+    let doc = "Also run the exact scan and report ANN recall." in
+    Arg.(value & flag & info [ "check-recall" ] ~doc)
+  in
+  let cells =
+    let doc = "ANN index cell count (default sqrt n)." in
+    Arg.(value & opt (some int) None & info [ "cells" ] ~docv:"N" ~doc)
+  in
+  let proj_dims =
+    let doc = "ANN projection dimensions (default 8)." in
+    Arg.(value & opt (some int) None & info [ "proj-dims" ] ~docv:"D" ~doc)
+  in
+  let query_arg =
+    let doc = "Query row: a workload id from the dataset, or a 0-based row index." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+  in
+  let dataset_bin_req =
+    let doc = "Columnar binary dataset (written by $(b,mica corpus --out))." in
+    Arg.(required & opt (some string) None & info [ "dataset-bin" ] ~docv:"FILE" ~doc)
+  in
+  let run verbose metrics path query k budget exact range check_recall cells proj_dims =
+    setup_logs verbose;
+    setup_metrics metrics;
+    let store = load_store path in
+    let module Colmat = Mica_stats.Colmat in
+    let module Ann = Mica_stats.Ann in
+    let z = Colmat.zscore store.Mica_core.Dataset_store.data in
+    let names = store.Mica_core.Dataset_store.names in
+    let qi =
+      match int_of_string_opt query with
+      | Some i when i >= 0 && i < Array.length names -> i
+      | Some i ->
+        Printf.eprintf "error: row %d out of range (dataset has %d rows)\n" i
+          (Array.length names);
+        exit 2
+      | None -> (
+        match Array.find_index (String.equal query) names with
+        | Some i -> i
+        | None ->
+          Printf.eprintf "error: no row named %S in %s\n" query path;
+          exit 2)
+    in
+    let q = Colmat.row z qi in
+    let index = if exact then None else Some (Ann.build ?cells ?proj_dims z) in
+    let strip ns =
+      (* the query row itself is always its own nearest neighbour *)
+      Array.of_list (List.filter (fun n -> n.Ann.index <> qi) (Array.to_list ns))
+    in
+    let results =
+      match (range, index) with
+      | Some radius, Some idx -> strip (Ann.range idx ~radius q)
+      | Some radius, None -> strip (Ann.exact_range z ~radius q)
+      | None, Some idx -> strip (Ann.knn ?budget idx ~k:(k + 1) q)
+      | None, None -> strip (Ann.exact_knn z ~k:(k + 1) q)
+    in
+    let results =
+      if range = None && Array.length results > k then Array.sub results 0 k else results
+    in
+    (match index with
+    | Some idx ->
+      Printf.printf "# ann index: %d cells, %d projection dims over %d rows\n"
+        (Ann.cell_count idx) (Ann.proj_dims idx) (Ann.size idx)
+    | None -> Printf.printf "# exact linear scan over %d rows\n" (Colmat.rows z));
+    Printf.printf "# query: %s\n" names.(qi);
+    Array.iter (fun n -> Printf.printf "%-40s %.6f\n" names.(n.Ann.index) n.Ann.distance) results;
+    if check_recall then begin
+      let exact_ns =
+        match range with
+        | Some radius -> strip (Ann.exact_range z ~radius q)
+        | None -> Array.sub (strip (Ann.exact_knn z ~k:(k + 1) q)) 0 (min k (Colmat.rows z - 1))
+      in
+      let r = Ann.recall ~exact:exact_ns ~approx:results in
+      Printf.printf "recall vs exact: %.4f (%d/%d)\n" r
+        (int_of_float (r *. float_of_int (Array.length exact_ns)))
+        (Array.length exact_ns);
+      if r < Mica_verify.Approx.min_recall && index <> None then begin
+        Printf.eprintf "error: recall %.4f below the %.2f acceptance bound\n" r
+          Mica_verify.Approx.min_recall;
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "knn"
+       ~doc:
+         "Nearest-neighbour and range queries over a stored corpus dataset, via the ANN \
+          index (default) or the exact scan.")
+    Term.(
+      const run $ verbose $ metrics_opt $ dataset_bin_req $ query_arg $ k $ budget $ exact
+      $ range $ check_recall $ cells $ proj_dims)
 
 (* ---------------- predict ---------------- *)
 
@@ -1072,6 +1307,8 @@ let main =
       phases_cmd;
       pca_cmd;
       subset_cmd;
+      corpus_cmd;
+      knn_cmd;
       predict_cmd;
       dump_trace_cmd;
       characterize_trace_cmd;

@@ -1,0 +1,61 @@
+module Corpus = Mica_workloads.Corpus
+module Characteristics = Mica_analysis.Characteristics
+module Rng = Mica_util.Rng
+module Obs = Mica_obs.Obs
+
+let m_rows = Obs.counter "corpus.rows"
+
+let default_anchors = 4
+let default_icount = 50_000
+
+let anchor_vectors ~anchors ~icount fam =
+  let config = { Pipeline.default_config with icount; cache_dir = None; progress = false } in
+  Array.init anchors (fun i ->
+      let mica, _hpc = Pipeline.characterize config (Corpus.member fam i) in
+      mica)
+
+let generate ?(anchors = default_anchors) ?(icount = default_icount) ~size () =
+  Obs.span "core.corpus_generate" @@ fun () ->
+  if size < 0 then invalid_arg "Corpus_gen.generate: negative size";
+  if anchors < 1 then invalid_arg "Corpus_gen.generate: anchors must be positive";
+  let fams = Array.of_list Corpus.families in
+  let nfam = Array.length fams in
+  let per_family = Array.map (anchor_vectors ~anchors ~icount) fams in
+  let cols = Characteristics.count in
+  let names = Array.make size "" in
+  let data = Array.make_matrix size cols 0.0 in
+  for r = 0 to size - 1 do
+    let fam_idx = r mod nfam in
+    let idx = r / nfam in
+    let id = Corpus.member_id fams.(fam_idx) idx in
+    names.(r) <- id;
+    let av = per_family.(fam_idx) in
+    if idx < anchors then
+      (* anchor members carry their measured vector verbatim *)
+      Array.blit av.(idx) 0 data.(r) 0 cols
+    else begin
+      (* seeded convex blend of the family anchors, squared to bias each
+         member toward one anchor so the corpus spreads around them
+         rather than collapsing onto their mean *)
+      let rng = Rng.of_string ("vec/" ^ id) in
+      let w = Array.init anchors (fun _ -> let u = Rng.float rng 1.0 in u *. u) in
+      let total = Array.fold_left ( +. ) 0.0 w in
+      let w =
+        if total > 0.0 then Array.map (fun x -> x /. total) w
+        else Array.make anchors (1.0 /. float_of_int anchors)
+      in
+      let row = data.(r) in
+      for c = 0 to cols - 1 do
+        let acc = ref 0.0 in
+        for a = 0 to anchors - 1 do
+          acc := !acc +. (w.(a) *. av.(a).(c))
+        done;
+        (* bounded multiplicative jitter keeps signs and zero columns
+           (a zero characteristic stays exactly zero) *)
+        let jitter = Float.max 0.5 (Float.min 1.5 (Rng.gaussian rng ~mu:1.0 ~sigma:0.02)) in
+        row.(c) <- !acc *. jitter
+      done
+    end
+  done;
+  Obs.add m_rows (float_of_int size);
+  Dataset.create ~names ~features:(Array.copy Characteristics.short_names) data

@@ -1,0 +1,35 @@
+(** Scaled corpus dataset synthesis.
+
+    Characterizing one workload costs milliseconds; characterizing a
+    100x corpus would cost minutes on every CI run.  This module makes
+    the 10k-row regime cheap while staying anchored to real pipeline
+    output: it fully characterizes a handful of {e anchor} members per
+    {!Mica_workloads.Corpus} family (actual swept programs, run through
+    {!Pipeline.characterize}), then synthesizes every member's
+    47-characteristic vector as a seeded convex blend of its family's
+    anchors plus a small multiplicative jitter drawn from the member id.
+
+    Properties the scale tests rely on:
+
+    - {e deterministic}: the result is a pure function of
+      [(size, anchors, icount)] — same corpus bit-for-bit on every
+      machine, which is what lets CI regenerate a corpus and gate it
+      against a committed baseline with [mica compare];
+    - {e anchored}: every vector lies in the convex hull of measured
+      characteristic vectors (up to the bounded jitter), so distances,
+      clusters and subsets behave like characterization output, not
+      arbitrary noise;
+    - {e labeled like the real thing}: rows are {!Mica_workloads.Corpus}
+      member ids, columns the 47 short names of
+      {!Mica_analysis.Characteristics} — datasets drop into every
+      existing consumer (classify, subset, coverage, the stores).
+
+    Ground truth at corpus scale remains available the slow way:
+    [Pipeline.datasets (Corpus.members ~size)]. *)
+
+val generate : ?anchors:int -> ?icount:int -> size:int -> unit -> Dataset.t
+(** [generate ~size ()] is a [size] x 47 dataset over
+    [Corpus.members ~size] row ids.  [anchors] (default 4) is the number
+    of characterized anchor members per family; [icount] (default
+    50_000) the anchor trace length.  Raises [Invalid_argument] on
+    [size < 0] or [anchors < 1]. *)

@@ -53,6 +53,59 @@ let k_center space ~k =
     mean_distance = Mica_stats.Descriptive.mean distances;
   }
 
+(* Same greedy loop as [k_center], but over a columnar matrix with
+   distances computed on demand: O(k n d) work and O(n) memory instead of
+   the O(n^2 d) condensed matrix behind [Space.of_dataset].  Distances,
+   comparisons and tie-breaks replicate [k_center] exactly, so with
+   [seed] set to the naive medoid the chosen set is identical. *)
+let k_center_scalable ?seed cm ~k =
+  let module Colmat = Mica_stats.Colmat in
+  let n = Colmat.rows cm in
+  if k < 1 || k > n then invalid_arg "Subsetting.k_center_scalable: k out of range";
+  let seed =
+    match seed with
+    | Some s ->
+        if s < 0 || s >= n then invalid_arg "Subsetting.k_center_scalable: seed out of range";
+        s
+    | None ->
+        (* O(n d) proxy for the O(n^2 d) medoid: the row nearest the
+           column-mean centroid *)
+        let d = Colmat.cols cm in
+        let mean = Array.init d (fun j -> fst (Colmat.column_mean_std cm j)) in
+        let dist = Colmat.distances_from_row cm mean in
+        let best = ref 0 in
+        for i = 1 to n - 1 do
+          if dist.(i) < dist.(!best) then best := i
+        done;
+        !best
+  in
+  let chosen = ref [ seed ] in
+  let nearest = Array.init n (fun i -> (Colmat.distance cm i seed, seed)) in
+  while List.length !chosen < k do
+    let far = ref 0 and far_d = ref neg_infinity in
+    Array.iteri
+      (fun i (d, _) ->
+        if d > !far_d then begin
+          far_d := d;
+          far := i
+        end)
+      nearest;
+    chosen := !far :: !chosen;
+    Array.iteri
+      (fun i (d, _) ->
+        let d' = Colmat.distance cm i !far in
+        if d' < d then nearest.(i) <- (d', !far))
+      nearest
+  done;
+  let representative_of = Array.map snd nearest in
+  let distances = Array.map fst nearest in
+  {
+    chosen = Array.of_list (List.rev !chosen);
+    representative_of;
+    max_distance = Array.fold_left Float.max 0.0 distances;
+    mean_distance = Mica_stats.Descriptive.mean distances;
+  }
+
 let sweep space ~ks = List.map (fun k -> (k, (k_center space ~k).max_distance)) ks
 
 let render space t =

@@ -21,6 +21,17 @@ type t = {
 val k_center : Space.t -> k:int -> t
 (** Deterministic.  Requires [1 <= k <= n]. *)
 
+val k_center_scalable : ?seed:int -> Mica_stats.Colmat.t -> k:int -> t
+(** Greedy k-center directly over a (pre-normalized, e.g.
+    {!Mica_stats.Colmat.zscore}d) columnar matrix, computing the O(k n)
+    needed distances on demand instead of materializing the O(n^2)
+    condensed matrix a {!Space.t} carries — this is what makes subsetting
+    a 10k-row corpus tractable.  [seed] is the starting row; by default
+    the row nearest the column-mean centroid (an O(n d) stand-in for the
+    O(n^2 d) medoid {!k_center} starts from).  With [seed] set to that
+    medoid, the selection matches {!k_center} on the same normalized data
+    exactly. *)
+
 val sweep : Space.t -> ks:int list -> (int * float) list
 (** Covering radius per subset size — the curve that tells you how many
     benchmarks a reduced suite needs. *)

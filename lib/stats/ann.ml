@@ -1,0 +1,162 @@
+module Rng = Mica_util.Rng
+module Obs = Mica_obs.Obs
+
+let m_queries = Obs.counter "ann.queries"
+let m_candidates = Obs.counter "ann.candidates"
+let m_cells_pruned = Obs.counter "ann.cells_pruned"
+
+type neighbor = { index : int; distance : float }
+
+type cell = {
+  centroid : float array;  (* projected space *)
+  members : int array;  (* ascending row indices *)
+  radius : float;  (* max projected distance centroid -> member *)
+}
+
+type t = { data : Colmat.t; pca : Pca.t; dims : int; cells : cell array }
+
+let size t = Colmat.rows t.data
+let proj_dims t = t.dims
+let cell_count t = Array.length t.cells
+
+let default_seed = 0x6d696361L (* "mica" *)
+
+let build ?proj_dims ?cells ?(seed = default_seed) data =
+  Obs.span "stats.ann_build" @@ fun () ->
+  let n = Colmat.rows data in
+  if n = 0 then invalid_arg "Ann.build: empty dataset";
+  let m = Colmat.to_matrix data in
+  (* standardize:false keeps the projection an orthonormal map after
+     centering — the contraction the query bounds rely on.  Callers
+     normalize the space before indexing, exactly as the naive pipeline
+     normalizes before Distance.condensed. *)
+  let pca = Pca.fit ~standardize:false m in
+  let total = Array.length pca.Pca.eigenvalues in
+  let dims =
+    match proj_dims with Some d -> max 1 (min d total) | None -> min 8 total
+  in
+  let proj = Pca.transform pca ~dims m in
+  let k =
+    let default = max 1 (int_of_float (sqrt (float_of_int n))) in
+    match cells with Some c -> max 1 (min c n) | None -> min default n
+  in
+  let rng = Rng.create ~seed in
+  let res = Kmeans.fit ~rng ~k proj in
+  let members = Kmeans.cluster_members res in
+  let cells =
+    Array.init res.Kmeans.k (fun c ->
+        let centroid = res.Kmeans.centroids.(c) in
+        let ms = Array.of_list members.(c) in
+        let radius =
+          Array.fold_left
+            (fun acc i -> Float.max acc (Distance.euclidean centroid proj.(i)))
+            0.0 ms
+        in
+        { centroid; members = ms; radius })
+  in
+  { data; pca; dims; cells }
+
+let project t q = (Pca.transform t.pca ~dims:t.dims [| q |]).(0)
+
+let compare_neighbor a b =
+  match compare a.distance b.distance with 0 -> compare a.index b.index | c -> c
+
+let top_k k ns =
+  Array.sort compare_neighbor ns;
+  if Array.length ns <= k then ns else Array.sub ns 0 k
+
+let exact_knn data ~k q =
+  if k <= 0 then [||]
+  else begin
+    let d = Colmat.distances_from_row data q in
+    top_k k (Array.init (Array.length d) (fun i -> { index = i; distance = d.(i) }))
+  end
+
+let exact_range data ~radius q =
+  let d = Colmat.distances_from_row data q in
+  let out = ref [] in
+  for i = Array.length d - 1 downto 0 do
+    if d.(i) <= radius then out := { index = i; distance = d.(i) } :: !out
+  done;
+  let arr = Array.of_list !out in
+  Array.sort compare_neighbor arr;
+  arr
+
+let knn ?budget t ~k q =
+  Obs.span "stats.ann_query" @@ fun () ->
+  Obs.incr m_queries;
+  if k <= 0 then [||]
+  else begin
+    let qp = project t q in
+    let ncells = Array.length t.cells in
+    let cd = Array.map (fun c -> Distance.euclidean qp c.centroid) t.cells in
+    let order = Array.init ncells Fun.id in
+    Array.sort (fun a b -> match compare cd.(a) cd.(b) with 0 -> compare a b | c -> c) order;
+    let budget = match budget with Some b -> max k b | None -> max k (4 * k) in
+    (* visiting cells in a budget-independent order and stopping once the
+       budget is met makes candidate sets nested across budgets: recall is
+       monotone in the budget by construction *)
+    let chunks = ref [] and count = ref 0 in
+    Array.iter
+      (fun ci ->
+        if !count < budget then begin
+          let ms = t.cells.(ci).members in
+          if Array.length ms > 0 then begin
+            chunks := ms :: !chunks;
+            count := !count + Array.length ms
+          end
+        end)
+      order;
+    let candidates = Array.concat (List.rev !chunks) in
+    Obs.add m_candidates (float_of_int (Array.length candidates));
+    let row = Array.make (Colmat.cols t.data) 0.0 in
+    let ns =
+      Array.map
+        (fun i ->
+          Colmat.row_into t.data i row;
+          { index = i; distance = Distance.euclidean q row })
+        candidates
+    in
+    top_k k ns
+  end
+
+let range t ~radius q =
+  Obs.span "stats.ann_query" @@ fun () ->
+  Obs.incr m_queries;
+  let qp = project t q in
+  let out = ref [] in
+  let ncand = ref 0 in
+  let row = Array.make (Colmat.cols t.data) 0.0 in
+  Array.iter
+    (fun c ->
+      let dc = Distance.euclidean qp c.centroid in
+      (* Jacobi eigenvectors are orthonormal only to rounding error, so
+         the contraction can be violated by ~1e-12; the slack keeps the
+         prune conservative and the results exact *)
+      let lb = dc -. c.radius -. (1e-9 *. (1.0 +. dc)) in
+      if lb > radius then Obs.incr m_cells_pruned
+      else
+        Array.iter
+          (fun i ->
+            incr ncand;
+            Colmat.row_into t.data i row;
+            let d = Distance.euclidean q row in
+            if d <= radius then out := { index = i; distance = d } :: !out)
+          c.members)
+    t.cells;
+  Obs.add m_candidates (float_of_int !ncand);
+  let arr = Array.of_list !out in
+  Array.sort compare_neighbor arr;
+  arr
+
+let recall ~exact ~approx =
+  let total = Array.length exact in
+  if total = 0 then 1.0
+  else begin
+    let seen = Hashtbl.create (2 * Array.length approx) in
+    Array.iter (fun n -> Hashtbl.replace seen n.index ()) approx;
+    let hits =
+      Array.fold_left (fun acc n -> if Hashtbl.mem seen n.index then acc + 1 else acc) 0 exact
+    in
+    float_of_int hits /. float_of_int total
+  end

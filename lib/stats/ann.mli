@@ -1,0 +1,71 @@
+(** Approximate-nearest-neighbor index over a columnar dataset.
+
+    At 10k+ observations the O(n) linear scan per query (and the O(n²)
+    all-pairs matrix behind classify/coverage/subsetting) stops being
+    free.  This index prunes with a two-level geometric structure:
+
+    - rows are projected onto the top [proj_dims] principal components
+      ([Pca.fit ~standardize:false], so the projection is an orthonormal
+      map after centering and therefore a {e contraction}: projected
+      distances never exceed full-space distances);
+    - the projected points are clustered into coarse k-means cells, each
+      carrying its centroid and covering radius.
+
+    Queries then work cell-at-a-time in the projected space and re-rank
+    every surviving candidate with the {e exact} full-space distance:
+
+    - {!range} is exact, not approximate: a cell is skipped only when the
+      triangle-inequality lower bound
+      [d(q', centroid) - radius > r] proves (via the contraction) that no
+      member can lie within [r] of the query.
+    - {!knn} is approximate with a tunable candidate [budget]: cells are
+      visited in order of projected centroid distance and members
+      gathered until the budget is met, so the candidate set — and hence
+      recall — is monotone in the budget (shrinking the budget can never
+      improve recall).
+
+    Builds are deterministic for a fixed [seed]: k-means runs off a
+    generator derived from it, and every tie-break is by ascending
+    index. *)
+
+type neighbor = { index : int; distance : float }
+(** A dataset row and its exact full-space Euclidean distance to the
+    query. *)
+
+type t
+
+val build : ?proj_dims:int -> ?cells:int -> ?seed:int64 -> Colmat.t -> t
+(** [build data] indexes the rows of [data].  [proj_dims] is the number
+    of leading principal components kept for pruning (default 8, clamped
+    to the column count); [cells] the number of coarse k-means cells
+    (default [sqrt n], clamped to [1, n]); [seed] fixes the k-means
+    generator (default a constant, so two builds over the same data are
+    identical).  The index aliases [data] — it must outlive the index.
+    Raises [Invalid_argument] on an empty dataset. *)
+
+val size : t -> int
+(** Number of indexed rows. *)
+
+val proj_dims : t -> int
+val cell_count : t -> int
+
+val knn : ?budget:int -> t -> k:int -> float array -> neighbor array
+(** [knn t ~k q] is (approximately) the [k] rows nearest to [q],
+    ascending by exact distance (ties by index).  At most [budget]
+    candidates are exactly re-ranked (default [max k (4 * k)]; values
+    below [k] are raised to [k]).  A budget of [size t] degenerates to
+    the exact linear scan. *)
+
+val range : t -> radius:float -> float array -> neighbor array
+(** [range t ~radius q]: {e all} rows within [radius] of [q] (exact — see
+    the module preamble), ascending by distance, ties by index. *)
+
+val exact_knn : Colmat.t -> k:int -> float array -> neighbor array
+(** Index-free linear scan; the differential oracle for {!knn}. *)
+
+val exact_range : Colmat.t -> radius:float -> float array -> neighbor array
+(** Index-free linear scan; the differential oracle for {!range}. *)
+
+val recall : exact:neighbor array -> approx:neighbor array -> float
+(** Fraction of [exact] indices present in [approx]; 1.0 when [exact] is
+    empty. *)

@@ -9,6 +9,43 @@ let copy m = Array.map Array.copy m
 let column m j = Array.map (fun row -> row.(j)) m
 let row m i = m.(i)
 
+(* No-copy column reductions.  [column] allocates a fresh n-element array
+   per access, which the hot per-column callers (normalization parameters,
+   PCA centering, kiviat ranges) paid once per column per call; these
+   fold the column in place with the exact summation order of
+   [Descriptive.mean/stddev/min_max (column m j)], so results stay
+   bit-identical while the copies disappear. *)
+let column_mean_std m j =
+  let rows = Array.length m in
+  if rows = 0 then (0.0, 0.0)
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to rows - 1 do
+      acc := !acc +. (Array.unsafe_get m i).(j)
+    done;
+    let mean = !acc /. float_of_int rows in
+    if rows < 2 then (mean, 0.0)
+    else begin
+      let sq = ref 0.0 in
+      for i = 0 to rows - 1 do
+        let d = (Array.unsafe_get m i).(j) -. mean in
+        sq := !sq +. (d *. d)
+      done;
+      (mean, sqrt (!sq /. float_of_int rows))
+    end
+  end
+
+let column_min_max m j =
+  let rows = Array.length m in
+  assert (rows > 0);
+  let lo = ref m.(0).(j) and hi = ref m.(0).(j) in
+  for i = 0 to rows - 1 do
+    let x = (Array.unsafe_get m i).(j) in
+    if x < !lo then lo := x;
+    if x > !hi then hi := x
+  done;
+  (!lo, !hi)
+
 let transpose m =
   let rows, cols = dims m in
   Array.init cols (fun j -> Array.init rows (fun i -> m.(i).(j)))

@@ -10,6 +10,16 @@ val dims : t -> int * int
 val copy : t -> t
 
 val column : t -> int -> float array
+
+val column_mean_std : t -> int -> float * float
+(** [(mean, stddev)] of column [j] without materializing it — bit-identical
+    to [Descriptive.mean/stddev (column m j)] (empty matrix yields
+    [(0., 0.)]). *)
+
+val column_min_max : t -> int -> float * float
+(** [(min, max)] of column [j] without materializing it; requires at least
+    one row. *)
+
 val row : t -> int -> float array
 (** [row] aliases the underlying storage; [column] copies. *)
 

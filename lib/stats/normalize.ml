@@ -1,8 +1,6 @@
 let zscore_params m =
   let _, cols = Matrix.dims m in
-  Array.init cols (fun j ->
-      let col = Matrix.column m j in
-      (Descriptive.mean col, Descriptive.stddev col))
+  Array.init cols (fun j -> Matrix.column_mean_std m j)
 
 let apply_zscore params x =
   Array.mapi
@@ -27,11 +25,7 @@ let max_scale m =
 
 let unit_range m =
   let _, cols = Matrix.dims m in
-  let ranges =
-    Array.init cols (fun j ->
-        let col = Matrix.column m j in
-        Descriptive.min_max col)
-  in
+  let ranges = Array.init cols (fun j -> Matrix.column_min_max m j) in
   Array.map
     (fun row ->
       Array.mapi

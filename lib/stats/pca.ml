@@ -66,12 +66,11 @@ let jacobi_eigen sym =
 
 let fit ?(standardize = true) m =
   let _, cols = Matrix.dims m in
-  let mean = Array.init cols (fun j -> Descriptive.mean (Matrix.column m j)) in
+  let stats = Array.init cols (fun j -> Matrix.column_mean_std m j) in
+  let mean = Array.map fst stats in
   let scale =
     if standardize then
-      Array.init cols (fun j ->
-          let s = Descriptive.stddev (Matrix.column m j) in
-          if s > 0.0 then s else 1.0)
+      Array.map (fun (_, s) -> if s > 0.0 then s else 1.0) stats
     else Array.make cols 1.0
   in
   let centered =

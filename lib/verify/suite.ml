@@ -68,6 +68,12 @@ let differential_checks ~icount workloads =
       })
     (Differential.all workloads ~icount)
 
+let scale_checks ~size =
+  List.map
+    (fun (o : Approx.outcome) ->
+      { layer = "scale"; subject = o.Approx.law; ok = o.Approx.ok; detail = o.Approx.detail })
+    (Approx.all ~size ())
+
 let run ?(level = Quick) ?workloads ?invariant_icount ?reference_icount ?differential_icount ()
     =
   let workloads = match workloads with Some ws -> ws | None -> default_workloads () in
@@ -80,6 +86,7 @@ let run ?(level = Quick) ?workloads ?invariant_icount ?reference_icount ?differe
     List.map (invariant_check ~icount:invariant_icount) workloads
     @ List.map (reference_check ~icount:reference_icount) workloads
     @ differential_checks ~icount:differential_icount workloads
+    @ scale_checks ~size:(dflt 96 256)
   in
   { level; checks; duration = Unix.gettimeofday () -. t0 }
 

@@ -5,7 +5,10 @@ type t =
   | MediaBench
   | MiBench
   | SpecCpu2000
+  | Generated
 
+(* the Table I suites only: Generated corpus members live outside the
+   paper's registry and are enumerated by [Corpus], not here *)
 let all = [ BioInfoMark; BioMetricsWorkload; CommBench; MediaBench; MiBench; SpecCpu2000 ]
 
 let name = function
@@ -15,10 +18,12 @@ let name = function
   | MediaBench -> "MediaBench"
   | MiBench -> "MiBench"
   | SpecCpu2000 -> "SPEC2000"
+  | Generated -> "gen"
 
 let of_name s =
   let s = String.lowercase_ascii s in
-  List.find_opt (fun t -> String.lowercase_ascii (name t) = s) all
+  if s = "gen" || s = "generated" then Some Generated
+  else List.find_opt (fun t -> String.lowercase_ascii (name t) = s) all
 
 let domain = function
   | BioInfoMark -> "bioinformatics"
@@ -27,5 +32,6 @@ let domain = function
   | MediaBench -> "multimedia"
   | MiBench -> "embedded"
   | SpecCpu2000 -> "general purpose"
+  | Generated -> "synthetic parameter sweep"
 
 let pp fmt t = Format.pp_print_string fmt (name t)

@@ -828,8 +828,11 @@ let test_suite_smoke () =
       ~invariant_icount:2_000 ~reference_icount:500 ~differential_icount:1_000 ()
   in
   Alcotest.(check bool) "suite passes" true (V.Suite.passed report);
-  (* one workload: invariants + reference + 2 per-workload laws + 2 global *)
-  Alcotest.(check int) "check count" 6 (List.length report.V.Suite.checks);
+  (* one workload: invariants + reference + 2 per-workload laws + 2 global,
+     plus the 6 workload-independent scale laws *)
+  Alcotest.(check int) "check count" 12 (List.length report.V.Suite.checks);
+  Alcotest.(check bool) "scale layer present" true
+    (List.exists (fun c -> c.V.Suite.layer = "scale") report.V.Suite.checks);
   Alcotest.(check bool) "render mentions failures line" true
     (String.length (V.Suite.render report) > 0)
 

@@ -20,4 +20,5 @@ let () =
       T_verify.suite;
       T_run.suite;
       T_golden.suite;
+      T_scale.suite;
     ]
