@@ -340,6 +340,46 @@ let t_extended =
          Sys.opaque_identity
            (Mica_analysis.Extended.analyze w.W.Workload.model ~icount:bench_icount)))
 
+(* ---------------- sketch pair (long-trace regime) ----------------
+
+   The exact-vs-sketch pair runs at 10x the harness icount: the sketch's
+   win is O(1)-in-trace-length analyzer state, which only shows once the
+   exact tables (working sets, reuse Fenwick positions, PPM contexts)
+   have grown well past the sketch's fixed byte budget.  Same workload,
+   same 56-characteristic vector, bounded estimation error (see the
+   verify sketch laws). *)
+
+let sketch_icount = 200_000
+let sketch_workload = lazy (W.Registry.find_exn "SPEC2000/swim/ref")
+
+let t_sketch_exact =
+  Test.make ~name:"sketch_exact_extended_swim_200k"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sketch_workload in
+         Sys.opaque_identity
+           (Mica_analysis.Extended.analyze w.W.Workload.model ~icount:sketch_icount)))
+
+let t_sketch_stream =
+  Test.make ~name:"sketch_stream_extended_swim_200k"
+    (Staged.stage (fun () ->
+         let w = Lazy.force sketch_workload in
+         Sys.opaque_identity
+           (Mica_sketch.Sketch.analyze w.W.Workload.model ~icount:sketch_icount)))
+
+(* Resident analyzer state after one long trace, measured on the live
+   values: the exact analyzer's tables grow with the trace, the sketch
+   is pinned to its plan.  Emitted alongside the pair in results_json. *)
+let sketch_state_snapshot () =
+  let w = Lazy.force sketch_workload in
+  let exact = Mica_analysis.Extended.create () in
+  let (_ : int) =
+    Mica_trace.Generator.run w.W.Workload.model ~icount:sketch_icount
+      ~sink:(Mica_analysis.Extended.sink exact)
+  in
+  let sk = Mica_sketch.Sketch.analyze w.W.Workload.model ~icount:sketch_icount in
+  let words v = Obj.reachable_words (Obj.repr v) in
+  (words exact * 8, words sk * 8, Mica_sketch.Sketch.state_bytes sk)
+
 (* ---------------- scale benches (10k-corpus regime) ----------------
 
    Naive-vs-scalable pairs over synthesized corpora; results_json turns
@@ -417,8 +457,8 @@ let tests =
     t_ga_pool2; t_ce_pool2; t_cost_full; t_cost_reduced; t_ablation_fused;
     t_ablation_multipass; t_generation_only; t_ga_seed; t_pca_baseline; t_linkage; t_phases;
     t_spec_parse; t_coverage; t_machines; t_reuse; t_simpoint; t_bootstrap; t_extended;
-    t_condensed_naive; t_condensed_blocked; t_knn_naive; t_knn_ann; t_subset_naive;
-    t_subset_scalable;
+    t_sketch_exact; t_sketch_stream; t_condensed_naive; t_condensed_blocked; t_knn_naive;
+    t_knn_ann; t_subset_naive; t_subset_scalable;
   ]
 
 (* ---------------- driver ---------------- *)
@@ -474,14 +514,20 @@ let trajectory_baselines =
   ]
 
 (* Naive-vs-scalable pairs measured in the same run; results_json
-   derives the speedup of each.  The condensed pair is the bit-identity
-   pair (same output, cache tiling only); the query pairs are where the
-   order-of-complexity wins land. *)
+   derives the speedup of each.  The condensed pair is a
+   parallel-scalability entry — same bits, workers own disjoint
+   condensed ranges — so its record carries the jobs count and its
+   speedup is meaningful only relative to the cores actually available
+   (expect parity on a 1-core runner, where the kernel falls back to the
+   naive scan anyway).  The query pairs are single-threaded
+   order-of-complexity wins. *)
 let speedup_pairs =
   [
-    ("scale_condensed_2k", "condensed_naive_n2000", "condensed_blocked_pool4_n2000");
-    ("scale_knn_query_10k", "knn_naive_n10000", "knn_ann_n10000");
-    ("scale_subset_query_5k", "subset_naive_n5000", "subset_scalable_n5000");
+    ("scale_condensed_2k", "condensed_naive_n2000", "condensed_blocked_pool4_n2000", Some 4);
+    ("scale_knn_query_10k", "knn_naive_n10000", "knn_ann_n10000", None);
+    ("scale_subset_query_5k", "subset_naive_n5000", "subset_scalable_n5000", None);
+    ("sketch_extended_swim_200k", "sketch_exact_extended_swim_200k",
+     "sketch_stream_extended_swim_200k", None);
   ]
 
 let json_escape s =
@@ -498,7 +544,7 @@ let json_escape s =
 
 let json_float x = if Float.is_nan x then "null" else Printf.sprintf "%.1f" x
 
-let results_json rows =
+let results_json ?sketch_state rows =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"bench_icount\": %d,\n" bench_icount);
@@ -532,28 +578,48 @@ let results_json rows =
   end;
   let pairs =
     List.filter_map
-      (fun (label, naive, fast) ->
+      (fun (label, naive, fast, jobs) ->
         match
           ( List.find_opt (fun r -> r.name = naive) rows,
             List.find_opt (fun r -> r.name = fast) rows )
         with
-        | Some n, Some f -> Some (label, n, f)
+        | Some n, Some f -> Some (label, n, f, jobs)
         | _ -> None)
       speedup_pairs
   in
   if pairs <> [] then begin
     Buffer.add_string buf "  \"scale_speedups\": {\n";
     List.iteri
-      (fun i (label, n, f) ->
+      (fun i (label, n, f, jobs) ->
+        let kind =
+          match jobs with
+          | Some j -> Printf.sprintf " \"kind\": \"parallel_scalability\", \"jobs\": %d," j
+          | None -> ""
+        in
         Buffer.add_string buf
           (Printf.sprintf
-             "    \"%s\": {\"naive_ns\": %s, \"scalable_ns\": %s, \"speedup\": %.2f}%s\n" label
-             (json_float n.ns_per_run) (json_float f.ns_per_run)
+             "    \"%s\": {%s \"naive_ns\": %s, \"scalable_ns\": %s, \"speedup\": %.2f, \
+              \"naive_minor_words\": %s, \"scalable_minor_words\": %s, \
+              \"minor_words_reduction\": %.1f}%s\n"
+             label kind (json_float n.ns_per_run) (json_float f.ns_per_run)
              (n.ns_per_run /. f.ns_per_run)
+             (json_float n.minor_words_per_run) (json_float f.minor_words_per_run)
+             (n.minor_words_per_run /. Float.max 1.0 f.minor_words_per_run)
              (if i = List.length pairs - 1 then "" else ",")))
       pairs;
     Buffer.add_string buf "  },\n"
   end;
+  (match sketch_state with
+  | Some (exact_bytes, sketch_bytes, plan_resident) ->
+    (* resident analyzer state after one long trace: the exact tables
+       grow with the trace, the sketch stays pinned to its plan *)
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"sketch_state\": {\"workload\": \"SPEC2000/swim/ref\", \"icount\": %d, \
+          \"exact_analyzer_bytes\": %d, \"sketch_analyzer_bytes\": %d, \
+          \"sketch_resident_bytes\": %d},\n"
+         sketch_icount exact_bytes sketch_bytes plan_resident)
+  | None -> ());
   Buffer.add_string buf "  \"results\": [\n";
   List.iteri
     (fun i r ->
@@ -677,12 +743,16 @@ let () =
         if a = "--tag" then tag := Sys.argv.(i + 1)
       end)
     Sys.argv;
-  (* smoke mode: the core measurement plus the pool-parallel selection
-     kernels, low iteration count — a CI guard that the harness builds and
-     the hot paths (chunked transport, fused GA/CE over the domain pool)
-     still run end to end *)
+  (* smoke mode: the core measurement, the pool-parallel selection
+     kernels and the exact-vs-sketch pair, low iteration count — a CI
+     guard that the harness builds and the hot paths (chunked transport,
+     fused GA/CE over the domain pool, fixed-memory sketch analyzers)
+     still run end to end, and that the sketch pair stays gated by
+     [mica compare] against the committed baseline *)
   let tests, quota, limit =
-    if smoke then ([ t_characterize; t_ga_pool2; t_ce_pool2 ], 0.5, 50) else (tests, 1.0, 200)
+    if smoke then
+      ([ t_characterize; t_ga_pool2; t_ce_pool2; t_sketch_exact; t_sketch_stream ], 0.5, 50)
+    else (tests, 1.0, 200)
   in
   (* force the context outside timing so the first test is not charged
      (smoke needs it too: the pool-parallel selection benches read it) *)
@@ -713,7 +783,8 @@ let () =
         rows)
       tests
   in
-  let bench_json = results_json rows in
+  let sketch_state = if smoke then None else Some (sketch_state_snapshot ()) in
+  let bench_json = results_json ?sketch_state rows in
   let metrics_json = metrics_pass () in
   let run_dir = commit_run ~root:!runs_root ~tag:!tag ~bench_json ~metrics_json in
   regenerate_results ~run_dir !json_path

@@ -67,6 +67,25 @@ let probe_column_stats () =
           mean +. std));
   ignore (Sys.opaque_identity !sink)
 
+(* Peak analyzer state probe: resident words of the exact extended
+   analyzer vs the sketch after traces of growing length.  The exact
+   tables (working sets, reuse positions, PPM contexts) grow with the
+   trace; the sketch must stay flat at its plan's byte budget. *)
+let probe_state_size () =
+  let w = W.Registry.find_exn "SPEC2000/swim/ref" in
+  let model = w.W.Workload.model in
+  let bytes_of v = 8 * Obj.reachable_words (Obj.repr v) in
+  List.iter
+    (fun icount ->
+      let exact = A.Extended.create () in
+      let (_ : int) = G.run model ~icount ~sink:(A.Extended.sink exact) in
+      let sk = Mica_sketch.Sketch.analyze model ~icount in
+      Printf.printf "%-28s %8d KB exact   %6d KB sketch (%d KB resident)\n%!"
+        (Printf.sprintf "state_after_%dk_instrs" (icount / 1000))
+        (bytes_of exact / 1024) (bytes_of sk / 1024)
+        (Mica_sketch.Sketch.state_bytes sk / 1024))
+    [ 25_000; 100_000; 400_000 ]
+
 let () =
   let w = W.Registry.find_exn "SPEC2000/bzip2/graphic" in
   let model = w.W.Workload.model in
@@ -82,4 +101,8 @@ let () =
   measure "analyzer_fanout" (fun () ->
       let a = A.Analyzer.create () in
       run (A.Analyzer.sink a));
-  probe_column_stats ()
+  measure "sketch_fanout" (fun () ->
+      let sk = Mica_sketch.Sketch.create () in
+      run (Mica_sketch.Sketch.sink sk));
+  probe_column_stats ();
+  probe_state_size ()

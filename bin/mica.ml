@@ -198,15 +198,37 @@ let list_cmd =
 
 (* ---------------- characterize ---------------- *)
 
+let sketch_budget_opt =
+  let doc =
+    "Byte budget for the fixed-memory sketch analyzers (split across working-set, \
+     reuse, stride, PPM and branch estimators; accuracy is monotone in the budget)."
+  in
+  Arg.(
+    value
+    & opt int Mica_sketch.Sketch.default_bytes
+    & info [ "sketch-budget" ] ~docv:"BYTES" ~doc)
+
+let sketch_flag =
+  let doc =
+    "Characterize with the O(1)-memory streaming sketch analyzers instead of the exact \
+     tables.  Values are bounded-error estimates ($(b,mica verify) checks the bounds) and \
+     bypass the characterization cache."
+  in
+  Arg.(value & flag & info [ "sketch" ] ~doc)
+
 let characterize_cmd =
-  let run config name =
+  let run config name sketch budget =
+    let config =
+      if sketch then { config with Mica_core.Pipeline.sketch = Some budget } else config
+    in
     let w = resolve name in
     let mica, _, report = Mica_core.Pipeline.datasets_report ~config [ w ] in
     surface_report report;
     if not (Mica_core.Run_report.all_ok report) then exit 1;
     let row = Mica_core.Dataset.row_exn mica (Mica_workloads.Workload.id w) in
-    Printf.printf "MICA characteristics of %s (%d instructions):\n"
-      (Mica_workloads.Workload.id w) config.Mica_core.Pipeline.icount;
+    Printf.printf "MICA characteristics of %s (%d instructions%s):\n"
+      (Mica_workloads.Workload.id w) config.Mica_core.Pipeline.icount
+      (if sketch then Printf.sprintf ", sketch estimates under %d bytes" budget else "");
     Array.iteri
       (fun i v ->
         Printf.printf "%2d  %-12s %14.6f  %s\n" (i + 1)
@@ -218,7 +240,110 @@ let characterize_cmd =
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Measure the 47 microarchitecture-independent characteristics of a workload.")
-    Term.(const run $ config_term $ workload_arg 0)
+    Term.(const run $ config_term $ workload_arg 0 $ sketch_flag $ sketch_budget_opt)
+
+(* ---------------- stream ---------------- *)
+
+let stream_cmd =
+  let window =
+    let doc = "Instructions per tumbling window." in
+    Arg.(value & opt int Mica_sketch.Stream.default_window & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let snapshot_every =
+    let doc = "Emit a characteristic-vector snapshot every $(docv) windows." in
+    Arg.(value & opt int 1 & info [ "snapshot-every" ] ~docv:"K" ~doc)
+  in
+  let run config name window snapshot_every budget =
+    if window <= 0 || snapshot_every <= 0 then begin
+      Printf.eprintf "error: --window and --snapshot-every must be positive\n";
+      exit 2
+    end;
+    let w = resolve name in
+    let id = Mica_workloads.Workload.id w in
+    let icount = config.Mica_core.Pipeline.icount in
+    let plan = Mica_sketch.Sketch.plan ~bytes:budget () in
+    let t, snaps =
+      Mica_sketch.Stream.run ~window ~snapshot_every
+        ~ppm_order:config.Mica_core.Pipeline.ppm_order ~plan w.Mica_workloads.Workload.model
+        ~icount
+    in
+    Printf.printf
+      "streaming characterization of %s: %d instructions in %d windows of %d, %d snapshots, \
+       %d bytes resident sketch state\n"
+      id icount
+      (Mica_sketch.Stream.windows t)
+      window (Array.length snaps)
+      (Mica_sketch.Stream.state_bytes t);
+    if Array.length snaps = 0 then exit 0;
+    (* Column-normalize the window vectors (the paper's common scale), for
+       both the change signal and the online clustering. *)
+    let sanitized = ref 0 in
+    let vecs =
+      Array.map
+        (fun (s : Mica_sketch.Stream.snapshot) ->
+          Array.map
+            (fun v -> if Float.is_finite v then v else (incr sanitized; 0.0))
+            s.Mica_sketch.Stream.vector)
+        snaps
+    in
+    if !sanitized > 0 then
+      Logs.warn (fun f -> f "%d non-finite window characteristics treated as 0" !sanitized);
+    let z = Mica_stats.Normalize.zscore vecs in
+    Printf.printf "\n%6s %12s %10s %10s\n" "window" "start" "instrs" "delta";
+    Array.iteri
+      (fun i (s : Mica_sketch.Stream.snapshot) ->
+        let delta =
+          if i = 0 then "-"
+          else begin
+            let acc = ref 0.0 in
+            Array.iteri (fun j v -> acc := !acc +. ((v -. z.(i - 1).(j)) ** 2.)) z.(i);
+            Printf.sprintf "%.3f" (sqrt !acc)
+          end
+        in
+        Printf.printf "%6d %12d %10d %10s\n" s.Mica_sketch.Stream.index
+          s.Mica_sketch.Stream.start_instr s.Mica_sketch.Stream.instructions delta)
+      snaps;
+    (match Mica_sketch.Stream.decayed t with
+    | None -> ()
+    | Some d ->
+      Printf.printf "\nexponentially-decayed characteristic vector (alpha %.2f):\n"
+        Mica_sketch.Stream.default_alpha;
+      Array.iteri
+        (fun i v ->
+          Printf.printf "%2d  %-14s %14.6f\n" (i + 1) Mica_analysis.Extended.short_names.(i) v)
+        d);
+    (* Live phase detection: cluster the window vectors, assign each
+       window online to its nearest centroid, and score the labeling
+       against the offline basic-block-vector phase oracle. *)
+    if snapshot_every = 1 && Array.length snaps >= 2 then begin
+      let oracle =
+        Mica_core.Phases.analyze ~interval:window w.Mica_workloads.Workload.model ~icount
+      in
+      let k = min oracle.Mica_core.Phases.k (Array.length snaps) in
+      let km =
+        Mica_stats.Kmeans.fit
+          ~rng:(Mica_util.Rng.create ~seed:0x57ea3L)
+          ~features:Mica_analysis.Extended.short_names ~k z
+      in
+      let labels = Array.map (Mica_sketch.Stream.assign ~centroids:km.Mica_stats.Kmeans.centroids) z in
+      let render_timeline l =
+        String.init (Array.length l) (fun i -> Char.chr (Char.code 'A' + (l.(i) mod 26)))
+      in
+      Printf.printf "\nphase detection (%d-instruction windows):\n" window;
+      Printf.printf "  online  (k=%d, sketch vectors):  %s\n" k (render_timeline labels);
+      Printf.printf "  oracle  (k=%d, code signatures): %s\n" oracle.Mica_core.Phases.k
+        (render_timeline oracle.Mica_core.Phases.assignments);
+      Printf.printf "  purity vs oracle: %.3f\n"
+        (Mica_sketch.Stream.purity ~labels ~oracle:oracle.Mica_core.Phases.assignments)
+    end
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Windowed streaming characterization in fixed memory: per-window characteristic \
+          snapshots, an exponentially-decayed summary vector, and live phase detection \
+          scored against the offline phase oracle.")
+    Term.(const run $ config_term $ workload_arg 0 $ window $ snapshot_every $ sketch_budget_opt)
 
 (* ---------------- counters ---------------- *)
 
@@ -1293,6 +1418,7 @@ let main =
     [
       list_cmd;
       characterize_cmd;
+      stream_cmd;
       counters_cmd;
       compare_cmd;
       distance_cmd;

@@ -18,6 +18,10 @@ val short_names : string array
 val is_extension : int -> bool
 (** True for indices 47 and above. *)
 
+val reuse_cutoffs : int array
+(** [[|16; 256; 4096; 65536|]] — the reuse-distance cutoffs of the
+    temporal-locality extension characteristics. *)
+
 type t
 
 val create : ?ppm_order:int -> unit -> t

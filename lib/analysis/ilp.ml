@@ -66,6 +66,17 @@ let sink t =
           done)
         t.sims)
 
+let reset t =
+  Array.iter
+    (fun sim ->
+      Array.fill sim.reg_ready 0 (Array.length sim.reg_ready) 0;
+      Array.fill sim.completions 0 sim.window 0;
+      sim.head <- 0;
+      sim.filled <- 0;
+      sim.last_cycle <- 0)
+    t.sims;
+  t.count <- 0
+
 let ipc t =
   Array.map
     (fun sim ->

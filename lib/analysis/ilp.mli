@@ -21,4 +21,8 @@ val sink : t -> Mica_trace.Sink.t
 val ipc : t -> float array
 (** Achieved IPC per window, in the order given at creation. *)
 
+val reset : t -> unit
+(** Return to the freshly-created state in place (no allocation); used by
+    the windowed streaming mode. *)
+
 val instructions : t -> int

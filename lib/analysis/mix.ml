@@ -27,6 +27,10 @@ let sink t =
         Array.unsafe_set counts code (Array.unsafe_get counts code + 1)
       done)
 
+let reset t =
+  t.n <- 0;
+  Array.fill t.counts 0 (Array.length t.counts) 0
+
 let result t =
   let get op = t.counts.(Opcode.to_int op) in
   let d = float_of_int (max 1 t.n) in

@@ -20,5 +20,9 @@ val create : unit -> t
 val sink : t -> Mica_trace.Sink.t
 val result : t -> result
 
+val reset : t -> unit
+(** Return to the freshly-created state in place (no allocation); used by
+    the windowed streaming mode. *)
+
 val to_vector : result -> float array
 (** The six fractions in Table II order. *)

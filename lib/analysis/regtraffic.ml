@@ -72,6 +72,16 @@ let sink t =
         write t (Array.unsafe_get dst i)
       done)
 
+let reset t =
+  t.instrs <- 0;
+  t.operands <- 0;
+  Array.fill t.last_write 0 (Array.length t.last_write) (-1);
+  Array.fill t.uses 0 (Array.length t.uses) 0;
+  t.instances <- 0;
+  t.total_uses <- 0;
+  Array.fill t.dep_counts 0 (Array.length t.dep_counts) 0;
+  t.dep_total <- 0
+
 let result t =
   (* flush live instances *)
   let instances = ref t.instances and total_uses = ref t.total_uses in

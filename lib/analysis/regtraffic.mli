@@ -30,5 +30,9 @@ val result : t -> result
 val to_vector : result -> float array
 (** The nine values in Table II order (rows 11-19). *)
 
+val reset : t -> unit
+(** Return to the freshly-created state in place (no allocation); used by
+    the windowed streaming mode. *)
+
 val dep_cutoffs : int array
 (** [[|1; 2; 4; 8; 16; 32; 64|]]. *)

@@ -23,6 +23,7 @@ type config = {
   jobs : int;
   retries : int;
   run : run_sink option;
+  sketch : int option;
 }
 
 let default_config =
@@ -34,21 +35,29 @@ let default_config =
     jobs = Mica_util.Pool.default_jobs ();
     retries = 2;
     run = None;
+    sketch = None;
   }
 
 let model_version = "v3"
 
 let characterize config w =
   Obs.span "pipeline.characterize" @@ fun () ->
-  let analyzer = Mica_analysis.Analyzer.create ~ppm_order:config.ppm_order () in
   let counters = Mica_uarch.Hw_counters.create () in
-  let sink =
-    Mica_trace.Sink.fanout
-      [ Mica_analysis.Analyzer.sink analyzer; Mica_uarch.Hw_counters.sink counters ]
+  let mica_sink, mica_vector =
+    match config.sketch with
+    | None ->
+      let analyzer = Mica_analysis.Analyzer.create ~ppm_order:config.ppm_order () in
+      (Mica_analysis.Analyzer.sink analyzer, fun () -> Mica_analysis.Analyzer.vector analyzer)
+    | Some bytes ->
+      let sk =
+        Mica_sketch.Sketch.create ~ppm_order:config.ppm_order
+          ~plan:(Mica_sketch.Sketch.plan ~bytes ()) ()
+      in
+      (Mica_sketch.Sketch.sink sk, fun () -> Mica_sketch.Sketch.vector sk)
   in
+  let sink = Mica_trace.Sink.fanout [ mica_sink; Mica_uarch.Hw_counters.sink counters ] in
   let (_ : int) = Mica_trace.Generator.run w.Workload.model ~icount:config.icount ~sink in
-  ( Mica_analysis.Analyzer.vector analyzer,
-    Mica_uarch.Hw_counters.to_vector (Mica_uarch.Hw_counters.result counters) )
+  (mica_vector (), Mica_uarch.Hw_counters.to_vector (Mica_uarch.Hw_counters.result counters))
 
 let cache_path config kind =
   Option.map
@@ -439,6 +448,10 @@ let commit_run_dir config sink (mica : Dataset.t) (hpc : Dataset.t) report =
     Logs.warn (fun f -> f "run directory commit failed; results are unaffected")
 
 let datasets_report ?(config = default_config) workloads =
+  (* Sketched vectors are bounded-error estimates: never mix them into
+     the exact characterization cache or checkpoints, in either
+     direction. *)
+  let config = if config.sketch = None then config else { config with cache_dir = None } in
   let mica_features = Mica_analysis.Characteristics.short_names in
   let hpc_features = Mica_uarch.Hw_counters.short_names in
   let mica_path = cache_path config "mica" and hpc_path = cache_path config "hpc" in

@@ -35,13 +35,20 @@ type config = {
           self-describing run directory ([Mica_run.Run_dir]) holding the
           manifest, both datasets and the metrics snapshot; commit
           failure degrades to a warning, never an error *)
+  sketch : int option;
+      (** when set, characterize through the fixed-memory sketch
+          analyzers ([Mica_sketch.Sketch]) under this byte budget
+          instead of the exact tables.  Estimated vectors bypass the
+          characterization cache and checkpoints entirely — in both
+          directions — so exact and sketched results never mix. *)
 }
 
 val default_config : config
 (** 200k instructions, PPM order 8, cache under ["results/cache"],
     progress off, parallelism = {!Mica_util.Pool.default_jobs} (the
     [MICA_JOBS] environment variable when set to a positive integer,
-    otherwise available cores capped at 8), 2 retries. *)
+    otherwise available cores capped at 8), 2 retries, exact analyzers
+    (no sketch). *)
 
 val model_version : string
 (** Bumped whenever the generator or analyzers change semantics; part of

@@ -4,6 +4,7 @@ module Descriptive = Mica_stats.Descriptive
 type row = {
   metric : string;
   present : int;
+  dropped : int;
   stats : Descriptive.summary;
   noisy : bool;
 }
@@ -35,7 +36,10 @@ let bench_metrics json =
       (fun item ->
         match (Json.member "name" item, Json.member "ns_per_run" item) with
         | Some (Json.Str name), Some v ->
-          Option.map (fun ns -> ("bench/" ^ name, ns)) (Json.to_num v)
+          (* a null measurement (the bench writes null for a failed OLS
+             fit) surfaces as a non-finite sample so [analyze] can count
+             it as dropped instead of losing it silently *)
+          Some ("bench/" ^ name, Option.value (Json.to_num v) ~default:Float.nan)
         | _ -> None)
       items
   | _ -> []
@@ -76,14 +80,19 @@ let analyze ?(budget = default_budget) runs =
   let rows =
     List.rev !order
     |> List.filter_map (fun metric ->
-           let samples =
+           let found =
              List.filter_map (fun metrics -> List.assoc_opt metric metrics) per_run
            in
+           (* non-finite samples (NaN characteristics, null bench fits)
+              can't enter the summary; count them so the report says
+              dropped=<n> instead of silently shrinking n *)
+           let samples = List.filter Float.is_finite found in
+           let dropped = List.length found - List.length samples in
            let present = List.length samples in
            if present < 2 then None
            else begin
              let stats = Descriptive.summarize (Array.of_list samples) in
-             Some { metric; present; stats; noisy = stats.Descriptive.cv > budget }
+             Some { metric; present; dropped; stats; noisy = stats.Descriptive.cv > budget }
            end)
   in
   let by_cv a b = compare b.stats.Descriptive.cv a.stats.Descriptive.cv in
@@ -106,8 +115,9 @@ let render t =
   List.iter
     (fun r ->
       Buffer.add_string b
-        (Printf.sprintf "%-44s %4d %14.6g %12.4g %8.4f%s\n" r.metric r.present
+        (Printf.sprintf "%-44s %4d %14.6g %12.4g %8.4f%s%s\n" r.metric r.present
            r.stats.Descriptive.mean_v r.stats.Descriptive.stddev_v r.stats.Descriptive.cv
+           (if r.dropped > 0 then Printf.sprintf "  dropped=%d" r.dropped else "")
            (if r.noisy then "  NOISY" else "")))
     t.rows;
   let n = List.length (noisy t) in
@@ -131,6 +141,7 @@ let to_json t =
                  [
                    ("metric", Json.Str r.metric);
                    ("n", Json.Num (float_of_int r.present));
+                   ("dropped", Json.Num (float_of_int r.dropped));
                    ("mean", Json.Num r.stats.Descriptive.mean_v);
                    ("stddev", Json.Num r.stats.Descriptive.stddev_v);
                    ("cv", Json.Num r.stats.Descriptive.cv);

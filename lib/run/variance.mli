@@ -12,7 +12,12 @@
 
 type row = {
   metric : string;
-  present : int;  (** runs carrying this metric *)
+  present : int;  (** runs carrying a finite sample of this metric *)
+  dropped : int;
+      (** non-finite samples (NaN characteristics, null bench fits)
+          excluded from the summary; reported as [dropped=<n>] in the
+          table and as ["dropped"] in the JSON rather than silently
+          shrinking [present] *)
   stats : Mica_stats.Descriptive.summary;
   noisy : bool;  (** CV above the budget *)
 }
@@ -30,7 +35,8 @@ val metrics_of_run : Run_dir.t -> (string * float) list
 (** The scalar metrics extracted from one run (exposed for tests). *)
 
 val analyze : ?budget:float -> Run_dir.t list -> t
-(** Rows cover every metric present in at least two runs. *)
+(** Rows cover every metric with a finite sample in at least two runs;
+    non-finite samples are counted per row in [dropped]. *)
 
 val noisy : t -> row list
 val render : t -> string

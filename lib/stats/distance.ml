@@ -133,6 +133,16 @@ let condensed_blocked ?(pool = Pool.sequential) ?(block = default_block) ?out t 
   let out = check_out ~name:"Distance.condensed_blocked" ~n out in
   if block <= 0 then invalid_arg "Distance.condensed_blocked: block must be positive";
   Obs.add m_blocked_pairs (float_of_int (pair_count n));
+  if Pool.jobs pool = 1 then
+    (* Tiling only pays for itself when the tiles run on separate
+       workers; alone, the scratch zeroing and write-back pass make it
+       slightly slower than the straight row scan.  Materializing the
+       row-major image costs n*cols words once, then each pair streams
+       two contiguous rows.  Bit-identity is free: [condensed]
+       accumulates per-column terms in the same ascending order as the
+       tile kernel. *)
+    ignore (condensed ~out (Colmat.to_matrix t) : float array)
+  else begin
   let nblocks = (n + block - 1) / block in
   let kbase i = (i * (n - 1)) - (i * (i - 1) / 2) - i - 1 in
   Pool.run_blocks pool nblocks (fun _blk blo bhi ->
@@ -168,5 +178,6 @@ let condensed_blocked ?(pool = Pool.sequential) ?(block = default_block) ?out t 
             done
           done
         done
-      done);
+      done)
+  end;
   out

@@ -28,8 +28,11 @@ val condensed_blocked :
 (** Cache-tiled condensed distances over columnar storage — bit-identical
     to [condensed (Colmat.to_matrix t)] at any [pool] jobs count (each
     pair accumulates its per-column terms in the same ascending order,
-    and workers own disjoint condensed ranges).  [block] is the tile edge
-    in rows (default 64); [?out] as in {!condensed}. *)
+    and workers own disjoint condensed ranges).  With a single-job pool
+    the tiling overhead buys nothing, so the kernel falls back to the
+    naive row scan over the materialized row-major image — same bits,
+    less bookkeeping.  [block] is the tile edge in rows (default 64);
+    [?out] as in {!condensed}. *)
 
 val condensed_squared_components : Matrix.t -> Matrix.t
 (** Row p of the result holds, for pair p, the per-column squared

@@ -1,0 +1,252 @@
+(* Approximation laws for the fixed-memory sketch analyzers
+   (Mica_sketch): the sketched extended vector must stay within a
+   documented per-characteristic error bound of the exact oracle, get
+   more accurate as the byte budget grows, and be bit-deterministic —
+   invariant under chunk boundaries, repeated runs and the worker count.
+   Same contract shape as the ANN laws in [Approx]. *)
+
+module Workload = Mica_workloads.Workload
+module Sketch = Mica_sketch.Sketch
+module Stream = Mica_sketch.Stream
+module Extended = Mica_analysis.Extended
+
+type outcome = { law : string; ok : bool; detail : string }
+
+(* ---------------- documented error bounds ----------------
+
+   Errors are measured as |sketch - exact| / max(|exact|, 1): relative
+   for large values, absolute for fractions.  The bounds are contracts,
+   not observations — set with about 2x headroom over the worst case
+   seen across the 122-workload registry at the default 1 MiB budget:
+
+   - mix, ILP and register traffic reuse the exact analyzers, so they
+     must match bit for bit (bound 0);
+   - working sets (HLL, 8192 registers) have a 1.04/sqrt(m) ~ 1.1%
+     standard error; worst observed ~2.5%;
+   - stride, PPM and branch families degrade only through bounded-table
+     evictions of cold keys; worst observed well under 2%;
+   - reuse distances carry the loosest bound: mass concentrated exactly
+     at a CDF cutoff is smeared by the estimator's distance noise
+     (sqrt(n) near the horizon, sqrt(d*rate) beyond), worst ~7%. *)
+let epsilon_of_name name =
+  let has_prefix p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  if has_prefix "reuse" then 0.15
+  else if has_prefix "ws_" then 0.05
+  else if has_prefix "ppm_" || has_prefix "br_" then 0.05
+  else if
+    has_prefix "ll" || has_prefix "gl" || has_prefix "ls" || has_prefix "gs"
+  then 0.05
+  else 0.0 (* pct_*, ilp_*, avg_ops, deg_use, dep* are exact by construction *)
+
+let epsilons = lazy (Array.map epsilon_of_name Extended.short_names)
+
+let exact_vector (w : Workload.t) ~icount =
+  let t = Extended.create () in
+  let (_ : int) = Mica_trace.Generator.run w.Workload.model ~icount ~sink:(Extended.sink t) in
+  Extended.vector t
+
+let sketch_vector ?plan (w : Workload.t) ~icount =
+  Sketch.extended_vector (Sketch.analyze ?plan w.Workload.model ~icount)
+
+let[@inline] err exact approx = Float.abs (approx -. exact) /. Float.max (Float.abs exact) 1.0
+
+(* Every sketched characteristic of every workload within its bound. *)
+let accuracy_law ~icount workloads =
+  let eps = Lazy.force epsilons in
+  let worst = ref 0.0 and worst_at = ref "" in
+  let violations =
+    List.concat_map
+      (fun w ->
+        let exact = exact_vector w ~icount in
+        let approx = sketch_vector w ~icount in
+        List.filter_map Fun.id
+          (List.init (Array.length exact) (fun i ->
+               let e = err exact.(i) approx.(i) in
+               if e > !worst then begin
+                 worst := e;
+                 worst_at :=
+                   Printf.sprintf "%s %s" (Workload.id w) Extended.short_names.(i)
+               end;
+               if e > eps.(i) then
+                 Some
+                   (Printf.sprintf "%s %s: err %.4f > eps %.2f (exact %.6f, sketch %.6f)"
+                      (Workload.id w) Extended.short_names.(i) e eps.(i) exact.(i) approx.(i))
+               else None)))
+      workloads
+  in
+  {
+    law = "sketch within documented eps of exact oracle";
+    ok = violations = [];
+    detail =
+      (match violations with
+      | [] ->
+        Printf.sprintf "%d workloads x %d characteristics; worst err %.4f (%s)"
+          (List.length workloads) Extended.count !worst !worst_at
+      | v :: _ -> Printf.sprintf "%d violations; first: %s" (List.length violations) v);
+  }
+
+(* Mean error over (workloads x characteristics), non-increasing as the
+   budget grows.  Aggregated, not per-cell: an individual CDF point can
+   wobble when distance noise straddles its cutoff, but more memory must
+   not make the estimates worse overall. *)
+let budget_monotone_law ~icount workloads =
+  let budgets = [ 1 lsl 18; 1 lsl 20; 1 lsl 22 ] in
+  let exacts = List.map (fun w -> (w, exact_vector w ~icount)) workloads in
+  let mean_err bytes =
+    let plan = Sketch.plan ~bytes () in
+    let sum = ref 0.0 and n = ref 0 in
+    List.iter
+      (fun (w, exact) ->
+        let approx = sketch_vector ~plan w ~icount in
+        Array.iteri
+          (fun i e ->
+            sum := !sum +. err e approx.(i);
+            incr n)
+          exact)
+      exacts;
+    !sum /. float_of_int (max 1 !n)
+  in
+  let errs = List.map (fun b -> (b, mean_err b)) budgets in
+  let rec bad = function
+    | (b1, e1) :: ((b2, e2) :: _ as rest) ->
+      if e2 > e1 then Printf.sprintf "mean err %.5f@%dKiB > %.5f@%dKiB" e2 (b2 / 1024) e1 (b1 / 1024) :: bad rest
+      else bad rest
+    | _ -> []
+  in
+  let violations = bad errs in
+  {
+    law = "sketch accuracy monotone in byte budget";
+    ok = violations = [];
+    detail =
+      (if violations = [] then
+         String.concat " >= "
+           (List.map (fun (b, e) -> Printf.sprintf "%.5f@%dKiB" e (b / 1024)) errs)
+       else String.concat "; " violations);
+  }
+
+let float_arrays_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun (x : float) y -> Int64.bits_of_float x = Int64.bits_of_float y) a b
+
+(* Chunk boundaries carry no meaning and the sketch has no hidden
+   per-run state: refeeding the identical instruction stream at any
+   staging capacity — or regenerating it — lands on the same bits. *)
+let determinism_law ~icount workloads =
+  let capacities = [ 1; 7; 61; 4096 ] in
+  let violations =
+    List.filter_map
+      (fun w ->
+        let collector, read = Mica_trace.Sink.collect ~limit:icount () in
+        let (_ : int) = Mica_trace.Generator.run w.Workload.model ~icount ~sink:collector in
+        let instrs = read () in
+        let reference = sketch_vector w ~icount in
+        let repeat = sketch_vector w ~icount in
+        if not (float_arrays_equal reference repeat) then
+          Some (Printf.sprintf "%s: two generator runs diverge" (Workload.id w))
+        else
+          List.find_map
+            (fun capacity ->
+              let sk = Sketch.create () in
+              Mica_trace.Sink.feed_list ~capacity (Sketch.sink sk) instrs;
+              if float_arrays_equal reference (Sketch.extended_vector sk) then None
+              else
+                Some
+                  (Printf.sprintf "%s: refeed at chunk capacity %d diverges" (Workload.id w)
+                     capacity))
+            capacities)
+      workloads
+  in
+  {
+    law = "sketch bit-deterministic across chunking and repeats";
+    ok = violations = [];
+    detail =
+      (if violations = [] then
+         Printf.sprintf "%d workloads identical across capacities %s and a repeated run"
+           (List.length workloads)
+           (String.concat "," (List.map string_of_int capacities))
+       else String.concat "; " violations);
+  }
+
+(* Same for the windowed stream: window boundaries are positional over
+   the whole trace, so snapshots are chunk-invariant too. *)
+let stream_chunk_law ~icount workloads =
+  let window = max 1 (icount / 7) in
+  let violations =
+    List.filter_map
+      (fun w ->
+        let collector, read = Mica_trace.Sink.collect ~limit:icount () in
+        let (_ : int) = Mica_trace.Generator.run w.Workload.model ~icount ~sink:collector in
+        let instrs = read () in
+        let snapshots capacity =
+          let t = Stream.create ~window () in
+          Mica_trace.Sink.feed_list ~capacity (Stream.sink t) instrs;
+          Stream.finish t
+        in
+        let reference = snapshots 4096 in
+        List.find_map
+          (fun capacity ->
+            let snaps = snapshots capacity in
+            if
+              Array.length snaps = Array.length reference
+              && Array.for_all2
+                   (fun (a : Stream.snapshot) (b : Stream.snapshot) ->
+                     a.Stream.index = b.Stream.index
+                     && a.Stream.instructions = b.Stream.instructions
+                     && float_arrays_equal a.Stream.vector b.Stream.vector
+                     && float_arrays_equal a.Stream.decayed b.Stream.decayed)
+                   snaps reference
+            then None
+            else
+              Some
+                (Printf.sprintf "%s: window snapshots diverge at chunk capacity %d"
+                   (Workload.id w) capacity))
+          [ 1; 13; 1021 ])
+      workloads
+  in
+  {
+    law = "stream snapshots invariant under chunk capacity";
+    ok = violations = [];
+    detail =
+      (if violations = [] then
+         Printf.sprintf "%d workloads, %d-instruction windows, capacities 1,13,1021 vs 4096"
+           (List.length workloads) window
+       else String.concat "; " violations);
+  }
+
+(* The sketched dataset is identical at any parallelism: workloads are
+   independent and the sketch is deterministic, so the pipeline's worker
+   count cannot leak into the numbers. *)
+let jobs_invariance_law ~icount workloads =
+  let dataset jobs =
+    let config =
+      {
+        Mica_core.Pipeline.default_config with
+        icount;
+        jobs;
+        cache_dir = None;
+        sketch = Some Sketch.default_bytes;
+      }
+    in
+    (Mica_core.Pipeline.mica_dataset ~config workloads).Mica_core.Dataset.data
+  in
+  let a = dataset 1 and b = dataset 4 in
+  let ok = Array.length a = Array.length b && Array.for_all2 float_arrays_equal a b in
+  {
+    law = "sketched dataset invariant under worker count";
+    ok;
+    detail =
+      (if ok then Printf.sprintf "%d workloads identical at jobs=1 and jobs=4" (Array.length a)
+       else "datasets diverge between jobs=1 and jobs=4");
+  }
+
+let all ?accuracy_workloads ~icount workloads =
+  let accuracy_workloads = Option.value accuracy_workloads ~default:workloads in
+  [
+    accuracy_law ~icount accuracy_workloads;
+    budget_monotone_law ~icount workloads;
+    determinism_law ~icount:(min icount 20_000) workloads;
+    stream_chunk_law ~icount:(min icount 20_000) workloads;
+    jobs_invariance_law ~icount:(min icount 20_000) workloads;
+  ]

@@ -68,6 +68,17 @@ let differential_checks ~icount workloads =
       })
     (Differential.all workloads ~icount)
 
+let sketch_checks ?accuracy_workloads ~icount workloads =
+  List.map
+    (fun (o : Sketch_laws.outcome) ->
+      {
+        layer = "sketch";
+        subject = o.Sketch_laws.law;
+        ok = o.Sketch_laws.ok;
+        detail = o.Sketch_laws.detail;
+      })
+    (Sketch_laws.all ?accuracy_workloads ~icount workloads)
+
 let scale_checks ~size =
   List.map
     (fun (o : Approx.outcome) ->
@@ -81,11 +92,18 @@ let run ?(level = Quick) ?workloads ?invariant_icount ?reference_icount ?differe
   let invariant_icount = Option.value invariant_icount ~default:(dflt 50_000 200_000) in
   let reference_icount = Option.value reference_icount ~default:(dflt 2_000 5_000) in
   let differential_icount = Option.value differential_icount ~default:(dflt 10_000 50_000) in
+  (* The full suite sweeps the accuracy bound over the whole registry —
+     the sketch's error contract is per-workload, so spot checks on the
+     trio are only a smoke test. *)
+  let accuracy_workloads =
+    match level with Quick -> None | Full -> Some Mica_workloads.Registry.all
+  in
   let t0 = Unix.gettimeofday () in
   let checks =
     List.map (invariant_check ~icount:invariant_icount) workloads
     @ List.map (reference_check ~icount:reference_icount) workloads
     @ differential_checks ~icount:differential_icount workloads
+    @ sketch_checks ?accuracy_workloads ~icount:(dflt 20_000 100_000) workloads
     @ scale_checks ~size:(dflt 96 256)
   in
   { level; checks; duration = Unix.gettimeofday () -. t0 }

@@ -7,7 +7,9 @@
 type level = Quick | Full
 
 type check = {
-  layer : string;  (** ["invariants"], ["reference"] or ["differential"] *)
+  layer : string;
+      (** ["invariants"], ["reference"], ["differential"], ["sketch"] or
+          ["scale"] *)
   subject : string;  (** workload id or law name *)
   ok : bool;
   detail : string;
@@ -35,10 +37,13 @@ val run :
   ?differential_icount:int ->
   unit ->
   report
-(** Runs all three layers.  Defaults depend on [level] (default [Quick]):
+(** Runs all layers.  Defaults depend on [level] (default [Quick]):
     Quick checks invariants over 50k instructions, reference oracles over
-    2k and differential laws over 10k per workload; Full uses 200k / 5k /
-    50k.  Explicit [*_icount] arguments override either level. *)
+    2k, differential laws over 10k and sketch laws over 20k per workload;
+    Full uses 200k / 5k / 50k / 100k, and additionally sweeps the sketch
+    accuracy bound over the entire workload registry rather than just the
+    supplied trio.  Explicit [*_icount] arguments override either
+    level. *)
 
 val render : report -> string
 (** Multi-line human-readable report ending in a pass/fail summary. *)

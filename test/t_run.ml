@@ -451,6 +451,44 @@ let test_variance_aggregate () =
   | Error e -> Alcotest.failf "variance json must parse: %s" e);
   Alcotest.(check bool) "text flags noise" true (contains ~sub:"NOISY" (R.Variance.render v))
 
+(* a NaN characteristic in one run must be counted as dropped, not
+   silently vanish from the sample set *)
+let test_variance_dropped_nonfinite () =
+  let root = fresh_root () in
+  let mk tag c00 =
+    load_exn (commit_run root ~tag ~cells:[| [| c00; 2.0 |]; [| 3.0; 4.0 |] |] ())
+  in
+  let runs = [ mk "r1" 1.0; mk "r2" Float.nan; mk "r3" 1.0 ] in
+  let v = R.Variance.analyze ~budget:0.2 runs in
+  let row name =
+    match
+      List.find_opt (fun (r : R.Variance.row) -> r.R.Variance.metric = name) v.R.Variance.rows
+    with
+    | Some r -> r
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  let c1 = row "char/c1" and c2 = row "char/c2" in
+  Alcotest.(check int) "c1 keeps the finite samples" 2 c1.R.Variance.present;
+  Alcotest.(check int) "c1 counts the NaN run" 1 c1.R.Variance.dropped;
+  Alcotest.check feq "c1 summarizes finite samples only" 2.0
+    c1.R.Variance.stats.Mica_stats.Descriptive.mean_v;
+  Alcotest.(check int) "c2 untouched" 0 c2.R.Variance.dropped;
+  Alcotest.(check bool) "table reports dropped=1" true
+    (contains ~sub:"dropped=1" (R.Variance.render v));
+  let row_json =
+    match J.member "metrics" (R.Variance.to_json v) with
+    | Some (J.List items) ->
+      List.find_opt
+        (fun item -> J.member "metric" item = Some (J.Str "char/c1"))
+        items
+    | _ -> None
+  in
+  match row_json with
+  | Some item ->
+    Alcotest.(check (option (float 1e-9))) "json dropped field" (Some 1.0)
+      (Option.bind (J.member "dropped" item) J.to_num)
+  | None -> Alcotest.fail "char/c1 missing from json metrics"
+
 let test_variance_metrics_of_run () =
   let root = fresh_root () in
   let dir = commit_run root ~tag:"m" ~bench:[ ("k1", 100.0) ] () in
@@ -480,5 +518,7 @@ let suite =
       Alcotest.test_case "compare: json/text reports" `Quick test_compare_report_json;
       Alcotest.test_case "compare: jobs=1 vs jobs=4 clean" `Slow test_compare_pipeline_jobs_invariant;
       Alcotest.test_case "variance: aggregate over runs" `Quick test_variance_aggregate;
+      Alcotest.test_case "variance: non-finite samples counted as dropped" `Quick
+        test_variance_dropped_nonfinite;
       Alcotest.test_case "variance: metrics extraction" `Quick test_variance_metrics_of_run;
     ] )

@@ -829,10 +829,12 @@ let test_suite_smoke () =
   in
   Alcotest.(check bool) "suite passes" true (V.Suite.passed report);
   (* one workload: invariants + reference + 2 per-workload laws + 2 global,
-     plus the 6 workload-independent scale laws *)
-  Alcotest.(check int) "check count" 12 (List.length report.V.Suite.checks);
+     plus the 5 sketch laws and the 6 workload-independent scale laws *)
+  Alcotest.(check int) "check count" 17 (List.length report.V.Suite.checks);
   Alcotest.(check bool) "scale layer present" true
     (List.exists (fun c -> c.V.Suite.layer = "scale") report.V.Suite.checks);
+  Alcotest.(check bool) "sketch layer present" true
+    (List.exists (fun c -> c.V.Suite.layer = "sketch") report.V.Suite.checks);
   Alcotest.(check bool) "render mentions failures line" true
     (String.length (V.Suite.render report) > 0)
 

@@ -21,4 +21,5 @@ let () =
       T_run.suite;
       T_golden.suite;
       T_scale.suite;
+      T_sketch.suite;
     ]
