@@ -370,16 +370,17 @@ let counters_cmd =
 
 (* [PATH] is a run directory when it holds a manifest; the magic basename
    [latest] resolves to the newest run under its parent (CI convenience:
-   [mica compare results/baseline runs/latest]). *)
+   [mica compare results/baseline runs/latest]).  Arguments that clearly
+   meant a run but cannot resolve — empty runs/, dangling latest symlink,
+   manifest-less directory — exit 2 with the run-specific reason instead
+   of falling through to workload resolution. *)
 let resolve_run_path p =
-  let is_run d =
-    Sys.file_exists d
-    && (try Sys.is_directory d with Sys_error _ -> false)
-    && Sys.file_exists (Filename.concat d Mica_run.Run_dir.manifest_file)
-  in
-  if is_run p then Some p
-  else if Filename.basename p = "latest" then Mica_run.Run_dir.latest (Filename.dirname p)
-  else None
+  match Mica_run.Run_dir.resolve p with
+  | `Run d -> Some d
+  | `Not_run -> None
+  | `Error reason ->
+    Printf.eprintf "error: %s\n" reason;
+    exit 2
 
 (* A run that exists but fails verification (truncated manifest, digest
    mismatch, foreign schema) is an unreadable run: a diagnostic and exit
@@ -1411,6 +1412,257 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export the MICA and counter datasets as CSV.")
     Term.(const run $ config_term $ out_dir)
 
+(* ---------------- serve / loadgen ---------------- *)
+
+let socket_opt =
+  let doc = "Unix-domain socket path for the serve protocol." in
+  Arg.(value & opt string "/tmp/mica-serve.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_opt =
+  let doc = "Serve over TCP on 127.0.0.1:$(docv) instead of the Unix socket." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let address_of socket port =
+  match port with
+  | Some p -> Mica_serve.Server.Tcp { host = "127.0.0.1"; port = p }
+  | None -> Mica_serve.Server.Unix_path socket
+
+let serve_cmd =
+  let queue_capacity =
+    let doc = "Admission queue bound; a full queue sheds with immediate 'overloaded' replies." in
+    Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let deadline_ms =
+    let doc = "Default per-request deadline when the client sends none (0 = unlimited)." in
+    Arg.(value & opt float 0.0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let no_degrade =
+    let doc = "Disable sketch-based graceful degradation of near-deadline characterize requests." in
+    Arg.(value & flag & info [ "no-degrade" ] ~doc)
+  in
+  let sketch_budget =
+    let doc = "Sketch byte budget for degraded answers." in
+    Arg.(
+      value & opt int Mica_sketch.Sketch.default_bytes & info [ "sketch-budget" ] ~docv:"BYTES" ~doc)
+  in
+  let degrade_margin =
+    let doc =
+      "Degrade when the remaining deadline budget is below $(docv) x the EWMA exact cost."
+    in
+    Arg.(value & opt float 2.0 & info [ "degrade-margin" ] ~docv:"X" ~doc)
+  in
+  let breaker_threshold =
+    let doc = "Consecutive failures that trip a workload's circuit breaker." in
+    Arg.(
+      value
+      & opt int Mica_serve.Breaker.default_config.Mica_serve.Breaker.threshold
+      & info [ "breaker-threshold" ] ~docv:"N" ~doc)
+  in
+  let breaker_cooldown =
+    let doc = "Refused admissions before an open breaker half-opens for a probe." in
+    Arg.(
+      value
+      & opt int Mica_serve.Breaker.default_config.Mica_serve.Breaker.cooldown
+      & info [ "breaker-cooldown" ] ~docv:"N" ~doc)
+  in
+  let warm =
+    let doc =
+      "Workload to warm-start (repeatable); the warm set backs distance/classify/knn queries."
+    in
+    Arg.(value & opt_all string [] & info [ "warm" ] ~docv:"WORKLOAD" ~doc)
+  in
+  let no_warm =
+    let doc = "Skip warm-start characterization (cache rows are still absorbed)." in
+    Arg.(value & flag & info [ "no-warm" ] ~doc)
+  in
+  let run (config : Mica_core.Pipeline.config) socket port queue_capacity deadline_ms no_degrade
+      sketch_budget degrade_margin breaker_threshold breaker_cooldown warm no_warm =
+    let scfg =
+      {
+        Mica_serve.Server.default_config with
+        Mica_serve.Server.icount = config.Mica_core.Pipeline.icount;
+        ppm_order = config.Mica_core.Pipeline.ppm_order;
+        cache_dir = config.Mica_core.Pipeline.cache_dir;
+        jobs = config.Mica_core.Pipeline.jobs;
+        retries = config.Mica_core.Pipeline.retries;
+        queue_capacity;
+        default_deadline_ms = deadline_ms;
+        degrade = not no_degrade;
+        sketch_bytes = sketch_budget;
+        degrade_margin;
+        breaker = { Mica_serve.Breaker.threshold = breaker_threshold; cooldown = breaker_cooldown };
+      }
+    in
+    let t = Mica_serve.Server.create scfg in
+    let warm_workloads =
+      if no_warm then []
+      else if warm = [] then
+        List.filter_map Mica_workloads.Registry.find
+          [ "MiBench/sha/large"; "SPEC2000/mcf/ref"; "SPEC2000/swim/ref" ]
+      else List.map resolve warm
+    in
+    let resident = Mica_serve.Server.warm_start t ~workloads:warm_workloads in
+    let address = address_of socket port in
+    Logs.app (fun f ->
+        f "serving on %s (%d warm vectors, queue %d, jobs %d); SIGTERM drains"
+          (match address with
+          | Mica_serve.Server.Unix_path p -> p
+          | Mica_serve.Server.Tcp { host; port } -> Printf.sprintf "%s:%d" host port)
+          resident queue_capacity scfg.Mica_serve.Server.jobs);
+    Mica_serve.Server.listen_and_serve t address
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the characterization daemon: newline-delimited JSON requests (characterize, \
+          distance, classify, knn, health, metrics) over a Unix or TCP socket, with bounded \
+          admission, per-request deadlines, sketch-based graceful degradation, per-workload \
+          circuit breaking and graceful drain on SIGTERM.")
+    Term.(
+      const run $ config_term $ socket_opt $ port_opt $ queue_capacity $ deadline_ms $ no_degrade
+      $ sketch_budget $ degrade_margin $ breaker_threshold $ breaker_cooldown $ warm $ no_warm)
+
+let loadgen_cmd =
+  let rate =
+    let doc = "Target open-loop arrival rate (requests/second)." in
+    Arg.(value & opt float 20.0 & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let duration =
+    let doc = "Seconds of scheduled arrivals." in
+    Arg.(value & opt float 3.0 & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let deadline_ms =
+    let doc = "Per-request deadline sent with every request (0 = none)." in
+    Arg.(value & opt float 500.0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let no_estimate =
+    let doc = "Do not permit sketch-degraded answers." in
+    Arg.(value & flag & info [ "no-estimate" ] ~doc)
+  in
+  let seed =
+    let doc = "Seed for the arrival schedule and retry jitter." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let retries =
+    let doc = "Re-sends after an 'overloaded' reply before counting the request as shed." in
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_ms =
+    let doc = "Base retry backoff (doubled per retry, seeded jitter)." in
+    Arg.(value & opt float 25.0 & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let workloads_opt =
+    let doc = "Workloads to request, cycled in order (repeatable; default: the verify trio)." in
+    Arg.(value & opt_all string [] & info [ "workload"; "w" ] ~docv:"WORKLOAD" ~doc)
+  in
+  let json_out =
+    let doc = "Also write the loadgen report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run verbose metrics socket port rate duration deadline_ms no_estimate seed retries
+      backoff_ms workloads no_run runs_root run_tag json_out =
+    setup_logs verbose;
+    setup_metrics metrics;
+    let workloads =
+      if workloads = [] then Mica_serve.Loadgen.default_config.Mica_serve.Loadgen.workloads
+      else List.map (fun w -> Mica_workloads.Workload.id (resolve w)) workloads
+    in
+    let cfg =
+      {
+        Mica_serve.Loadgen.address = address_of socket port;
+        rate;
+        duration;
+        deadline_ms;
+        estimate = not no_estimate;
+        seed;
+        workloads;
+        retries;
+        backoff_ms;
+      }
+    in
+    let report =
+      try Mica_serve.Loadgen.run cfg
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot reach the daemon at %s: %s\n"
+          (match cfg.Mica_serve.Loadgen.address with
+          | Mica_serve.Server.Unix_path p -> p
+          | Mica_serve.Server.Tcp { host; port } -> Printf.sprintf "%s:%d" host port)
+          (Unix.error_message e);
+        exit 2
+    in
+    print_string (Mica_serve.Loadgen.render report);
+    Option.iter
+      (fun p ->
+        Mica_run.Run_io.atomic_write p
+          (Mica_obs.Json.to_string ~pretty:true (Mica_serve.Loadgen.to_json report) ^ "\n"))
+      json_out;
+    (* Commit the latency/throughput/shed-rate report as a bench-entry run
+       directory so [mica compare --tolerance-bench] can gate it. *)
+    if not no_run then begin
+      let module R = Mica_run.Run_dir in
+      let manifest =
+        {
+          Mica_run.Manifest.schema = Mica_run.Manifest.schema_version;
+          created = R.timestamp ();
+          tag = Option.value run_tag ~default:"loadgen";
+          subcommand = "loadgen";
+          argv = Array.to_list Sys.argv;
+          git_rev = Mica_run.Run_io.git_rev ();
+          icount = 0;
+          ppm_order = 0;
+          jobs = 1;
+          retries;
+          cache = false;
+          mica_jobs_env = Sys.getenv_opt "MICA_JOBS";
+          fault_spec = Option.map Mica_util.Fault.to_string (Mica_util.Fault.installed ());
+          seeds = [ ("loadgen", string_of_int seed) ];
+          workloads = List.length workloads;
+          report =
+            Printf.sprintf "%d sent, %d ok, %d estimated, %d cached, %d shed, %d protocol errors"
+              report.Mica_serve.Loadgen.sent report.Mica_serve.Loadgen.ok
+              report.Mica_serve.Loadgen.estimated report.Mica_serve.Loadgen.cached
+              report.Mica_serve.Loadgen.shed report.Mica_serve.Loadgen.protocol_errors;
+          files = [];
+        }
+      in
+      let artifacts =
+        [
+          {
+            R.filename = R.bench_file;
+            contents = Mica_obs.Json.to_string ~pretty:true (Mica_serve.Loadgen.bench_json report) ^ "\n";
+          };
+          {
+            R.filename = "loadgen.json";
+            contents = Mica_obs.Json.to_string ~pretty:true (Mica_serve.Loadgen.to_json report) ^ "\n";
+          };
+          {
+            R.filename = R.metrics_file;
+            contents = Mica_obs.Obs.to_json (Mica_obs.Obs.snapshot ());
+          };
+        ]
+      in
+      match R.commit ~root:runs_root ~manifest ~artifacts () with
+      | dir -> Printf.printf "committed run %s\n" dir
+      | exception Sys_error _ ->
+        Logs.warn (fun f -> f "run directory commit failed; results are unaffected")
+    end;
+    if report.Mica_serve.Loadgen.protocol_errors > 0 then begin
+      Printf.eprintf "error: %d protocol error(s): some requests got no (or an invalid) reply\n"
+        report.Mica_serve.Loadgen.protocol_errors;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running daemon with seeded open-loop arrivals (retrying 'overloaded' with \
+          jittered backoff) and report latency percentiles, throughput and shed rate; exits \
+          nonzero if any request loses its reply.")
+    Term.(
+      const run $ verbose $ metrics_opt $ socket_opt $ port_opt $ rate $ duration $ deadline_ms
+      $ no_estimate $ seed $ retries $ backoff_ms $ workloads_opt $ no_run $ runs_root $ run_tag
+      $ json_out)
+
 let main =
   let doc = "microarchitecture-independent workload characterization (MICA)" in
   Cmd.group
@@ -1444,6 +1696,8 @@ let main =
       verify_cmd;
       profile_cmd;
       export_cmd;
+      serve_cmd;
+      loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval main)

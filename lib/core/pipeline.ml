@@ -24,6 +24,7 @@ type config = {
   retries : int;
   run : run_sink option;
   sketch : int option;
+  cancel : (unit -> bool) option;
 }
 
 let default_config =
@@ -36,7 +37,10 @@ let default_config =
     retries = 2;
     run = None;
     sketch = None;
+    cancel = None;
   }
+
+exception Cancelled
 
 let model_version = "v3"
 
@@ -55,7 +59,22 @@ let characterize config w =
       in
       (Mica_sketch.Sketch.sink sk, fun () -> Mica_sketch.Sketch.vector sk)
   in
-  let sink = Mica_trace.Sink.fanout [ mica_sink; Mica_uarch.Hw_counters.sink counters ] in
+  let sinks = [ mica_sink; Mica_uarch.Hw_counters.sink counters ] in
+  let sinks =
+    (* Cooperative cancellation: the check runs once per chunk (every
+       [Chunk.capacity] instructions), first in the fanout so no analyzer
+       consumes a chunk the deadline already forbids.  Abandoning a trace
+       mid-stream is safe — analyzer state is per-call and discarded. *)
+    match config.cancel with
+    | None -> sinks
+    | Some cancelled ->
+      Mica_trace.Sink.make ~name:"cancel" (fun _chunk -> if cancelled () then raise Cancelled)
+      :: sinks
+  in
+  let sink = Mica_trace.Sink.fanout sinks in
+  (match config.cancel with
+  | Some cancelled when cancelled () -> raise Cancelled
+  | _ -> ());
   let (_ : int) = Mica_trace.Generator.run w.Workload.model ~icount:config.icount ~sink in
   (mica_vector (), Mica_uarch.Hw_counters.to_vector (Mica_uarch.Hw_counters.result counters))
 
@@ -232,6 +251,68 @@ let load_cache ~features path =
           Logs.warn (fun f -> f "cache %s: discarded %d malformed row(s)" path !dropped);
         tbl
   end
+
+(* ---------------- cache warm-start / flush ----------------
+
+   The serve daemon fronts the same on-disk caches as the CLI: at startup
+   it absorbs every complete row (warm start), and on drain it merges its
+   in-memory results back (flush), so served work survives restarts and is
+   shared with direct [mica characterize] runs.  Both go through the same
+   checksummed load/save as [datasets_report], so a flush commits exactly
+   the bytes a direct run would. *)
+
+let warm_cache config =
+  match config.cache_dir with
+  | None -> []
+  | Some _ ->
+    let mica_features = Mica_analysis.Characteristics.short_names in
+    let hpc_features = Mica_uarch.Hw_counters.short_names in
+    let load kind features =
+      match cache_path config kind with
+      | None -> Hashtbl.create 16
+      | Some p -> load_cache ~features p
+    in
+    let mica_cache = load "mica" mica_features in
+    let hpc_cache = load "hpc" hpc_features in
+    Hashtbl.fold
+      (fun id m acc ->
+        match Hashtbl.find_opt hpc_cache id with
+        | Some h
+          when Array.length m = Mica_analysis.Characteristics.count
+               && Array.length h = Mica_uarch.Hw_counters.count ->
+          (id, m, h) :: acc
+        | _ -> acc)
+      mica_cache []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let flush_cache config entries =
+  match config.cache_dir with
+  | None -> ()
+  | Some _ ->
+    if entries <> [] then begin
+      let mica_features = Mica_analysis.Characteristics.short_names in
+      let hpc_features = Mica_uarch.Hw_counters.short_names in
+      let mica_path = cache_path config "mica" and hpc_path = cache_path config "hpc" in
+      (* Merge over the current on-disk tables so a concurrent direct run's
+         rows are kept, then commit through the same atomic+checksummed
+         writer. *)
+      let mica_cache =
+        Option.fold ~none:(Hashtbl.create 16) ~some:(load_cache ~features:mica_features) mica_path
+      in
+      let hpc_cache =
+        Option.fold ~none:(Hashtbl.create 16) ~some:(load_cache ~features:hpc_features) hpc_path
+      in
+      List.iter
+        (fun (id, (m, h)) ->
+          Hashtbl.replace mica_cache id m;
+          Hashtbl.replace hpc_cache id h)
+        entries;
+      try
+        Option.iter (fun p -> save_cache p ~features:mica_features mica_cache) mica_path;
+        Option.iter (fun p -> save_cache p ~features:hpc_features hpc_cache) hpc_path
+      with Fault.Injected _ | Sys_error _ ->
+        Logs.warn (fun f -> f "cache flush failed; served results not persisted")
+    end
 
 (* ---------------- per-workload checkpoints ----------------
 

@@ -41,7 +41,17 @@ type config = {
           instead of the exact tables.  Estimated vectors bypass the
           characterization cache and checkpoints entirely — in both
           directions — so exact and sketched results never mix. *)
+  cancel : (unit -> bool) option;
+      (** cooperative cancellation: when set, {!characterize} polls this
+          between trace chunks (every [Chunk.capacity] instructions) and
+          raises {!Cancelled} as soon as it returns [true].  The serve
+          daemon uses it to abandon work whose deadline has passed. *)
 }
+
+exception Cancelled
+(** Raised by {!characterize} when [config.cancel] fires.  Cancellation
+    is observation-free: no partial vector escapes and no cache or
+    checkpoint entry is written for the abandoned workload. *)
 
 val default_config : config
 (** 200k instructions, PPM order 8, cache under ["results/cache"],
@@ -55,7 +65,22 @@ val model_version : string
     the cache key. *)
 
 val characterize : config -> Mica_workloads.Workload.t -> float array * float array
-(** [(mica_47, hpc_7)] for one workload (no caching, no supervision). *)
+(** [(mica_47, hpc_7)] for one workload (no caching, no supervision).
+    Raises {!Cancelled} if [config.cancel] fires mid-trace. *)
+
+val warm_cache : config -> (string * float array * float array) list
+(** Every complete [(id, mica_47, hpc_7)] row currently in the on-disk
+    characterization caches for this config's [(icount, model_version)]
+    key, sorted by id; [[]] when caching is disabled.  Rows failing the
+    checksum or arity checks are excluded exactly as in
+    {!datasets_report}.  The serve daemon's warm start. *)
+
+val flush_cache : config -> (string * (float array * float array)) list -> unit
+(** Merge [(id, (mica_47, hpc_7))] entries into the on-disk caches:
+    current cache contents are re-loaded, given entries override by id,
+    and both files are committed through the same atomic checksummed
+    writer as {!datasets_report}.  Never raises — failures degrade to a
+    warning.  No-op when caching is disabled or [entries] is empty. *)
 
 val committed_run_dir : unit -> string option
 (** The run directory committed by the most recent {!datasets_report}

@@ -202,3 +202,39 @@ let latest root =
   match List.rev (list_runs root) with
   | [] -> None
   | name :: _ -> Some (Filename.concat root name)
+
+(* Distinguish "this argument names a run" from "this argument is not
+   about runs at all" from "this argument clearly meant a run but cannot
+   resolve to one" — the CLI falls through to workload resolution only on
+   [`Not_run], so a dangling symlink or an empty runs/ root produces a
+   run-specific diagnostic instead of a confusing `no workload matches'. *)
+let resolve p =
+  let is_dir d = try Sys.is_directory d with Sys_error _ -> false in
+  let is_run d = is_dir d && Sys.file_exists (Filename.concat d manifest_file) in
+  let dangling_symlink d =
+    (* [lstat] sees the link itself; [file_exists] follows it. *)
+    match Unix.lstat d with
+    | { Unix.st_kind = Unix.S_LNK; _ } -> not (Sys.file_exists d)
+    | _ -> false
+    | exception Unix.Unix_error _ -> false
+  in
+  if is_run p then `Run p
+  else if dangling_symlink p then
+    `Error
+      (Printf.sprintf "%s is a dangling symlink (its target no longer exists); remove it or point it at a run directory" p)
+  else if Filename.basename p = "latest" then begin
+    let root = Filename.dirname p in
+    if not (Sys.file_exists root) then
+      `Error
+        (Printf.sprintf "%s: cannot resolve latest run: %s does not exist (no runs have been committed yet)" p root)
+    else begin
+      match latest root with
+      | Some d -> `Run d
+      | None ->
+        `Error
+          (Printf.sprintf "%s: cannot resolve latest run: %s contains no run directories (run a characterizing subcommand first, or pass a run directory explicitly)" p root)
+    end
+  end
+  else if is_dir p then
+    `Error (Printf.sprintf "%s is a directory but not a run directory (it has no %s)" p manifest_file)
+  else `Not_run

@@ -74,3 +74,19 @@ val list_runs : string -> string list
     (i.e. by stamp); does not verify them. *)
 
 val latest : string -> string option
+
+val resolve : string -> [ `Run of string | `Not_run | `Error of string ]
+(** Interpret a CLI path argument as a run directory.
+
+    - [`Run dir]: the path is a run directory (holds a [manifest.json]),
+      or is the magic basename [latest] and the newest run under its
+      parent was found — [dir] is that run.
+    - [`Error reason]: the argument clearly meant a run but cannot name
+      one — a dangling symlink, a [latest] whose parent is missing or
+      holds no runs, or an existing directory without a manifest.  The
+      reason is a complete, actionable sentence.
+    - [`Not_run]: the argument is not about run directories at all
+      (e.g. a workload id); callers fall through to their other
+      interpretations.
+
+    Never raises. *)

@@ -1,0 +1,74 @@
+type config = { threshold : int; cooldown : int }
+
+let default_config = { threshold = 3; cooldown = 8 }
+
+type state = Closed | Open | Half_open
+
+type cell = {
+  mutable st : state;
+  mutable failures : int;  (* consecutive, in Closed *)
+  mutable refusals : int;  (* remaining, in Open *)
+  mutable probing : bool;  (* a Half_open probe is in flight *)
+}
+
+type t = { config : config; cells : (string, cell) Hashtbl.t }
+
+let create config =
+  if config.threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  if config.cooldown < 1 then invalid_arg "Breaker.create: cooldown must be >= 1";
+  { config; cells = Hashtbl.create 32 }
+
+let cell t id =
+  match Hashtbl.find_opt t.cells id with
+  | Some c -> c
+  | None ->
+    let c = { st = Closed; failures = 0; refusals = 0; probing = false } in
+    Hashtbl.replace t.cells id c;
+    c
+
+let state t id = match Hashtbl.find_opt t.cells id with None -> Closed | Some c -> c.st
+
+let admit t id =
+  let c = cell t id in
+  match c.st with
+  | Closed -> `Admit
+  | Open ->
+    c.refusals <- c.refusals - 1;
+    if c.refusals <= 0 then begin
+      c.st <- Half_open;
+      c.probing <- false
+    end;
+    `Reject
+  | Half_open ->
+    if c.probing then `Reject
+    else begin
+      c.probing <- true;
+      `Admit
+    end
+
+let record t id ~ok =
+  let c = cell t id in
+  match c.st with
+  | Closed ->
+    if ok then c.failures <- 0
+    else begin
+      c.failures <- c.failures + 1;
+      if c.failures >= t.config.threshold then begin
+        c.st <- Open;
+        c.refusals <- t.config.cooldown
+      end
+    end
+  | Half_open ->
+    c.probing <- false;
+    if ok then begin
+      c.st <- Closed;
+      c.failures <- 0
+    end
+    else begin
+      c.st <- Open;
+      c.refusals <- t.config.cooldown
+    end
+  | Open ->
+    (* An outcome that raced a trip (e.g. a batch-mate of the tripping
+       failure): the breaker already decided; ignore. *)
+    ()

@@ -1,0 +1,43 @@
+(** Per-workload circuit breakers.
+
+    A workload whose characterization keeps failing (a bug in its model,
+    or a persistent injected fault) must not be allowed to monopolise the
+    worker pool with retry storms: after [threshold] consecutive failures
+    its breaker opens and further requests for it are refused immediately
+    with a [quarantined] reply.
+
+    The cooldown is counted in {e refused admissions}, not wall time, so
+    breaker trajectories are a pure function of the request sequence —
+    deterministic at any parallelism and directly assertable in tests.
+    After [cooldown] refusals the breaker goes half-open and admits one
+    probe: success closes it (failure count reset), failure re-opens it
+    for a fresh cooldown.  While the probe is in flight, other requests
+    for the workload are still refused.
+
+    Admission decisions and outcome recording are made sequentially by
+    the dispatcher (never from worker domains), so no locking is needed
+    and results are jobs-invariant. *)
+
+type config = {
+  threshold : int;  (** consecutive failures that trip the breaker *)
+  cooldown : int;  (** refused admissions before a half-open probe *)
+}
+
+val default_config : config
+(** 3 failures to trip, 8 refusals to probe. *)
+
+type t
+
+val create : config -> t
+
+type state = Closed | Open | Half_open
+
+val state : t -> string -> state
+(** Current state for a workload id (untracked ids are [Closed]). *)
+
+val admit : t -> string -> [ `Admit | `Reject ]
+(** Decide admission for a request naming this workload, advancing the
+    cooldown/probe bookkeeping. *)
+
+val record : t -> string -> ok:bool -> unit
+(** Record the outcome of an admitted request's work. *)

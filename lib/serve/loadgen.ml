@@ -1,0 +1,331 @@
+module Rng = Mica_util.Rng
+module Json = Mica_obs.Json
+
+type config = {
+  address : Server.address;
+  rate : float;
+  duration : float;
+  deadline_ms : float;
+  estimate : bool;
+  seed : int;
+  workloads : string list;
+  retries : int;
+  backoff_ms : float;
+}
+
+let default_config =
+  {
+    address = Server.Unix_path "/tmp/mica-serve.sock";
+    rate = 20.0;
+    duration = 3.0;
+    deadline_ms = 500.0;
+    estimate = true;
+    seed = 42;
+    workloads = [ "MiBench/sha/large"; "SPEC2000/mcf/ref"; "SPEC2000/swim/ref" ];
+    retries = 3;
+    backoff_ms = 25.0;
+  }
+
+type report = {
+  sent : int;
+  ok : int;
+  estimated : int;
+  cached : int;
+  shed : int;
+  retried : int;
+  expired : int;
+  failed : int;
+  quarantined : int;
+  draining : int;
+  protocol_errors : int;
+  duration_s : float;
+  achieved_rate : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  deadline_overruns : int;
+}
+
+(* Per-request client state; [first_sent] anchors the latency measurement
+   at the original send so retry waiting counts against the service, not
+   for it. *)
+type pending = {
+  workload : string;
+  mutable attempts : int;
+  mutable first_sent : float;
+  mutable terminal : bool;
+}
+
+let connect = function
+  | Server.Unix_path path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  | Server.Tcp { host; port } ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    fd
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off = if off < len then go (off + Unix.write_substring fd s off (len - off)) in
+  go 0
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let run config =
+  if config.workloads = [] then invalid_arg "Loadgen.run: workloads must be non-empty";
+  if config.rate <= 0.0 then invalid_arg "Loadgen.run: rate must be positive";
+  let rng = Rng.create ~seed:(Int64.of_int config.seed) in
+  (* Fixed open-loop schedule: seeded exponential interarrivals, workloads
+     cycled in order. *)
+  let workloads = Array.of_list config.workloads in
+  let arrivals =
+    let rec go at id acc =
+      let at = at +. Rng.exponential rng ~mean:(1.0 /. config.rate) in
+      if at > config.duration then List.rev acc
+      else go at (id + 1) ((at, id, workloads.((id - 1) mod Array.length workloads)) :: acc)
+    in
+    go 0.0 1 []
+  in
+  let total = List.length arrivals in
+  let st = Hashtbl.create (2 * total) in
+  List.iter
+    (fun (_, id, workload) ->
+      Hashtbl.replace st id { workload; attempts = 1; first_sent = 0.0; terminal = false })
+    arrivals;
+  let fd = connect config.address in
+  let t0 = Unix.gettimeofday () in
+  let now () = Unix.gettimeofday () -. t0 in
+  let mutex = Mutex.create () in
+  let cond = Condition.create () in
+  (* (send_at, id, attempt), kept sorted by send time; receiver inserts
+     retries. *)
+  let sendq = ref (List.map (fun (at, id, _) -> (at, id, 1)) arrivals) in
+  let finished = ref false in
+  let insert ev =
+    let rec ins = function
+      | [] -> [ ev ]
+      | ((at', _, _) as hd) :: tl ->
+        let at, _, _ = ev in
+        if at < at' then ev :: hd :: tl else hd :: ins tl
+    in
+    sendq := ins !sendq;
+    Condition.signal cond
+  in
+  let ok = ref 0
+  and estimated = ref 0
+  and cached = ref 0
+  and shed = ref 0
+  and retried = ref 0
+  and expired = ref 0
+  and failed = ref 0
+  and quarantined = ref 0
+  and drained = ref 0
+  and protocol_errors = ref 0
+  and resolved = ref 0
+  and overruns = ref 0
+  and latencies = ref [] in
+  let deadline_ms = if config.deadline_ms > 0.0 then Some config.deadline_ms else None in
+  let sender () =
+    Mutex.lock mutex;
+    while not !finished do
+      match !sendq with
+      | [] -> Condition.wait cond mutex
+      | (at, id, attempt) :: rest ->
+        let n = now () in
+        if at <= n then begin
+          sendq := rest;
+          let p = Hashtbl.find st id in
+          if attempt = 1 then p.first_sent <- n;
+          Mutex.unlock mutex;
+          let line =
+            Protocol.encode_request
+              {
+                Protocol.id;
+                op = Protocol.Characterize { workload = p.workload; estimate = config.estimate };
+                deadline_ms;
+              }
+            ^ "\n"
+          in
+          (* A failed write means this id never gets a reply; the hard
+             stop accounts it as a protocol error. *)
+          (try write_all fd line with Unix.Unix_error _ | Sys_error _ -> ());
+          Mutex.lock mutex
+        end
+        else begin
+          Mutex.unlock mutex;
+          (* Short quanta so a newly inserted earlier retry is not
+             overslept by much. *)
+          Unix.sleepf (Float.min (at -. n) 0.02);
+          Mutex.lock mutex
+        end
+    done;
+    Mutex.unlock mutex
+  in
+  let on_response (r : Protocol.response) =
+    Mutex.lock mutex;
+    (match Hashtbl.find_opt st r.Protocol.rid with
+    | None -> incr protocol_errors (* unmatched id, or the daemon's parse-error reply *)
+    | Some p when p.terminal -> incr protocol_errors (* duplicate terminal reply *)
+    | Some p -> (
+      let terminal counter =
+        p.terminal <- true;
+        incr counter;
+        incr resolved;
+        (match deadline_ms with
+        | Some d when r.Protocol.elapsed_ms > d *. 1.1 -> incr overruns
+        | _ -> ());
+        latencies := ((now () -. p.first_sent) *. 1000.0) :: !latencies
+      in
+      match r.Protocol.status with
+      | Protocol.Overloaded when p.attempts <= config.retries ->
+        incr retried;
+        p.attempts <- p.attempts + 1;
+        let scale = float_of_int (1 lsl min 6 (p.attempts - 2)) in
+        let jitter = 0.5 +. Rng.float rng 1.0 in
+        insert (now () +. (config.backoff_ms *. scale *. jitter /. 1000.0), r.Protocol.rid, p.attempts)
+      | Protocol.Overloaded -> terminal shed
+      | Protocol.Draining -> terminal drained
+      | Protocol.Deadline -> terminal expired
+      | Protocol.Error -> terminal failed
+      | Protocol.Quarantined -> terminal quarantined
+      | Protocol.Ok -> (
+        match r.Protocol.payload with
+        | Some (Protocol.Vector { estimated = true; _ }) -> terminal estimated
+        | Some (Protocol.Vector { cached = true; _ }) -> terminal cached
+        | _ -> terminal ok)));
+    if !resolved >= total then begin
+      finished := true;
+      Condition.broadcast cond
+    end;
+    Mutex.unlock mutex
+  in
+  let sender_t = Thread.create sender () in
+  (* Receive until everything resolved or the hard stop: schedule end plus
+     a grace of 3 deadlines + 5 s for in-flight work to finish. *)
+  let hard_stop =
+    config.duration +. (3.0 *. Option.value deadline_ms ~default:1000.0 /. 1000.0) +. 5.0
+  in
+  let rbuf = Buffer.create 8192 in
+  let chunk = Bytes.create 8192 in
+  let consume_lines () =
+    let s = Buffer.contents rbuf in
+    let rec go start =
+      match String.index_from_opt s start '\n' with
+      | None ->
+        Buffer.clear rbuf;
+        Buffer.add_substring rbuf s start (String.length s - start)
+      | Some nl ->
+        let line = String.sub s start (nl - start) in
+        (if String.trim line <> "" then
+           match Protocol.decode_response line with
+           | Ok r -> on_response r
+           | Error _ ->
+             Mutex.lock mutex;
+             incr protocol_errors;
+             Mutex.unlock mutex);
+        go (nl + 1)
+    in
+    go 0
+  in
+  (try
+     while (not !finished) && now () < hard_stop do
+       match Unix.select [ fd ] [] [] 0.25 with
+       | [ _ ], _, _ ->
+         let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+         if n = 0 then raise Exit (* daemon closed the connection *)
+         else begin
+           Buffer.add_subbytes rbuf chunk 0 n;
+           consume_lines ()
+         end
+       | _ -> ()
+     done
+   with Exit | Unix.Unix_error _ | Sys_error _ -> ());
+  Mutex.lock mutex;
+  finished := true;
+  Condition.broadcast cond;
+  let unresolved = total - !resolved in
+  protocol_errors := !protocol_errors + unresolved;
+  Mutex.unlock mutex;
+  Thread.join sender_t;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let duration_s = now () in
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  {
+    sent = total;
+    ok = !ok;
+    estimated = !estimated;
+    cached = !cached;
+    shed = !shed;
+    retried = !retried;
+    expired = !expired;
+    failed = !failed;
+    quarantined = !quarantined;
+    draining = !drained;
+    protocol_errors = !protocol_errors;
+    duration_s;
+    achieved_rate = (if duration_s > 0.0 then float_of_int total /. duration_s else 0.0);
+    p50_ms = percentile lat 0.50;
+    p90_ms = percentile lat 0.90;
+    p99_ms = percentile lat 0.99;
+    max_ms = (if Array.length lat = 0 then Float.nan else lat.(Array.length lat - 1));
+    deadline_overruns = !overruns;
+  }
+
+let render r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "loadgen: %d sent over %.2fs (%.1f req/s achieved)\n" r.sent r.duration_s
+       r.achieved_rate);
+  Buffer.add_string b
+    (Printf.sprintf "  ok %d  estimated %d  cached %d  shed %d (retries %d)\n" r.ok r.estimated
+       r.cached r.shed r.retried);
+  Buffer.add_string b
+    (Printf.sprintf "  deadline %d  error %d  quarantined %d  draining %d  protocol-errors %d\n"
+       r.expired r.failed r.quarantined r.draining r.protocol_errors);
+  Buffer.add_string b
+    (Printf.sprintf "  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n" r.p50_ms r.p90_ms
+       r.p99_ms r.max_ms);
+  Buffer.add_string b (Printf.sprintf "  deadline overruns (>10%%): %d\n" r.deadline_overruns);
+  Buffer.contents b
+
+let to_json r =
+  Json.Obj
+    [
+      ("sent", Json.Num (float_of_int r.sent));
+      ("ok", Json.Num (float_of_int r.ok));
+      ("estimated", Json.Num (float_of_int r.estimated));
+      ("cached", Json.Num (float_of_int r.cached));
+      ("shed", Json.Num (float_of_int r.shed));
+      ("retried", Json.Num (float_of_int r.retried));
+      ("expired", Json.Num (float_of_int r.expired));
+      ("failed", Json.Num (float_of_int r.failed));
+      ("quarantined", Json.Num (float_of_int r.quarantined));
+      ("draining", Json.Num (float_of_int r.draining));
+      ("protocol_errors", Json.Num (float_of_int r.protocol_errors));
+      ("duration_s", Json.Num r.duration_s);
+      ("achieved_rate", Json.Num r.achieved_rate);
+      ("p50_ms", Json.Num r.p50_ms);
+      ("p90_ms", Json.Num r.p90_ms);
+      ("p99_ms", Json.Num r.p99_ms);
+      ("max_ms", Json.Num r.max_ms);
+      ("deadline_overruns", Json.Num (float_of_int r.deadline_overruns));
+    ]
+
+let bench_json r =
+  let entry name ns = Json.Obj [ ("name", Json.Str name); ("ns_per_run", Json.Num ns) ] in
+  let results =
+    (if Float.is_finite r.p50_ms then [ entry "serve_loadgen_p50" (r.p50_ms *. 1e6) ] else [])
+    @ (if Float.is_finite r.p99_ms then [ entry "serve_loadgen_p99" (r.p99_ms *. 1e6) ] else [])
+    @
+    if r.achieved_rate > 0.0 then
+      [ entry "serve_loadgen_per_request" (1e9 /. r.achieved_rate) ]
+    else []
+  in
+  Json.Obj [ ("results", Json.List results) ]

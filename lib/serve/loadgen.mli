@@ -1,0 +1,71 @@
+(** Seeded open-loop load generator for the serve daemon.
+
+    Open-loop means the arrival schedule is fixed up front — seeded
+    exponential interarrivals at the target rate, workloads cycled from
+    the given list — and requests are sent at their scheduled instants
+    whether or not earlier replies have come back.  This is the honest
+    way to measure an overloaded service: a closed loop would slow its
+    own arrivals exactly when the daemon struggles, hiding the overload
+    (coordinated omission).
+
+    One pipelined connection; a sender thread walks the schedule while
+    the receiver matches replies by id.  [overloaded] replies are retried
+    with seeded-jitter exponential backoff up to [retries] times, then
+    counted as shed.  Every request must reach {e some} terminal reply;
+    any that has none by the hard stop (duration + grace) counts as a
+    protocol error, as does any undecodable or unmatched response line —
+    the loadgen exits nonzero on protocol errors, which is the CI smoke
+    job's "no reply lost" assertion. *)
+
+type config = {
+  address : Server.address;
+  rate : float;  (** target arrivals per second *)
+  duration : float;  (** seconds of scheduled arrivals *)
+  deadline_ms : float;  (** per-request deadline sent to the daemon; [<= 0] = none *)
+  estimate : bool;  (** permit sketch-degraded answers *)
+  seed : int;  (** arrival schedule + backoff jitter *)
+  workloads : string list;  (** cycled deterministically; must be non-empty *)
+  retries : int;  (** re-sends after [overloaded] before counting shed *)
+  backoff_ms : float;  (** base backoff, doubled per retry, jittered *)
+}
+
+val default_config : config
+(** rate 20/s for 3 s, deadline 500 ms, estimates allowed, seed 42, the
+    verify trio of workloads, 3 retries at 25 ms base backoff.  The
+    address must still be set. *)
+
+type report = {
+  sent : int;  (** distinct scheduled requests *)
+  ok : int;  (** exact, freshly computed *)
+  estimated : int;  (** sketch-degraded answers *)
+  cached : int;  (** answered from the daemon's exact-results table *)
+  shed : int;  (** still [overloaded] after the retry budget *)
+  retried : int;  (** retry sends performed *)
+  expired : int;  (** [deadline] replies *)
+  failed : int;  (** [error] replies *)
+  quarantined : int;
+  draining : int;
+  protocol_errors : int;
+  duration_s : float;  (** wall time, first send to last terminal reply *)
+  achieved_rate : float;
+  p50_ms : float;  (** client-observed latency percentiles over replies *)
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  deadline_overruns : int;
+      (** terminal replies whose daemon-side [elapsed_ms] exceeded the
+          request deadline by more than 10% — the overload contract's
+          hard bound, asserted to be 0 by the soak test *)
+}
+
+val run : config -> report
+(** Connect, replay the schedule, wait for every terminal reply (bounded
+    by a grace period), disconnect. *)
+
+val render : report -> string
+val to_json : report -> Mica_obs.Json.t
+
+val bench_json : report -> Mica_obs.Json.t
+(** The committed-bench-entry shape [mica compare] gates on:
+    [{"results": [{"name": "serve_loadgen_p50", "ns_per_run": ...}, ...]}]
+    with p50/p99 latency and per-request service time as entries. *)

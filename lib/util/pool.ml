@@ -45,7 +45,10 @@ type state = {
   mutable body : int -> unit;  (* worker index -> run that worker's block *)
   mutable pending : int;
   mutable stop : bool;
-  mutable error : exn option;  (* first worker exception, re-raised by [run] *)
+  (* First worker exception, re-raised by [run] with its original
+     backtrace.  The raw backtrace must be captured on the domain where
+     the exception was raised — backtrace buffers are per-domain. *)
+  mutable error : (exn * Printexc.raw_backtrace) option;
 }
 
 type t = {
@@ -82,6 +85,10 @@ let jobs t = t.jobs
    worker must ignore every epoch up to [epoch0] (on respawn after
    [shutdown] the counter is already past 0). *)
 let worker st ~epoch0 w =
+  (* [record_backtrace] is per-domain state: without this, exceptions
+     raised on a worker carry empty backtraces even when the caller
+     enabled recording. *)
+  Printexc.record_backtrace true;
   let last = ref epoch0 in
   let running = ref true in
   while !running do
@@ -97,9 +104,14 @@ let worker st ~epoch0 w =
       last := st.epoch;
       let body = st.body in
       Mutex.unlock st.mutex;
-      let err = try body w; None with e -> Some e in
+      let err =
+        try body w; None
+        with e -> Some (e, Printexc.get_raw_backtrace ())
+      in
       Mutex.lock st.mutex;
-      (match err with Some e when st.error = None -> st.error <- Some e | _ -> ());
+      (match (err, st.error) with
+      | Some e, None -> st.error <- Some e
+      | _ -> ());
       st.pending <- st.pending - 1;
       if st.pending = 0 then Condition.signal st.finished;
       Mutex.unlock st.mutex
@@ -152,7 +164,7 @@ let run t n f =
                 f i
               done);
           None
-        with e -> Some e
+        with e -> Some (e, Printexc.get_raw_backtrace ())
       in
       Mutex.lock st.mutex;
       while st.pending > 0 do
@@ -164,7 +176,7 @@ let run t n f =
       Atomic.set t.active false;
       Obs.set m_pending 0.0;
       match (my_err, worker_err) with
-      | Some e, _ | None, Some e -> raise e
+      | Some (e, bt), _ | None, Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None, None -> ()
     end
   end
@@ -234,6 +246,9 @@ let run_results ?(retries = 2) ?(backoff = 0.0) ?(seed = 0) t n f =
   else begin
     Printexc.record_backtrace true;
     let attempt_task i =
+      (* Runs on whichever domain owns index [i]'s block; recording is
+         per-domain, so enable it here rather than only on the caller. *)
+      Printexc.record_backtrace true;
       let rec go attempt =
         match
           Fault.with_context ~task:i ~attempt (fun () ->
@@ -242,7 +257,7 @@ let run_results ?(retries = 2) ?(backoff = 0.0) ?(seed = 0) t n f =
         with
         | v -> { result = Ok v; attempts = attempt }
         | exception e ->
-          let backtrace = Printexc.get_backtrace () in
+          let backtrace = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
           if attempt > retries then
             { result = Error { error = e; backtrace }; attempts = attempt }
           else begin

@@ -31,7 +31,7 @@ val jobs : t -> int
 val run : t -> int -> (int -> unit) -> unit
 (** [run t n f] calls [f i] for all [0 <= i < n]; each index exactly once.
     Worker exceptions are re-raised in the caller after all blocks finish
-    (first one wins). *)
+    (first one wins), preserving the backtrace from the raising domain. *)
 
 val run_blocks : t -> int -> (int -> int -> int -> unit) -> unit
 (** [run_blocks t n f] calls [f block lo hi] for each contiguous block
@@ -48,6 +48,9 @@ val shutdown : t -> unit
     afterwards (workers respawn lazily). *)
 
 type failure = { error : exn; backtrace : string }
+(** [backtrace] is captured on the domain that ran the failing attempt
+    (backtrace recording is enabled per executing domain), so it is
+    populated for parallel runs too, not just [jobs = 1]. *)
 
 type 'a outcome = { result : ('a, failure) result; attempts : int }
 (** Per-index result of a supervised run.  [attempts] counts executions of

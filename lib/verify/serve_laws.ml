@@ -1,0 +1,144 @@
+module Server = Mica_serve.Server
+module Protocol = Mica_serve.Protocol
+module Pipeline = Mica_core.Pipeline
+module Workload = Mica_workloads.Workload
+
+type outcome = { law : string; ok : bool; detail : string }
+
+let direct_pipe ~icount =
+  {
+    Pipeline.default_config with
+    Pipeline.icount;
+    cache_dir = None;
+    progress = false;
+    run = None;
+    sketch = None;
+  }
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)) a b
+
+(* Every served vector crosses the wire format on its way to the oracle
+   comparison: encoding must preserve float bits exactly. *)
+let roundtrip resp =
+  match Protocol.decode_response (Protocol.encode_response resp) with
+  | Ok r -> r
+  | Error e -> Printf.ksprintf failwith "response wire round-trip failed: %s" e
+
+let pump_dry t = while Server.pump t > 0 do () done
+
+let request_vector t ~rid workload ~estimate ~deadline_ms =
+  let slot = ref None in
+  Server.submit t
+    { Protocol.id = rid; op = Protocol.Characterize { workload; estimate }; deadline_ms }
+    ~reply:(fun r -> slot := Some r);
+  pump_dry t;
+  match !slot with
+  | None -> Error "no reply"
+  | Some resp -> (
+    let resp = roundtrip resp in
+    match (resp.Protocol.status, resp.Protocol.payload) with
+    | Protocol.Ok, Some (Protocol.Vector { mica; hpc; estimated; cached }) ->
+      Ok (mica, hpc, estimated, cached)
+    | status, _ ->
+      Error
+        (Printf.sprintf "status %s%s" (Protocol.status_name status)
+           (match resp.Protocol.error with None -> "" | Some e -> ": " ^ e)))
+
+let exact_identity_law ~icount ~jobs workloads =
+  let law = Printf.sprintf "served_exact/jobs=%d" jobs in
+  let config =
+    { Server.default_config with Server.icount; jobs; cache_dir = None; default_deadline_ms = 0.0 }
+  in
+  let t = Server.create config in
+  let pipe = direct_pipe ~icount in
+  let issues =
+    List.concat_map
+      (fun w ->
+        let id = Workload.id w in
+        let dm, dh = Pipeline.characterize pipe w in
+        let check tag = function
+          | Error e -> [ Printf.sprintf "%s (%s): %s" id tag e ]
+          | Ok (mica, hpc, estimated, cached) ->
+            let want_cached = tag = "cached" in
+            if estimated then [ Printf.sprintf "%s (%s): unexpectedly estimated" id tag ]
+            else if cached <> want_cached then
+              [ Printf.sprintf "%s (%s): cached=%b, expected %b" id tag cached want_cached ]
+            else if not (bits_equal mica dm && bits_equal hpc dh) then
+              [ Printf.sprintf "%s (%s): served vector differs from direct" id tag ]
+            else []
+        in
+        (* First request computes on the pool; the repeat must come back
+           bit-identical from the results table.  Sequenced with lets:
+           [@]'s operands would evaluate right-to-left. *)
+        let fresh = check "fresh" (request_vector t ~rid:1 id ~estimate:false ~deadline_ms:None) in
+        let repeat =
+          check "cached" (request_vector t ~rid:2 id ~estimate:false ~deadline_ms:None)
+        in
+        fresh @ repeat)
+      workloads
+  in
+  match issues with
+  | [] ->
+    {
+      law;
+      ok = true;
+      detail =
+        Printf.sprintf "%d workloads bit-identical (fresh + cached) over %d instructions"
+          (List.length workloads) icount;
+    }
+  | i :: _ ->
+    { law; ok = false; detail = Printf.sprintf "%d mismatches; first: %s" (List.length issues) i }
+
+let degraded_identity_law ~icount workloads =
+  let law = "served_degraded" in
+  match workloads with
+  | w_degraded :: w_prime :: _ ->
+    (* Virtual clock: 50ms per read while priming the EWMA, then frozen
+       so the tight deadline below cannot expire — the dispatcher must
+       pick the sketch path because the remaining budget (1ms) is under
+       margin x EWMA, not because time actually ran out. *)
+    let step = ref 0.05 in
+    let now = ref 0.0 in
+    let clock () =
+      now := !now +. !step;
+      !now
+    in
+    let config =
+      { Server.default_config with Server.icount; jobs = 1; cache_dir = None; clock }
+    in
+    let t = Server.create config in
+    let primed = request_vector t ~rid:1 (Workload.id w_prime) ~estimate:false ~deadline_ms:None in
+    step := 0.0;
+    let served =
+      request_vector t ~rid:2 (Workload.id w_degraded) ~estimate:true ~deadline_ms:(Some 1.0)
+    in
+    let spipe =
+      { (direct_pipe ~icount) with Pipeline.sketch = Some config.Server.sketch_bytes }
+    in
+    let dm, dh = Pipeline.characterize spipe w_degraded in
+    let issue =
+      match (primed, served) with
+      | Error e, _ -> Some ("priming request failed: " ^ e)
+      | _, Error e -> Some ("degraded request failed: " ^ e)
+      | Ok _, Ok (_, _, false, _) -> Some "near-deadline estimate request was not degraded"
+      | Ok _, Ok (mica, hpc, true, _) ->
+        if bits_equal mica dm && bits_equal hpc dh then None
+        else Some "degraded vector differs from the direct sketch pipeline"
+    in
+    (match issue with
+    | None ->
+      {
+        law;
+        ok = true;
+        detail =
+          Printf.sprintf "%s degraded to the sketch path, bit-identical over %d instructions"
+            (Workload.id w_degraded) icount;
+      }
+    | Some d -> { law; ok = false; detail = d })
+  | _ -> { law; ok = false; detail = "needs at least two workloads" }
+
+let all ~icount workloads =
+  [ exact_identity_law ~icount ~jobs:1 workloads; exact_identity_law ~icount ~jobs:4 workloads ]
+  @ (match workloads with _ :: _ :: _ -> [ degraded_identity_law ~icount workloads ] | _ -> [])

@@ -1,0 +1,28 @@
+(** Served-vs-direct laws for the characterization daemon.
+
+    The serve layer must be a transparent transport: a vector obtained
+    through admission, pool dispatch and the wire protocol must be
+    bit-for-bit the vector [Pipeline.characterize] computes directly.
+    Both laws drive the daemon's deterministic core ({!Mica_serve.Server})
+    and push every reply through a [Protocol] encode/decode round-trip,
+    so the float-exact JSON writer is part of what is checked.
+
+    - {b served_exact/jobs=N}: for each workload, the served vector
+      (fresh compute, then a second request answered from the results
+      table) equals the direct exact vector bit-for-bit, at [jobs = 1]
+      and [jobs = 4];
+    - {b served_degraded}: under a virtual clock that forces the
+      graceful-degradation path (EWMA primed, then a near-deadline
+      request with [estimate]), the degraded answer is flagged
+      [estimated] and equals the direct sketch-pipeline vector
+      bit-for-bit. *)
+
+type outcome = { law : string; ok : bool; detail : string }
+
+val exact_identity_law : icount:int -> jobs:int -> Mica_workloads.Workload.t list -> outcome
+val degraded_identity_law : icount:int -> Mica_workloads.Workload.t list -> outcome
+
+val all : icount:int -> Mica_workloads.Workload.t list -> outcome list
+(** [exact_identity_law] at jobs 1 and 4, then — when at least two
+    workloads are given (it needs a distinct EWMA-priming workload; the
+    standalone law reports failure below two) — [degraded_identity_law]. *)

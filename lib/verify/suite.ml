@@ -79,6 +79,12 @@ let sketch_checks ?accuracy_workloads ~icount workloads =
       })
     (Sketch_laws.all ?accuracy_workloads ~icount workloads)
 
+let serve_checks ~icount workloads =
+  List.map
+    (fun (o : Serve_laws.outcome) ->
+      { layer = "serve"; subject = o.Serve_laws.law; ok = o.Serve_laws.ok; detail = o.Serve_laws.detail })
+    (Serve_laws.all ~icount workloads)
+
 let scale_checks ~size =
   List.map
     (fun (o : Approx.outcome) ->
@@ -104,6 +110,7 @@ let run ?(level = Quick) ?workloads ?invariant_icount ?reference_icount ?differe
     @ List.map (reference_check ~icount:reference_icount) workloads
     @ differential_checks ~icount:differential_icount workloads
     @ sketch_checks ?accuracy_workloads ~icount:(dflt 20_000 100_000) workloads
+    @ serve_checks ~icount:(dflt 10_000 20_000) workloads
     @ scale_checks ~size:(dflt 96 256)
   in
   { level; checks; duration = Unix.gettimeofday () -. t0 }

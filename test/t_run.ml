@@ -500,6 +500,54 @@ let test_variance_metrics_of_run () =
   Alcotest.(check (option (float 1e-9))) "bench value" (Some 100.0)
     (List.assoc_opt "bench/k1" metrics)
 
+(* ---------------- resolve: latest / dangling / not-a-run ---------------- *)
+
+let check_resolve_error name p ~sub =
+  match R.Run_dir.resolve p with
+  | `Error reason -> Alcotest.(check bool) (name ^ ": reason mentions " ^ sub) true
+      (contains ~sub reason)
+  | `Run d -> Alcotest.failf "%s: resolved to run %s" name d
+  | `Not_run -> Alcotest.failf "%s: fell through to `Not_run" name
+
+let test_resolve_run_dir () =
+  let root = fresh_root () in
+  let dir = commit_run root ~tag:"r" () in
+  (match R.Run_dir.resolve dir with
+  | `Run d -> Alcotest.(check string) "resolves to itself" dir d
+  | _ -> Alcotest.fail "committed run must resolve");
+  match R.Run_dir.resolve (Filename.concat root "latest") with
+  | `Run d -> Alcotest.(check string) "latest resolves to newest run" dir d
+  | _ -> Alcotest.fail "latest must resolve when a run exists"
+
+let test_resolve_latest_missing_root () =
+  let root = fresh_root () in
+  check_resolve_error "missing root" (Filename.concat root "latest")
+    ~sub:"no runs have been committed"
+
+let test_resolve_latest_empty_root () =
+  let root = fresh_root () in
+  Unix.mkdir root 0o755;
+  check_resolve_error "empty root" (Filename.concat root "latest") ~sub:"no run directories"
+
+let test_resolve_plain_dir () =
+  let root = fresh_root () in
+  Unix.mkdir root 0o755;
+  check_resolve_error "plain dir" root ~sub:"manifest.json"
+
+let test_resolve_dangling_symlink () =
+  let root = fresh_root () in
+  Unix.mkdir root 0o755;
+  let link = Filename.concat root "latest" in
+  Unix.symlink (Filename.concat root "gone-20260101-000000") link;
+  check_resolve_error "dangling symlink" link ~sub:"dangling"
+
+let test_resolve_not_a_path () =
+  let root = fresh_root () in
+  match R.Run_dir.resolve (Filename.concat root "nope") with
+  | `Not_run -> ()
+  | `Run d -> Alcotest.failf "nonexistent path resolved to %s" d
+  | `Error e -> Alcotest.failf "nonexistent non-latest path must be `Not_run, got: %s" e
+
 let suite =
   ( "run",
     [
@@ -521,4 +569,10 @@ let suite =
       Alcotest.test_case "variance: non-finite samples counted as dropped" `Quick
         test_variance_dropped_nonfinite;
       Alcotest.test_case "variance: metrics extraction" `Quick test_variance_metrics_of_run;
+      Alcotest.test_case "resolve: run dir and latest" `Quick test_resolve_run_dir;
+      Alcotest.test_case "resolve: latest without root" `Quick test_resolve_latest_missing_root;
+      Alcotest.test_case "resolve: latest of empty root" `Quick test_resolve_latest_empty_root;
+      Alcotest.test_case "resolve: plain directory" `Quick test_resolve_plain_dir;
+      Alcotest.test_case "resolve: dangling symlink" `Quick test_resolve_dangling_symlink;
+      Alcotest.test_case "resolve: other paths fall through" `Quick test_resolve_not_a_path;
     ] )

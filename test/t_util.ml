@@ -421,6 +421,33 @@ let test_run_results_exhausted_budget () =
           | Error _ -> Alcotest.fail "wrong error"
           | Ok _ -> Alcotest.fail "task 3 must exhaust its budget"))
 
+let test_run_results_failure_backtrace () =
+  (* Worker domains never had [Printexc.record_backtrace] switched on
+     (it is per-domain state), so failures used to surface with an empty
+     backtrace; the captured trace must now name the raise point. *)
+  let has_frames s =
+    let s = String.trim s in
+    String.length s > 0
+    &&
+    let n = String.length s in
+    let rec at i = i + 6 <= n && (String.sub s i 6 = "Raised" || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let out =
+            Pool.run_results ~retries:0 pool 8 (fun i ->
+                if i = 5 then failwith "kaboom" else i)
+          in
+          match out.(5).Pool.result with
+          | Error { Pool.backtrace; _ } ->
+            Alcotest.(check bool)
+              (Printf.sprintf "jobs=%d backtrace names the raise" jobs)
+              true (has_frames backtrace)
+          | Ok _ -> Alcotest.fail "task 5 must fail"))
+    [ 1; 4 ]
+
 let test_run_results_crash_recovery () =
   (* a crash kills the worker's whole block; the recovery pass must still
      produce every index, at any jobs *)
@@ -465,4 +492,6 @@ let suite =
       Alcotest.test_case "run_results retry clears" `Quick test_run_results_retry_clears_transient;
       Alcotest.test_case "run_results budget exhausted" `Quick test_run_results_exhausted_budget;
       Alcotest.test_case "run_results crash recovery" `Quick test_run_results_crash_recovery;
+      Alcotest.test_case "run_results failure backtrace" `Quick
+        test_run_results_failure_backtrace;
     ] )

@@ -829,8 +829,9 @@ let test_suite_smoke () =
   in
   Alcotest.(check bool) "suite passes" true (V.Suite.passed report);
   (* one workload: invariants + reference + 2 per-workload laws + 2 global,
-     plus the 5 sketch laws and the 6 workload-independent scale laws *)
-  Alcotest.(check int) "check count" 17 (List.length report.V.Suite.checks);
+     plus the 5 sketch laws, the 2 single-workload serve laws and the 6
+     workload-independent scale laws *)
+  Alcotest.(check int) "check count" 19 (List.length report.V.Suite.checks);
   Alcotest.(check bool) "scale layer present" true
     (List.exists (fun c -> c.V.Suite.layer = "scale") report.V.Suite.checks);
   Alcotest.(check bool) "sketch layer present" true

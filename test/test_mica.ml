@@ -22,4 +22,5 @@ let () =
       T_golden.suite;
       T_scale.suite;
       T_sketch.suite;
+      T_serve.suite;
     ]
