@@ -304,6 +304,41 @@ let t_machines =
            (Mica_uarch.Machine.measure_all Mica_uarch.Machine.presets w.W.Workload.model
               ~icount:bench_icount)))
 
+(* The 8-model fleet: machine descriptions when run from the repo root,
+   falling back to renamed presets so the binary still benchmarks from
+   any cwd.  One-pass fanout (one generated trace feeding all 8 sinks)
+   vs 8 single-machine passes over the same workloads. *)
+let fleet_configs =
+  lazy
+    (match Mica_uarch.Machine_desc.load_dir "machines" with
+    | Ok named when List.length named >= 8 ->
+      List.filteri (fun i _ -> i < 8) (List.map snd named)
+    | Ok _ | Error _ ->
+      Mica_uarch.Machine.presets
+      @ List.map
+          (fun (c : Mica_uarch.Machine.config) ->
+            { c with Mica_uarch.Machine.name = c.Mica_uarch.Machine.name ^ "b" })
+          Mica_uarch.Machine.presets)
+
+let fleet_workloads =
+  lazy (List.filteri (fun i _ -> i mod (W.Registry.count / 4) = 0) W.Registry.all)
+
+let t_fleet_one_pass =
+  Test.make ~name:"fleet_fanout_8_one_pass"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Mica_core.Fleet.characterize ~jobs:1
+              ~configs:(Lazy.force fleet_configs)
+              ~icount:bench_icount (Lazy.force fleet_workloads))))
+
+let t_fleet_n_pass =
+  Test.make ~name:"fleet_fanout_8_n_pass"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Mica_core.Fleet.characterize_n_pass
+              ~configs:(Lazy.force fleet_configs)
+              ~icount:bench_icount (Lazy.force fleet_workloads))))
+
 let t_reuse =
   Test.make ~name:"ext_reuse_distances"
     (Staged.stage (fun () ->
@@ -456,7 +491,8 @@ let tests =
     t_fig5_ce; t_table4_ga; t_fig6; t_fitness_fused; t_fitness_naive; t_ce_leave_one_out;
     t_ga_pool2; t_ce_pool2; t_cost_full; t_cost_reduced; t_ablation_fused;
     t_ablation_multipass; t_generation_only; t_ga_seed; t_pca_baseline; t_linkage; t_phases;
-    t_spec_parse; t_coverage; t_machines; t_reuse; t_simpoint; t_bootstrap; t_extended;
+    t_spec_parse; t_coverage; t_machines; t_fleet_one_pass; t_fleet_n_pass; t_reuse;
+    t_simpoint; t_bootstrap; t_extended;
     t_sketch_exact; t_sketch_stream; t_condensed_naive; t_condensed_blocked; t_knn_naive;
     t_knn_ann; t_subset_naive; t_subset_scalable;
   ]
@@ -528,6 +564,7 @@ let speedup_pairs =
     ("scale_subset_query_5k", "subset_naive_n5000", "subset_scalable_n5000", None);
     ("sketch_extended_swim_200k", "sketch_exact_extended_swim_200k",
      "sketch_stream_extended_swim_200k", None);
+    ("fleet_fanout_8", "fleet_fanout_8_n_pass", "fleet_fanout_8_one_pass", None);
   ]
 
 let json_escape s =

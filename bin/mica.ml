@@ -16,6 +16,8 @@
      kiviat        kiviat plot of one workload over selected characteristics
      corpus        generate a 10k-scale parameter-sweep corpus dataset
      knn           ANN / exact nearest-neighbour queries over a stored corpus
+     fleet         one-pass corpus characterization against a machine-description fleet
+     calibrate     micro-benchmark baseline suite vs analytic counter envelopes
      verify        oracle suite: invariants, reference analyzers, metamorphic laws *)
 
 open Cmdliner
@@ -1121,6 +1123,184 @@ let machines_cmd =
        ~doc:"Test whether counter-based similarity transfers across machine models.")
     Term.(const run $ config_term)
 
+(* ---------------- fleet / calibrate ---------------- *)
+
+let machines_dir =
+  let doc = "Directory of declarative machine descriptions (*.json)." in
+  Arg.(value & opt string "machines" & info [ "machines" ] ~docv:"DIR" ~doc)
+
+let load_machines dir =
+  match Mica_uarch.Machine_desc.load_dir dir with
+  | Ok named -> List.map snd named
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+
+let commit_run ~config ~icount ~workloads ~seeds ~artifacts =
+  match config.Mica_core.Pipeline.run with
+  | None -> None
+  | Some sink -> (
+    let module R = Mica_run.Run_dir in
+    let manifest =
+      {
+        Mica_run.Manifest.schema = Mica_run.Manifest.schema_version;
+        created = R.timestamp ();
+        tag = sink.Mica_core.Pipeline.run_tag;
+        subcommand = sink.Mica_core.Pipeline.run_tag;
+        argv = Array.to_list Sys.argv;
+        git_rev = Mica_run.Run_io.git_rev ();
+        icount;
+        ppm_order = config.Mica_core.Pipeline.ppm_order;
+        jobs = config.Mica_core.Pipeline.jobs;
+        retries = config.Mica_core.Pipeline.retries;
+        cache = false;
+        mica_jobs_env = Sys.getenv_opt "MICA_JOBS";
+        fault_spec = Option.map Mica_util.Fault.to_string (Mica_util.Fault.installed ());
+        seeds;
+        workloads;
+        report = "";
+        files = [];
+      }
+    in
+    let artifacts =
+      artifacts
+      @ [
+          {
+            R.filename = R.metrics_file;
+            contents = Mica_obs.Obs.to_json (Mica_obs.Obs.snapshot ());
+          };
+        ]
+    in
+    match R.commit ~root:sink.Mica_core.Pipeline.run_root ~manifest ~artifacts () with
+    | dir ->
+      Printf.printf "committed run %s\n" dir;
+      Some dir
+    | exception Sys_error _ ->
+      Logs.warn (fun f -> f "run directory commit failed; results are unaffected");
+      None)
+
+let fleet_cmd =
+  let report_flag =
+    let doc =
+      "Also build each machine's counter space and report benchmark-distance \
+       correlations: machine vs machine, and each machine vs the \
+       microarchitecture-independent space."
+    in
+    Arg.(value & flag & info [ "report" ] ~doc)
+  in
+  let workload_names =
+    let doc = "Characterize these workloads only (repeatable; default: full registry)." in
+    Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
+  in
+  let run config dir report_flag names =
+    let configs = load_machines dir in
+    let workloads =
+      match names with
+      | [] -> Mica_workloads.Registry.all
+      | names -> List.map resolve names
+    in
+    let icount = config.Mica_core.Pipeline.icount in
+    let fleet =
+      Mica_core.Fleet.characterize ~jobs:config.Mica_core.Pipeline.jobs ~configs ~icount
+        workloads
+    in
+    Printf.printf "fleet: %d workloads x %d machines x %d counters (icount %d)\n"
+      (Array.length fleet.Mica_core.Fleet.workload_ids)
+      (Array.length fleet.Mica_core.Fleet.machine_names)
+      (Array.length fleet.Mica_core.Fleet.metric_names)
+      icount;
+    let report_text =
+      if not report_flag then None
+      else begin
+        let ctx = E.Context.load ~config ~workloads () in
+        let r =
+          Mica_core.Fleet.report ~mica:ctx.E.Context.mica_space ~hpc:ctx.E.Context.hpc_space
+            fleet
+        in
+        let text = Mica_core.Fleet.render_report r in
+        print_string text;
+        Some text
+      end
+    in
+    let module R = Mica_run.Run_dir in
+    let artifacts =
+      { R.filename = "fleet.csv";
+        contents = R.csv_of_table (Mica_core.Fleet.to_table fleet) }
+      :: (match report_text with
+         | Some text -> [ { R.filename = "report.txt"; contents = text } ]
+         | None -> [])
+    in
+    ignore
+      (commit_run ~config ~icount
+         ~workloads:(Array.length fleet.Mica_core.Fleet.workload_ids)
+         ~seeds:[ ("machines-dir", dir) ]
+         ~artifacts)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Characterize the corpus against every machine description in a directory — one \
+          generated trace per workload fanned out to all machine models in a single pass \
+          — and commit the NxM counter matrix to a run directory.")
+    Term.(const run $ config_term $ machines_dir $ report_flag $ workload_names)
+
+let calibrate_cmd =
+  let check =
+    let doc = "CI gate: exit nonzero if any counter falls outside its envelope." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let cal_icount =
+    let doc = "Dynamic instructions per baseline kernel trace." in
+    Arg.(
+      value
+      & opt int Mica_uarch.Baseline.default_icount
+      & info [ "icount"; "n" ] ~docv:"N" ~doc)
+  in
+  let run verbose metrics no_run runs_root run_tag dir check icount =
+    setup_logs verbose;
+    setup_metrics metrics;
+    let configs = load_machines dir in
+    let outcomes = Mica_uarch.Baseline.run_all ~icount configs in
+    let text = Mica_uarch.Baseline.render outcomes in
+    print_string text;
+    let config =
+      {
+        Mica_core.Pipeline.default_config with
+        icount;
+        run =
+          (if no_run then None
+           else
+             Some
+               {
+                 Mica_core.Pipeline.run_root = runs_root;
+                 run_tag = Option.value run_tag ~default:"calibrate";
+                 run_seeds = [];
+               });
+      }
+    in
+    let module R = Mica_run.Run_dir in
+    ignore
+      (commit_run ~config ~icount
+         ~workloads:(List.length Mica_uarch.Baseline.kernel_names)
+         ~seeds:[ ("machines-dir", dir) ]
+         ~artifacts:[ { R.filename = "calibrate.txt"; contents = text } ]);
+    if not (Mica_uarch.Baseline.passed outcomes) then begin
+      Printf.eprintf "calibration failed: %d counter(s) out of envelope\n"
+        (List.length (Mica_uarch.Baseline.failures outcomes));
+      if check then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Run the calibrated micro-benchmark baseline suite (stream, dgemm, chase, \
+          torture) against every machine description and check the six counters of each \
+          machine against analytically derived envelopes.  With $(b,--check), any \
+          out-of-envelope counter exits nonzero (the CI gate).")
+    Term.(
+      const run $ verbose $ metrics_opt $ no_run $ runs_root $ run_tag $ machines_dir $ check
+      $ cal_icount)
+
 let locality_cmd =
   let run config =
     let ctx = E.Context.load ~config () in
@@ -1691,6 +1871,8 @@ let main =
       dump_trace_cmd;
       characterize_trace_cmd;
       machines_cmd;
+      fleet_cmd;
+      calibrate_cmd;
       locality_cmd;
       simpoint_cmd;
       verify_cmd;

@@ -1,0 +1,250 @@
+module Kernel = Mica_trace.Kernel
+module Program = Mica_trace.Program
+
+(* All baseline kernels share one shape: a single 16-slot loop body, no
+   helper calls, no taken-branch slot skipping — so the realized opcode
+   counts are exactly [round (frac * 16)] and the per-iteration stream is
+   the 16 body slots plus one loop back-edge.  That determinism is what
+   makes the counter envelopes derivable by hand. *)
+let body_slots = 16
+
+let base =
+  {
+    Kernel.default with
+    Kernel.body_slots;
+    helper_instrs = 0;
+    helper_regions = 0;
+    helper_call_prob = 0.0;
+    trip_count = 256;
+    branch_skip_max = 0;
+  }
+
+let seq8 = [ (1.0, Kernel.Seq { stride = 8 }) ]
+
+let stream_spec =
+  {
+    base with
+    Kernel.name = "stream";
+    mix = { load = 0.40; store = 0.20; branch = 0.0; int_mul = 0.0; fp = 0.10 };
+    load_patterns = seq8;
+    store_patterns = seq8;
+    data_bytes = 8 * 1024 * 1024;
+    fp_mul_frac = 0.5;
+    fp_div_frac = 0.0;
+  }
+
+let dgemm_spec =
+  {
+    base with
+    Kernel.name = "dgemm";
+    mix = { load = 0.25; store = 0.10; branch = 0.05; int_mul = 0.0; fp = 0.55 };
+    load_patterns = seq8;
+    store_patterns = seq8;
+    data_bytes = 4096;
+    branch_kinds = [ (1.0, Kernel.Loop_like { period = 8 }) ];
+    fp_mul_frac = 0.5;
+    fp_div_frac = 0.0;
+  }
+
+let chase_spec =
+  {
+    base with
+    Kernel.name = "chase";
+    mix = { load = 0.50; store = 0.10; branch = 0.05; int_mul = 0.0; fp = 0.0 };
+    load_patterns = [ (1.0, Kernel.Chase) ];
+    store_patterns = [ (1.0, Kernel.Fixed) ];
+    data_bytes = 8 * 1024 * 1024;
+    branch_kinds = [ (1.0, Kernel.Loop_like { period = 16 }) ];
+  }
+
+let torture_spec =
+  {
+    base with
+    Kernel.name = "torture";
+    mix = { load = 0.10; store = 0.05; branch = 0.30; int_mul = 0.0; fp = 0.0 };
+    load_patterns = seq8;
+    store_patterns = seq8;
+    data_bytes = 4096;
+    branch_kinds = [ (1.0, Kernel.Biased { taken_prob = 0.5 }) ];
+  }
+
+let kernels =
+  [
+    ("stream", stream_spec); ("dgemm", dgemm_spec); ("chase", chase_spec); ("torture", torture_spec);
+  ]
+
+let kernel_names = List.map fst kernels
+
+let program name =
+  match List.assoc_opt name kernels with
+  | Some spec -> Program.single ~name:("baseline/" ^ name) spec
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Baseline.program: unknown kernel %S (expected one of: %s)" name
+         (String.concat ", " kernel_names))
+
+(* ---------------- envelopes ---------------- *)
+
+type envelope = { metric : string; lo : float; hi : float; why : string }
+
+let env metric lo hi why = { metric; lo; hi; why }
+
+let width_of (cfg : Machine.config) =
+  match cfg.Machine.core with
+  | Machine.In_order { issue_width } -> issue_width
+  | Machine.Out_of_order { width; _ } -> width
+
+let ipc_env ?(lo = 1e-6) cfg =
+  env "ipc" lo (float_of_int (width_of cfg)) "cycles are positive and issue is width-bound"
+
+(* Realized opcode counts of a 16-slot body: the generator rounds each mix
+   fraction to whole slots. *)
+let slots frac = int_of_float (Float.round (frac *. float_of_int body_slots))
+
+(* The chase pattern walks inside a per-slot locality window
+   (min (span / 8) 128KB — see Generator.next_addr); the eight chase slots
+   of the kernel together sweep this many bytes at any instant. *)
+let chase_slots = slots chase_spec.Kernel.mix.Kernel.load
+let chase_window = 131072
+let chase_ws = float_of_int (chase_slots * chase_window)
+
+(* Fraction of d-cache accesses that chase (the rest are resident fixed-
+   address stores). *)
+let chase_frac =
+  let stores = slots chase_spec.Kernel.mix.Kernel.store in
+  float_of_int chase_slots /. float_of_int (chase_slots + stores)
+
+let stream_envelopes (cfg : Machine.config) =
+  let stride = 8.0 in
+  let line = float_of_int cfg.Machine.l1d.Machine.line_bytes in
+  let pf = if cfg.Machine.prefetch_next_line then 0.5 else 1.0 in
+  let l1d = stride /. line *. pf in
+  (* the L2 sees one probe per missed L1 line, i.e. l1_line/l2_line probes
+     per L2 line, the first of which misses (the 8MB sweep defeats reuse) *)
+  let l2 = float_of_int cfg.Machine.l1d.Machine.line_bytes
+           /. float_of_int cfg.Machine.l2.Machine.line_bytes in
+  [
+    env "l1d_miss" (0.3 *. l1d) (min 1.0 (3.0 *. l1d))
+      "sequential streams miss once per line: stride/line, halved by next-line prefetch";
+    env "l2_miss" (0.5 *. l2) 1.0
+      "8MB footprint defeats reuse at every level; L2 misses once per L2 line";
+    env "br_miss" 0.0 0.1 "only the loop back-edge branches, learned in one trip";
+    env "dtlb_miss" 0.0 0.05 "streams cross a page once per page/stride accesses";
+    ipc_env cfg;
+  ]
+
+let dgemm_envelopes (cfg : Machine.config) =
+  [
+    env "l1d_miss" 0.0 0.05 "the 4KB working set is resident in every L1D";
+    env "l1i_miss" 0.0 0.05 "one small loop body";
+    env "br_miss" 0.0 0.3 "period-8 loop branches are highly predictable";
+    ipc_env ~lo:0.2 cfg;
+  ]
+
+let chase_envelopes (cfg : Machine.config) =
+  let l1_hit = min 1.0 (float_of_int cfg.Machine.l1d.Machine.size_bytes /. chase_ws) in
+  let e = chase_frac *. (1.0 -. l1_hit) in
+  let l2_small = 2 * cfg.Machine.l2.Machine.size_bytes <= int_of_float chase_ws in
+  [
+    env "l1d_miss" (0.6 *. e) (min 1.0 ((1.5 *. e) +. 0.05))
+      "dependent walks over ~1MB of live windows defeat any smaller L1D";
+    env "dtlb_miss" 0.05 0.9
+      "window relocations keep touching fresh pages of the 8MB region";
+    ipc_env cfg;
+  ]
+  @
+  if l2_small then
+    [
+      env "l2_miss" 0.4 1.0
+        "live windows exceed twice the L2: random reuse mostly evicted";
+    ]
+  else []
+
+let torture_envelopes (cfg : Machine.config) =
+  let n_br = float_of_int (slots torture_spec.Kernel.mix.Kernel.branch) in
+  (* n_br coin-flip branches plus one well-predicted back-edge per
+     iteration; no finite predictor beats 50% on a fair coin *)
+  let e = n_br *. 0.5 /. (n_br +. 1.0) in
+  [
+    env "br_miss" (0.7 *. e) (1.3 *. e)
+      "coin-flip branches mispredict half the time, diluted by the back-edge";
+    ipc_env cfg;
+  ]
+
+let envelopes cfg ~kernel =
+  match kernel with
+  | "stream" -> stream_envelopes cfg
+  | "dgemm" -> dgemm_envelopes cfg
+  | "chase" -> chase_envelopes cfg
+  | "torture" -> torture_envelopes cfg
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Baseline.envelopes: unknown kernel %S (expected one of: %s)" other
+         (String.concat ", " kernel_names))
+
+(* ---------------- running ---------------- *)
+
+type outcome = {
+  machine : string;
+  kernel : string;
+  metric : string;
+  lo : float;
+  hi : float;
+  value : float;
+  ok : bool;
+  why : string;
+}
+
+let default_icount = 60_000
+
+let metric_value (r : Machine.result) = function
+  | "ipc" -> r.Machine.ipc
+  | "br_miss" -> r.Machine.branch_mispredict_rate
+  | "l1d_miss" -> r.Machine.l1d_miss_rate
+  | "l1i_miss" -> r.Machine.l1i_miss_rate
+  | "l2_miss" -> r.Machine.l2_miss_rate
+  | "dtlb_miss" -> r.Machine.dtlb_miss_rate
+  | m -> invalid_arg ("Baseline.metric_value: unknown metric " ^ m)
+
+let run_kernel ?(icount = default_icount) configs ~kernel =
+  let results = Machine.measure_all configs (program kernel) ~icount in
+  List.concat_map
+    (fun ((cfg : Machine.config), r) ->
+      List.map
+        (fun (e : envelope) ->
+          let value = metric_value r e.metric in
+          {
+            machine = cfg.Machine.name;
+            kernel;
+            metric = e.metric;
+            lo = e.lo;
+            hi = e.hi;
+            value;
+            ok = value >= e.lo && value <= e.hi;
+            why = e.why;
+          })
+        (envelopes cfg ~kernel))
+    (List.combine configs results)
+
+let run_all ?icount configs =
+  List.concat_map (fun kernel -> run_kernel ?icount configs ~kernel) kernel_names
+
+let passed outcomes = List.for_all (fun o -> o.ok) outcomes
+let failures outcomes = List.filter (fun o -> not o.ok) outcomes
+
+let render outcomes =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %-8s %-10s %9s %9s %9s  %s\n" "machine" "kernel" "metric" "lo"
+       "value" "hi" "status");
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %-8s %-10s %9.4f %9.4f %9.4f  %s\n" o.machine o.kernel o.metric
+           o.lo o.value o.hi
+           (if o.ok then "ok" else "OUT OF ENVELOPE — " ^ o.why)))
+    outcomes;
+  let bad = List.length (failures outcomes) in
+  Buffer.add_string buf
+    (Printf.sprintf "%d checks, %d out of envelope\n" (List.length outcomes) bad);
+  Buffer.contents buf

@@ -24,6 +24,10 @@ let create ~name ~size_bytes ~line_bytes ~assoc =
   if assoc <= 0 then invalid_arg "Cache.create: assoc must be positive";
   if size_bytes < line_bytes * assoc then
     invalid_arg "Cache.create: size must cover at least one set";
+  (* Integer division here would silently shrink the cache; a size that is
+     not a whole number of sets is a specification bug, so reject it. *)
+  if size_bytes mod (line_bytes * assoc) <> 0 then
+    invalid_arg "Cache.create: size must be a whole number of sets (a multiple of line_bytes * assoc)";
   let n_sets = size_bytes / (line_bytes * assoc) in
   if not (is_pow2 n_sets) then invalid_arg "Cache.create: set count must be a power of two";
   {
@@ -73,6 +77,15 @@ let access t addr =
     t.stamps.(!victim) <- t.clock;
     false
   end
+
+let access_range t addr ~bytes =
+  if bytes <= 0 then invalid_arg "Cache.access_range: bytes must be positive";
+  let first = addr lsr t.line_shift and last = (addr + bytes - 1) lsr t.line_shift in
+  let all_hit = ref true in
+  for line = first to last do
+    if not (access t (line lsl t.line_shift)) then all_hit := false
+  done;
+  !all_hit
 
 let probe t addr =
   let idx, _, _ = find t addr in

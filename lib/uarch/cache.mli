@@ -7,9 +7,12 @@ type t
 
 val create : name:string -> size_bytes:int -> line_bytes:int -> assoc:int -> t
 (** [line_bytes] and the resulting set count [size_bytes / (line_bytes *
-    assoc)] must be powers of two (the total size need not be — e.g. the
-    21164's 96KB 3-way L2 has 512 sets); [assoc] must be positive.
-    Raises [Invalid_argument] otherwise. *)
+    assoc)] must be powers of two, and [size_bytes] a whole number of
+    sets; [assoc] must be positive but need {e not} be a power of two —
+    LRU search and replacement scan the ways, so e.g. the 21164's 96KB
+    3-way L2 (512 sets) is a legal, exactly-modelled geometry.  A size
+    that is not a multiple of [line_bytes * assoc] is rejected rather
+    than silently truncated.  Raises [Invalid_argument] otherwise. *)
 
 val name : t -> string
 val sets : t -> int
@@ -19,6 +22,13 @@ val assoc : t -> int
 val access : t -> int -> bool
 (** [access t addr] touches the line containing [addr]; returns [true] on
     hit.  On miss the LRU way of the set is replaced. *)
+
+val access_range : t -> int -> bytes:int -> bool
+(** [access_range t addr ~bytes] touches every line overlapped by
+    [\[addr, addr + bytes)] — one counted access per line, so a
+    line-straddling transfer is modelled explicitly instead of being
+    attributed to its first line only.  Returns [true] iff every line
+    hit.  Raises [Invalid_argument] if [bytes <= 0]. *)
 
 val probe : t -> int -> bool
 (** Like {!access} but without updating any state or counts. *)

@@ -14,6 +14,25 @@ type predictor_kind =
   | Local_two_level of { entries : int; history_bits : int }
   | Tournament of { entries : int; history_bits : int }
 
+type op_timing = { op_latency : int; op_recip : int }
+
+(* The historical timing assumptions, now written as a uops.info-style
+   table: an in-order core stalls [recip - 1] cycles behind a long
+   operation (a non-pipelined divider stalls fully, the multiplier roughly
+   half), while the out-of-order core sees the full result latency through
+   the dependence graph. *)
+let default_op_timing op =
+  let lat = Opcode.latency op in
+  let recip =
+    match (op : Opcode.t) with
+    | Fp_div -> lat
+    | Int_mul -> ((lat - 1) / 2) + 1
+    | Load | Store | Branch | Jump | Call | Return | Int_alu | Fp_add | Fp_mul | Nop -> 1
+  in
+  { op_latency = lat; op_recip = recip }
+
+let default_ops = Array.init Opcode.count (fun i -> default_op_timing (Opcode.of_int i))
+
 type config = {
   name : string;
   core : core_kind;
@@ -29,6 +48,7 @@ type config = {
   mem_latency : int;
   mispredict_penalty : int;
   dtlb_penalty : int;
+  ops : op_timing array;
 }
 
 let kb n = n * 1024
@@ -49,6 +69,7 @@ let ev56 =
     mem_latency = 50;
     mispredict_penalty = 5;
     dtlb_penalty = 30;
+    ops = default_ops;
   }
 
 let ev67 =
@@ -67,6 +88,7 @@ let ev67 =
     mem_latency = 100;
     mispredict_penalty = 7;
     dtlb_penalty = 20;
+    ops = default_ops;
   }
 
 let embedded =
@@ -85,6 +107,7 @@ let embedded =
     mem_latency = 80;
     mispredict_penalty = 4;
     dtlb_penalty = 40;
+    ops = default_ops;
   }
 
 let wide =
@@ -103,6 +126,7 @@ let wide =
     mem_latency = 150;
     mispredict_penalty = 12;
     dtlb_penalty = 15;
+    ops = default_ops;
   }
 
 let presets = [ ev56; ev67; embedded; wide ]
@@ -125,6 +149,9 @@ type t = {
   l2 : Cache.t;
   dtlb : Tlb.t;
   pred : Branch_pred.t;
+  (* per-opcode timing, dense by opcode code *)
+  stall_code : int array;
+  lat_code : int array;
   (* in-order accounting *)
   mutable instrs : int;
   mutable stall_cycles : int;
@@ -150,6 +177,13 @@ let make_predictor = function
 
 let create cfg =
   let window = match cfg.core with Out_of_order { window; _ } -> window | In_order _ -> 1 in
+  if Array.length cfg.ops <> Opcode.count then
+    invalid_arg "Machine.create: ops table must have one entry per opcode class";
+  Array.iter
+    (fun o ->
+      if o.op_latency < 1 || o.op_recip < 1 then
+        invalid_arg "Machine.create: op latency and reciprocal throughput must be positive")
+    cfg.ops;
   {
     cfg;
     l1i = make_cache (cfg.name ^ ".l1i") cfg.l1i;
@@ -157,6 +191,8 @@ let create cfg =
     l2 = make_cache (cfg.name ^ ".l2") cfg.l2;
     dtlb = Tlb.create ~entries:cfg.dtlb_entries ~page_bytes:cfg.page_bytes;
     pred = make_predictor cfg.predictor;
+    stall_code = Array.map (fun o -> o.op_recip - 1) cfg.ops;
+    lat_code = Array.map (fun o -> o.op_latency) cfg.ops;
     instrs = 0;
     stall_cycles = 0;
     cond_branches = 0;
@@ -189,21 +225,13 @@ let dcache_extra t addr =
 let icache_extra t pc =
   if Cache.access t.l1i pc then 0 else miss_latency t ~hit_l2:(Cache.access t.l2 pc)
 
-let arith_stall op =
-  match (op : Opcode.t) with
-  | Fp_div -> Opcode.latency Fp_div - 1
-  | Int_mul -> (Opcode.latency Int_mul - 1) / 2
-  | Load | Store | Branch | Jump | Call | Return | Int_alu | Fp_add | Fp_mul | Nop -> 0
-
-let arith_stall_code = Array.init Opcode.count (fun i -> arith_stall (Opcode.of_int i))
-let latency_code = Array.init Opcode.count (fun i -> Opcode.latency (Opcode.of_int i))
 let is_mem_code = Array.init Opcode.count (fun i -> Opcode.is_mem (Opcode.of_int i))
 let op_load = Opcode.to_int Opcode.Load
 let op_store = Opcode.to_int Opcode.Store
 let op_branch = Opcode.to_int Opcode.Branch
 
 let step_in_order t ~pc ~code ~addr ~taken =
-  let stall = ref (icache_extra t pc + Array.unsafe_get arith_stall_code code) in
+  let stall = ref (icache_extra t pc + Array.unsafe_get t.stall_code code) in
   if Array.unsafe_get is_mem_code code then begin
     if not (Tlb.access t.dtlb addr) then stall := !stall + t.cfg.dtlb_penalty;
     stall := !stall + dcache_extra t addr
@@ -244,7 +272,7 @@ let step_out_of_order t ~width ~window ~pc ~code ~src1 ~src2 ~dst ~addr ~taken =
       ignore (dcache_extra t addr : int);
       1
     end
-    else Array.unsafe_get latency_code code
+    else Array.unsafe_get t.lat_code code
   in
   let completion = issue + latency in
   t.completions.(t.head) <- completion;

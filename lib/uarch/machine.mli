@@ -20,6 +20,22 @@ type predictor_kind =
   | Local_two_level of { entries : int; history_bits : int }
   | Tournament of { entries : int; history_bits : int }
 
+type op_timing = {
+  op_latency : int;  (** result latency in cycles (out-of-order dependence edges) *)
+  op_recip : int;
+      (** reciprocal throughput in cycles; an in-order core stalls
+          [op_recip - 1] cycles behind the operation *)
+}
+
+val default_op_timing : Mica_isa.Opcode.t -> op_timing
+(** The historical model: fully-pipelined units everywhere except a
+    non-pipelined FP divider ([op_recip = op_latency]) and a partially
+    pipelined integer multiplier ([op_recip = (latency - 1) / 2 + 1]). *)
+
+val default_ops : op_timing array
+(** [default_op_timing] tabulated by dense opcode code ({!Mica_isa.Opcode.to_int});
+    treat as read-only — the presets share this array. *)
+
 type config = {
   name : string;
   core : core_kind;
@@ -37,6 +53,9 @@ type config = {
   mem_latency : int;  (** additional latency of an L2 miss *)
   mispredict_penalty : int;
   dtlb_penalty : int;
+  ops : op_timing array;
+      (** per-opcode timing, indexed by dense opcode code; must have
+          {!Mica_isa.Opcode.count} entries ({!create} validates) *)
 }
 
 (** {1 Presets} *)

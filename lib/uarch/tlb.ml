@@ -45,6 +45,15 @@ let access t addr =
     false
   end
 
+let access_range t addr ~bytes =
+  if bytes <= 0 then invalid_arg "Tlb.access_range: bytes must be positive";
+  let first = addr lsr t.page_shift and last = (addr + bytes - 1) lsr t.page_shift in
+  let all_hit = ref true in
+  for page = first to last do
+    if not (access t (page lsl t.page_shift)) then all_hit := false
+  done;
+  !all_hit
+
 let accesses t = t.accesses
 let misses t = t.misses
 let miss_rate t = if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses

@@ -7,7 +7,16 @@ val create : entries:int -> page_bytes:int -> t
 
 val access : t -> int -> bool
 (** [access t addr] translates the page containing [addr]; returns [true]
-    on TLB hit. *)
+    on TLB hit.  A multi-byte transfer that straddles a page boundary
+    needs {!access_range} — this single-address form translates exactly
+    one page. *)
+
+val access_range : t -> int -> bytes:int -> bool
+(** [access_range t addr ~bytes] translates every page overlapped by
+    [\[addr, addr + bytes)] — one counted access per page, so a
+    page-straddling transfer costs two lookups rather than silently
+    translating only its first page.  Returns [true] iff every page hit.
+    Raises [Invalid_argument] if [bytes <= 0]. *)
 
 val accesses : t -> int
 val misses : t -> int

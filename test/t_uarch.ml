@@ -21,6 +21,67 @@ let test_cache_invalid_geometry () =
     Alcotest.fail "expected Invalid_argument"
   with Invalid_argument _ -> ()
 
+let test_cache_size_not_multiple_rejected () =
+  (* 2100 / 64 truncates to 32 sets — a pow2, so this used to be silently
+     accepted as an effectively 2048-byte cache; it must be rejected *)
+  try
+    ignore (U.Cache.create ~name:"bad" ~size_bytes:2100 ~line_bytes:32 ~assoc:2);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument msg ->
+    Alcotest.(check bool) "actionable message" true
+      (String.length msg > 0 && String.lowercase_ascii msg |> fun m ->
+       String.length m >= 5)
+
+let test_cache_assoc3_lru () =
+  (* non-power-of-two associativity is explicitly legal: one 3-way set *)
+  let c = U.Cache.create ~name:"a3" ~size_bytes:192 ~line_bytes:64 ~assoc:3 in
+  Alcotest.(check int) "one set" 1 (U.Cache.sets c);
+  ignore (U.Cache.access c 0x0);
+  ignore (U.Cache.access c 0x1000);
+  ignore (U.Cache.access c 0x2000);
+  Alcotest.(check bool) "way 0 resident" true (U.Cache.access c 0x0);
+  Alcotest.(check bool) "way 1 resident" true (U.Cache.access c 0x1000);
+  Alcotest.(check bool) "way 2 resident" true (U.Cache.access c 0x2000);
+  (* recency is now 0x0 < 0x1000 < 0x2000; a fourth line evicts 0x0 *)
+  ignore (U.Cache.access c 0x3000);
+  Alcotest.(check bool) "MRU kept" true (U.Cache.access c 0x2000);
+  Alcotest.(check bool) "LRU evicted" false (U.Cache.access c 0x0)
+
+let test_cache_access_range () =
+  let c = U.Cache.create ~name:"c" ~size_bytes:1024 ~line_bytes:32 ~assoc:1 in
+  (* 8 bytes at 0x3e straddle lines 1 and 2: both must be touched *)
+  Alcotest.(check bool) "cold straddle misses" false (U.Cache.access_range c 0x3e ~bytes:8);
+  Alcotest.(check int) "two lines accessed" 2 (U.Cache.accesses c);
+  Alcotest.(check int) "two lines missed" 2 (U.Cache.misses c);
+  Alcotest.(check bool) "warm straddle hits" true (U.Cache.access_range c 0x3e ~bytes:8);
+  (* a transfer inside one line is one access *)
+  ignore (U.Cache.access_range c 0x100 ~bytes:32);
+  Alcotest.(check int) "single line accessed once" 5 (U.Cache.accesses c);
+  try
+    ignore (U.Cache.access_range c 0x0 ~bytes:0);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let prop_cache_bigger_is_not_worse_on_stream =
+  (* cyclic sequential sweeps: growing the cache (same line size and
+     associativity) can never increase the miss count *)
+  Tutil.qcheck_case ~count:60 "monotone cache size on streaming trace"
+    QCheck2.Gen.(tup3 (int_range 10 13) (int_range 1 3) (int_range 4 4096))
+    (fun (k, delta, region_lines) ->
+      let sweep c =
+        for _ = 1 to 3 do
+          for i = 0 to region_lines - 1 do
+            ignore (U.Cache.access c (i * 32))
+          done
+        done;
+        U.Cache.misses c
+      in
+      let small = U.Cache.create ~name:"s" ~size_bytes:(1 lsl k) ~line_bytes:32 ~assoc:2 in
+      let big =
+        U.Cache.create ~name:"b" ~size_bytes:(1 lsl (k + delta)) ~line_bytes:32 ~assoc:2
+      in
+      sweep big <= sweep small)
+
 let test_cache_hit_miss () =
   let c = U.Cache.create ~name:"c" ~size_bytes:1024 ~line_bytes:32 ~assoc:1 in
   Alcotest.(check bool) "cold miss" false (U.Cache.access c 0x100);
@@ -101,6 +162,19 @@ let test_tlb_lru_eviction () =
 let test_tlb_invalid () =
   try
     ignore (U.Tlb.create ~entries:0 ~page_bytes:8192);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_tlb_access_range () =
+  let t = U.Tlb.create ~entries:4 ~page_bytes:4096 in
+  (* 4 bytes at 4094 straddle pages 0 and 1: two lookups, two misses *)
+  Alcotest.(check bool) "cold straddle misses" false (U.Tlb.access_range t 4094 ~bytes:4);
+  Alcotest.(check int) "two pages translated" 2 (U.Tlb.accesses t);
+  Alcotest.(check int) "two pages missed" 2 (U.Tlb.misses t);
+  Alcotest.(check bool) "both pages resident" true (U.Tlb.access t 4096);
+  Alcotest.(check bool) "warm straddle hits" true (U.Tlb.access_range t 4094 ~bytes:4);
+  try
+    ignore (U.Tlb.access_range t 0 ~bytes:(-1));
     Alcotest.fail "expected Invalid_argument"
   with Invalid_argument _ -> ()
 
@@ -323,6 +397,98 @@ let test_machine_prefetch_helps_streaming () =
   Alcotest.(check bool) "prefetch useless on random access" true
     (with_pf_r > no_pf_r -. 0.05)
 
+(* ---------------- golden preset vectors ---------------- *)
+
+(* The full 6-metric vector of every preset on a pinned trace, bit-exact.
+   These lock the timing models down hard: any change to cache, TLB,
+   predictor, issue or latency handling that shifts a single ULP anywhere
+   shows up here.  Regenerate only for a deliberate model change. *)
+let preset_goldens =
+  [
+    ( "ev56",
+      [| 0.36746467745787936; 0.17249796582587471; 0.22902150863374734;
+         0.0010499999999999999; 0.38878016960208739; 0.0012117540139351712 |] );
+    ( "ev67",
+      [| 0.82781456953642385; 0.17982099267697316; 0.088609512269009386;
+         0.00055000000000000003; 1.; 0.0012117540139351712 |] );
+    ( "embedded",
+      [| 0.1599756836960782; 0.17249796582587471; 0.1937291729778855;
+         0.0010499999999999999; 0.93769230769230771; 0.0022720387761284459 |] );
+    ( "wide",
+      [| 1.1934598400763814; 0.18104149715215623; 0.046652529536504089;
+         0.00055000000000000003; 1.; 0.0012117540139351712 |] );
+  ]
+
+let test_preset_golden_vectors () =
+  let p = Tutil.tiny_program "preset-golden" in
+  List.iter2
+    (fun (cfg : U.Machine.config) (name, expect) ->
+      Alcotest.(check string) "preset order" name cfg.U.Machine.name;
+      let v = U.Machine.to_vector (U.Machine.measure cfg p ~icount:20_000) in
+      Array.iteri
+        (fun i x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float expect.(i) then
+            Alcotest.failf "%s %s: %.17g <> golden %.17g" name
+              U.Machine.metric_names.(i) x expect.(i))
+        v)
+    U.Machine.presets preset_goldens
+
+(* ---------------- machine properties over random kernels ---------------- *)
+
+let gen_machine_kernel =
+  QCheck2.Gen.(
+    let* load = float_range 0.0 0.4
+    and* store = float_range 0.0 0.2
+    and* brf = float_range 0.0 0.2
+    and* int_mul = float_range 0.0 0.1
+    and* fp = float_range 0.0 0.2
+    and* data_kb = int_range 1 256
+    and* stride = oneofl [ 4; 8; 16; 64 ]
+    and* trip = int_range 1 64
+    and* which = int_range 0 3 in
+    let sum = load +. store +. brf +. int_mul +. fp in
+    let scale = if sum > 0.9 then 0.9 /. sum else 1.0 in
+    let spec =
+      {
+        Mica_trace.Kernel.default with
+        Mica_trace.Kernel.name = "qcheck-machine";
+        mix =
+          {
+            Mica_trace.Kernel.load = load *. scale;
+            store = store *. scale;
+            branch = brf *. scale;
+            int_mul = int_mul *. scale;
+            fp = fp *. scale;
+          };
+        data_bytes = data_kb * 1024;
+        trip_count = trip;
+        load_patterns = [ (1.0, Mica_trace.Kernel.Seq { stride }) ];
+        store_patterns = [ (1.0, Mica_trace.Kernel.Seq { stride }) ];
+      }
+    in
+    return (spec, which))
+
+let prop_machine_rates_bounded =
+  Tutil.qcheck_case ~count:30 "machine rates in [0,1], ipc within width"
+    gen_machine_kernel
+    (fun (spec, which) ->
+      (match Mica_trace.Kernel.validate spec with
+      | Ok () -> ()
+      | Error m -> QCheck2.Test.fail_reportf "generated kernel invalid: %s" m);
+      let cfg = List.nth U.Machine.presets which in
+      let p = Mica_trace.Program.single ~name:"qcheck-machine" spec in
+      let r = U.Machine.measure cfg p ~icount:3_000 in
+      let v = U.Machine.to_vector r in
+      let width =
+        match cfg.U.Machine.core with
+        | U.Machine.In_order { issue_width } -> float_of_int issue_width
+        | U.Machine.Out_of_order { width; _ } -> float_of_int width
+      in
+      let rates = List.tl (Array.to_list v) in
+      r.U.Machine.ipc > 0.0
+      && r.U.Machine.ipc <= width +. 1e-9
+      && List.for_all (fun x -> x >= 0.0 && x <= 1.0) rates)
+
 let suite =
   ( "uarch",
     [
@@ -332,8 +498,15 @@ let suite =
       Alcotest.test_case "machine fanout isolated" `Quick test_machine_measure_all_isolated;
       Alcotest.test_case "machine cache scaling" `Quick test_machine_bigger_cache_fewer_misses;
       Alcotest.test_case "machine prefetcher" `Quick test_machine_prefetch_helps_streaming;
+      Alcotest.test_case "preset golden vectors" `Quick test_preset_golden_vectors;
+      prop_machine_rates_bounded;
       Alcotest.test_case "cache geometry" `Quick test_cache_geometry;
       Alcotest.test_case "cache invalid geometry" `Quick test_cache_invalid_geometry;
+      Alcotest.test_case "cache size not multiple rejected" `Quick
+        test_cache_size_not_multiple_rejected;
+      Alcotest.test_case "cache 3-way LRU" `Quick test_cache_assoc3_lru;
+      Alcotest.test_case "cache access range" `Quick test_cache_access_range;
+      prop_cache_bigger_is_not_worse_on_stream;
       Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
       Alcotest.test_case "cache direct-mapped conflict" `Quick test_cache_direct_mapped_conflict;
       Alcotest.test_case "cache associativity" `Quick test_cache_associativity_absorbs_conflict;
@@ -344,6 +517,7 @@ let suite =
       Alcotest.test_case "tlb basics" `Quick test_tlb_basic;
       Alcotest.test_case "tlb LRU" `Quick test_tlb_lru_eviction;
       Alcotest.test_case "tlb invalid" `Quick test_tlb_invalid;
+      Alcotest.test_case "tlb access range" `Quick test_tlb_access_range;
       Alcotest.test_case "bimodal learns bias" `Quick test_bimodal_learns_bias;
       Alcotest.test_case "bimodal vs alternation" `Quick test_bimodal_cannot_learn_alternation;
       Alcotest.test_case "local learns alternation" `Quick test_local_learns_alternation;

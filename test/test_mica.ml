@@ -10,6 +10,7 @@ let () =
       T_trace.suite;
       T_analysis.suite;
       T_uarch.suite;
+      T_fleet.suite;
       T_stats.suite;
       T_select.suite;
       T_workloads.suite;
